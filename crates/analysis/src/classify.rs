@@ -1,0 +1,296 @@
+//! Idempotency classification of instructions (paper Sections 2.2, 3.2, 4.1).
+//!
+//! A reexecution region may only contain instructions whose reexecution
+//! cannot change program semantics. The classification depends on the
+//! [`RegionPolicy`], which models the design spectrum of paper Figure 4:
+//! the further right the policy, the more instructions are admitted and the
+//! more runtime support recovery needs.
+
+use conair_ir::Inst;
+
+/// Where on the Figure-4 spectrum reexecution regions sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum RegionPolicy {
+    /// The basic Section-3 design: regions contain no calls of any kind, no
+    /// allocation, no locks — only register computation and reads.
+    Strict,
+    /// The Section-4.1 extension (ConAir's default): memory-allocation and
+    /// lock-acquisition operations are admitted and compensated (freed /
+    /// released) at the failure site before rollback.
+    #[default]
+    Compensated,
+    /// Figure-4 ablation point: writes to shared variables and stack slots
+    /// are admitted; the runtime must keep an undo log and roll memory back.
+    /// I/O and `free`/`unlock` remain excluded.
+    BufferedWrites,
+}
+
+impl RegionPolicy {
+    /// All policies, left-to-right along the Figure-4 spectrum.
+    pub const ALL: [RegionPolicy; 3] = [
+        RegionPolicy::Strict,
+        RegionPolicy::Compensated,
+        RegionPolicy::BufferedWrites,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionPolicy::Strict => "strict-idempotent",
+            RegionPolicy::Compensated => "idempotent+compensation",
+            RegionPolicy::BufferedWrites => "buffered-shared-writes",
+        }
+    }
+}
+
+/// Why an instruction terminates the backward region search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DestroyReason {
+    /// Write to a global or through a pointer (shared memory).
+    SharedWrite,
+    /// Write to a stack slot (not part of the checkpointed register image).
+    StackWrite,
+    /// An output operation (I/O cannot be reexecuted without sandboxing).
+    Io,
+    /// A call instruction (basic design: all calls destroy idempotency).
+    Call,
+    /// `free` — may release a block allocated before the region began.
+    Free,
+    /// `unlock` — may release a lock acquired before the region began.
+    Unlock,
+    /// A lock/allocation under [`RegionPolicy::Strict`], where the
+    /// compensation machinery is unavailable.
+    UncompensatedResource,
+}
+
+/// What a resource-acquiring instruction needs compensated on rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompensationKind {
+    /// A heap allocation: `free` the block at the failure site.
+    Allocation,
+    /// A lock acquisition: `unlock` at the failure site.
+    LockAcquisition,
+}
+
+/// Classification of one instruction for region formation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Reexecutable with no support at all (register ops, loads of
+    /// locals, control flow, markers).
+    Safe,
+    /// Reexecutable, and reads shared memory — relevant for the
+    /// Section 4.2 non-deadlock optimization.
+    SharedRead,
+    /// Admitted with compensation at the failure site (Section 4.1).
+    Compensable(CompensationKind),
+    /// Terminates the region: a reexecution point goes right after it.
+    Destroying(DestroyReason),
+}
+
+impl InstClass {
+    /// Whether the backward search continues past this instruction.
+    pub fn is_region_member(self) -> bool {
+        !matches!(self, InstClass::Destroying(_))
+    }
+}
+
+/// Classifies `inst` under `policy`.
+///
+/// Transform-generated instructions are classified like the instructions
+/// they replace (`TimedLock` like `Lock`, `FailGuard` like `Assert`,
+/// `PtrGuard`/`Checkpoint` as safe), so the analysis can also be run on
+/// hardened modules (used by tests and the dynamic reexecution-point
+/// accounting).
+pub fn classify(inst: &Inst, policy: RegionPolicy) -> InstClass {
+    use RegionPolicy::*;
+    match inst {
+        // Pure register computation and intra-frame reads.
+        Inst::Copy { .. }
+        | Inst::BinOp { .. }
+        | Inst::Cmp { .. }
+        | Inst::AddrOfGlobal { .. }
+        | Inst::LoadLocal { .. }
+        | Inst::Marker { .. }
+        | Inst::Nop
+        | Inst::Checkpoint { .. }
+        | Inst::PtrGuard { .. }
+        | Inst::Jump { .. }
+        | Inst::Branch { .. }
+        | Inst::Return { .. }
+        | Inst::Assert { .. }
+        | Inst::OutputAssert { .. }
+        | Inst::FailGuard { .. } => InstClass::Safe,
+
+        // Shared reads are safe but tracked for the optimization.
+        Inst::LoadGlobal { .. } | Inst::LoadPtr { .. } => InstClass::SharedRead,
+
+        // Shared writes.
+        Inst::StoreGlobal { .. } | Inst::StorePtr { .. } => match policy {
+            BufferedWrites => InstClass::Safe,
+            _ => InstClass::Destroying(DestroyReason::SharedWrite),
+        },
+
+        // Stack-slot writes (paper Figure 3b).
+        Inst::StoreLocal { .. } => match policy {
+            BufferedWrites => InstClass::Safe,
+            _ => InstClass::Destroying(DestroyReason::StackWrite),
+        },
+
+        // Resources (Section 4.1).
+        Inst::Alloc { .. } => match policy {
+            Strict => InstClass::Destroying(DestroyReason::UncompensatedResource),
+            _ => InstClass::Compensable(CompensationKind::Allocation),
+        },
+        Inst::Lock { .. } | Inst::TimedLock { .. } => match policy {
+            Strict => InstClass::Destroying(DestroyReason::UncompensatedResource),
+            _ => InstClass::Compensable(CompensationKind::LockAcquisition),
+        },
+
+        // Never admitted (Section 4.1: "reexecuting free or unlock could be
+        // dangerous"; output needs I/O sandboxing).
+        Inst::Free { .. } => InstClass::Destroying(DestroyReason::Free),
+        Inst::Unlock { .. } => InstClass::Destroying(DestroyReason::Unlock),
+        Inst::Output { .. } => InstClass::Destroying(DestroyReason::Io),
+        Inst::Call { .. } => InstClass::Destroying(DestroyReason::Call),
+    }
+}
+
+/// Whether `inst` reads shared memory (drives the Section 4.2 non-deadlock
+/// optimization).
+pub fn is_shared_read(inst: &Inst) -> bool {
+    matches!(inst, Inst::LoadGlobal { .. } | Inst::LoadPtr { .. })
+}
+
+/// Whether `inst` acquires a lock (drives the Section 4.2 deadlock
+/// optimization).
+pub fn is_lock_acquisition(inst: &Inst) -> bool {
+    matches!(inst, Inst::Lock { .. } | Inst::TimedLock { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{GlobalId, LocalId, LockId, Operand, Reg};
+
+    fn store_global() -> Inst {
+        Inst::StoreGlobal {
+            global: GlobalId(0),
+            src: Operand::Const(1),
+        }
+    }
+
+    #[test]
+    fn register_ops_always_safe() {
+        for policy in RegionPolicy::ALL {
+            assert_eq!(
+                classify(
+                    &Inst::Copy {
+                        dst: Reg(0),
+                        src: Operand::Const(1)
+                    },
+                    policy
+                ),
+                InstClass::Safe
+            );
+        }
+    }
+
+    #[test]
+    fn shared_writes_destroy_except_buffered() {
+        assert_eq!(
+            classify(&store_global(), RegionPolicy::Strict),
+            InstClass::Destroying(DestroyReason::SharedWrite)
+        );
+        assert_eq!(
+            classify(&store_global(), RegionPolicy::Compensated),
+            InstClass::Destroying(DestroyReason::SharedWrite)
+        );
+        assert_eq!(
+            classify(&store_global(), RegionPolicy::BufferedWrites),
+            InstClass::Safe
+        );
+    }
+
+    #[test]
+    fn stack_writes_destroy_figure_3b() {
+        let stl = Inst::StoreLocal {
+            local: LocalId(0),
+            src: Operand::Const(0),
+        };
+        assert_eq!(
+            classify(&stl, RegionPolicy::Compensated),
+            InstClass::Destroying(DestroyReason::StackWrite)
+        );
+        assert_eq!(classify(&stl, RegionPolicy::BufferedWrites), InstClass::Safe);
+    }
+
+    #[test]
+    fn locks_compensable_under_default_policy() {
+        let lock = Inst::Lock { lock: LockId(0) };
+        assert_eq!(
+            classify(&lock, RegionPolicy::Strict),
+            InstClass::Destroying(DestroyReason::UncompensatedResource)
+        );
+        assert_eq!(
+            classify(&lock, RegionPolicy::Compensated),
+            InstClass::Compensable(CompensationKind::LockAcquisition)
+        );
+        assert!(is_lock_acquisition(&lock));
+    }
+
+    #[test]
+    fn alloc_compensable_free_never() {
+        let alloc = Inst::Alloc {
+            dst: Reg(0),
+            words: Operand::Const(1),
+        };
+        assert_eq!(
+            classify(&alloc, RegionPolicy::Compensated),
+            InstClass::Compensable(CompensationKind::Allocation)
+        );
+        let free = Inst::Free {
+            ptr: Operand::Reg(Reg(0)),
+        };
+        for policy in RegionPolicy::ALL {
+            assert_eq!(
+                classify(&free, policy),
+                InstClass::Destroying(DestroyReason::Free)
+            );
+        }
+    }
+
+    #[test]
+    fn io_and_calls_always_destroy() {
+        let out = Inst::Output {
+            label: "x".into(),
+            value: Operand::Const(0),
+        };
+        let call = Inst::Call {
+            dst: None,
+            callee: conair_ir::FuncId(0),
+            args: vec![],
+        };
+        for policy in RegionPolicy::ALL {
+            assert_eq!(
+                classify(&out, policy),
+                InstClass::Destroying(DestroyReason::Io)
+            );
+            assert_eq!(
+                classify(&call, policy),
+                InstClass::Destroying(DestroyReason::Call)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_reads_flagged() {
+        let ld = Inst::LoadGlobal {
+            dst: Reg(0),
+            global: GlobalId(0),
+        };
+        assert_eq!(classify(&ld, RegionPolicy::Compensated), InstClass::SharedRead);
+        assert!(is_shared_read(&ld));
+        assert!(classify(&ld, RegionPolicy::Compensated).is_region_member());
+        assert!(!classify(&store_global(), RegionPolicy::Compensated).is_region_member());
+    }
+}

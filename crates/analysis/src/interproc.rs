@@ -1,0 +1,474 @@
+//! Inter-procedural reexecution (paper Section 4.3).
+//!
+//! A failure site `f` inside function `foo` is *promoted* to inter-procedural
+//! recovery when all three conditions hold:
+//!
+//! 1. No idempotency-destroying operation on **any** path from `foo`'s
+//!    entrance to `f` (then the recovery attempt is always inter-procedural
+//!    regardless of the path taken);
+//! 2. for non-deadlock sites, at least one parameter of `foo` is on `f`'s
+//!    backward slice (a *critical parameter* — the only way a caller can
+//!    affect the outcome at `f`, since regions contain no shared writes);
+//! 3. at least one path from the entrance to `f` is unrecoverable (no
+//!    shared read on the slice / no lock acquisition on that path) — the
+//!    situation where inter-procedural recovery is needed most.
+//!
+//! For a promoted site, the intra-procedural reexecution point at `foo`'s
+//! entrance (`REintra`) is removed and the backward search of Section 3.2.2
+//! is re-run in every caller, starting at the call site. Promotion recurses
+//! up to `max_depth` callers (default 3). If at the depth limit a clean
+//! path still reaches the outermost caller's entrance, the attempt is
+//! abandoned and the point returns to `foo`'s entrance (the paper notes
+//! this case is extremely rare).
+
+use std::collections::HashSet;
+
+use conair_ir::{Cfg, FuncId, Function, Inst, InstPos, Loc, Module, SiteId};
+
+use crate::classify::{is_lock_acquisition, is_shared_read, RegionPolicy};
+use crate::region::{find_reexec_points, ReexecPoint, SiteRegion};
+use crate::slicing::RegionSlice;
+
+/// Configuration for inter-procedural promotion.
+#[derive(Debug, Clone, Copy)]
+pub struct InterprocConfig {
+    /// Maximum promotion depth (paper default: 3 — rollback reaches at most
+    /// the callers' callers' caller).
+    pub max_depth: usize,
+    /// Region policy in effect.
+    pub policy: RegionPolicy,
+}
+
+impl Default for InterprocConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 3,
+            policy: RegionPolicy::default(),
+        }
+    }
+}
+
+/// The outcome of promoting one failure site.
+#[derive(Debug, Clone)]
+pub struct Promotion {
+    /// The promoted site.
+    pub site: SiteId,
+    /// Reexecution points in caller functions (module coordinates).
+    pub caller_points: Vec<Loc>,
+    /// How many caller levels the promotion climbed (1 = direct caller).
+    pub depth: usize,
+}
+
+/// Checks condition (3): is some entrance→site path unrecoverable?
+///
+/// For non-deadlock sites an unrecoverable path is one containing no shared
+/// read; for deadlock sites, one containing no lock acquisition. The check
+/// walks backwards from the site looking for a path to the entrance that
+/// avoids every "qualifying" instruction. Condition (1) guarantees no
+/// destroying instructions exist on any such path.
+pub fn exists_unrecoverable_path(
+    func: &Function,
+    cfg: &Cfg,
+    site_pos: InstPos,
+    is_deadlock: bool,
+) -> bool {
+    let qualifies = |inst: &Inst| {
+        if is_deadlock {
+            is_lock_acquisition(inst)
+        } else {
+            is_shared_read(inst)
+        }
+    };
+    // Backward DFS from the site's predecessors avoiding qualifying
+    // instructions; success = reaching the entrance.
+    let mut visited: HashSet<InstPos> = HashSet::new();
+    let mut work = cfg.inst_predecessors(func, site_pos);
+    if work.is_empty() {
+        return true; // the site is the first instruction: the empty path
+    }
+    while let Some(pos) = work.pop() {
+        if !visited.insert(pos) {
+            continue;
+        }
+        let inst = &func.block(pos.block).insts[pos.inst];
+        if qualifies(inst) {
+            continue; // abandon paths through qualifying instructions
+        }
+        let preds = cfg.inst_predecessors(func, pos);
+        if preds.is_empty() {
+            return true;
+        }
+        work.extend(preds);
+    }
+    false
+}
+
+/// Decides whether `site` (already analyzed intra-procedurally) satisfies
+/// the three promotion conditions.
+pub fn should_promote(
+    func: &Function,
+    cfg: &Cfg,
+    site_pos: InstPos,
+    region: &SiteRegion,
+    slice: &RegionSlice,
+    is_deadlock: bool,
+    num_params: usize,
+) -> bool {
+    // Condition (1).
+    if !region.all_paths_clean || !region.reaches_entry {
+        return false;
+    }
+    // Condition (2) — non-deadlock sites need a critical parameter.
+    if !is_deadlock {
+        let has_critical_param = slice.open_regs.iter().any(|r| r.index() < num_params);
+        if !has_critical_param {
+            return false;
+        }
+    }
+    // Condition (3).
+    exists_unrecoverable_path(func, cfg, site_pos, is_deadlock)
+}
+
+/// Runs caller-side reexecution-point discovery for a promoted site.
+///
+/// Returns `None` when the promotion must be abandoned (a clean path still
+/// reaches the entrance at the depth limit) — the caller then falls back to
+/// the intra-procedural entry point.
+pub fn promote_site(
+    module: &Module,
+    site: SiteId,
+    site_func: FuncId,
+    config: &InterprocConfig,
+) -> Option<Promotion> {
+    let mut points: Vec<Loc> = Vec::new();
+    let mut max_reached_depth = 0;
+    // Frontier of (function, position-of-interest) pairs whose callers we
+    // must analyze. Initially: the promoted function (analysis starts at
+    // each call site of it).
+    let mut frontier: Vec<FuncId> = vec![site_func];
+    let mut seen_funcs: HashSet<FuncId> = HashSet::new();
+    seen_funcs.insert(site_func);
+
+    for depth in 1..=config.max_depth {
+        let mut next_frontier: Vec<FuncId> = Vec::new();
+        let mut any_call_site = false;
+        for &callee in &frontier {
+            for call_loc in module.call_sites_of(callee) {
+                any_call_site = true;
+                let caller = module.func(call_loc.func);
+                let cfg = Cfg::build(caller);
+                let call_pos = InstPos::new(call_loc.block, call_loc.inst);
+                // Backward search from the call site (the paper starts at
+                // the instruction pushing the critical parameter / the
+                // invocation — in this IR both are the call instruction).
+                let region = find_reexec_points(caller, &cfg, call_pos, config.policy);
+                // Can the promotion climb past this caller? Only if every
+                // path is clean, the caller itself has callers, we have not
+                // visited it (cycles), and depth budget remains.
+                let caller_has_callers = !module.call_sites_of(call_loc.func).is_empty();
+                let climb = region.all_paths_clean
+                    && caller_has_callers
+                    && !seen_funcs.contains(&call_loc.func);
+                for p in &region.points {
+                    if p.at_entry && climb {
+                        if depth == config.max_depth {
+                            // A clean path still reaches the entrance at
+                            // the depth limit: abandon the whole promotion
+                            // (see module docs; the paper notes this case
+                            // is extremely rare).
+                            return None;
+                        }
+                        // All paths continue upward; no point here.
+                        continue;
+                    }
+                    points.push(Loc::new(call_loc.func, p.pos.block, p.pos.inst));
+                }
+                if climb && depth < config.max_depth {
+                    seen_funcs.insert(call_loc.func);
+                    next_frontier.push(call_loc.func);
+                }
+                max_reached_depth = depth;
+            }
+        }
+        if !any_call_site {
+            break;
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    if points.is_empty() {
+        // The function is never called (e.g. a thread entry): promotion is
+        // meaningless; keep intra-procedural recovery.
+        return None;
+    }
+    points.sort();
+    points.dedup();
+    Some(Promotion {
+        site,
+        caller_points: points,
+        depth: max_reached_depth,
+    })
+}
+
+/// Convenience: the reexecution points a promoted site abandons (its
+/// intra-procedural entry points).
+pub fn abandoned_entry_points(region: &SiteRegion) -> Vec<ReexecPoint> {
+    region.points.iter().copied().filter(|p| p.at_entry).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{BlockId, CmpKind, FuncBuilder, GlobalId, ModuleBuilder, Operand};
+
+    use crate::slicing::slice_in_region;
+
+    /// The MozillaXP shape (paper Figure 10): `GetState(thd)` dereferences
+    /// its parameter; the caller loads the shared pointer. The site must be
+    /// promoted and the caller point must cover the shared load.
+    fn mozilla_like_module() -> (Module, FuncId, InstPos) {
+        let mut mb = ModuleBuilder::new("moz");
+        let mthd = mb.global("mThd", 0);
+        let get_state = mb.declare_function("GetState", 1);
+
+        // GetState(thd): return thd->state & MASK
+        let mut fb = FuncBuilder::new("GetState", 1);
+        let p = fb.param(0);
+        let v = fb.load_ptr(p); // the segfault site, bb0:0
+        let masked = fb.binop(conair_ir::BinOpKind::And, v, 0xff);
+        fb.ret_value(masked);
+        mb.define_function(get_state, fb.finish());
+
+        // Get(): tmp = GetState(mThd)
+        let mut fb = FuncBuilder::new("Get", 0);
+        let ptr = fb.load_global(mthd);
+        let _tmp = fb.call(get_state, vec![Operand::Reg(ptr)]);
+        fb.ret();
+        mb.function(fb.finish());
+
+        (mb.finish(), get_state, InstPos::new(BlockId(0), 0))
+    }
+
+    #[test]
+    fn mozilla_site_satisfies_conditions() {
+        let (module, get_state, site_pos) = mozilla_like_module();
+        let func = module.func(get_state);
+        let cfg = Cfg::build(func);
+        let region = find_reexec_points(func, &cfg, site_pos, RegionPolicy::Compensated);
+        let slice = slice_in_region(func, &region, site_pos);
+        assert!(region.all_paths_clean, "condition 1");
+        assert!(
+            slice.open_regs.iter().any(|r| r.index() < 1),
+            "condition 2: the parameter is critical"
+        );
+        assert!(
+            exists_unrecoverable_path(func, &cfg, site_pos, false),
+            "condition 3: the intra path has no shared read"
+        );
+        assert!(should_promote(
+            func,
+            &cfg,
+            site_pos,
+            &region,
+            &slice,
+            false,
+            func.num_params
+        ));
+    }
+
+    #[test]
+    fn mozilla_promotion_lands_in_caller() {
+        let (module, get_state, _) = mozilla_like_module();
+        let promo = promote_site(&module, SiteId(0), get_state, &InterprocConfig::default())
+            .expect("promotes");
+        assert_eq!(promo.depth, 1);
+        assert_eq!(promo.caller_points.len(), 1);
+        let p = promo.caller_points[0];
+        let caller = module.func_by_name("Get").unwrap();
+        assert_eq!(p.func, caller);
+        // The caller point is the entrance of Get (the global load of mThd
+        // is a shared *read*, not destroying) — rollback re-reads mThd.
+        assert_eq!((p.block, p.inst), (BlockId(0), 0));
+    }
+
+    #[test]
+    fn site_with_shared_read_on_all_paths_not_promoted() {
+        // tmp = *(&g): the pointer load is preceded by a shared read on the
+        // only path, so condition 3 fails.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 0);
+        let mut fb = FuncBuilder::new("leaf", 0);
+        let p = fb.load_global(g); // shared read on every path
+        let v = fb.load_ptr(p); // site at index 1
+        let c = fb.cmp(CmpKind::Ge, v, 0);
+        fb.assert(c, "v");
+        fb.ret();
+        let leaf = mb.function(fb.finish());
+        let module = mb.finish();
+        let func = module.func(leaf);
+        let cfg = Cfg::build(func);
+        let site_pos = InstPos::new(BlockId(0), 1);
+        let region = find_reexec_points(func, &cfg, site_pos, RegionPolicy::Compensated);
+        let slice = slice_in_region(func, &region, site_pos);
+        assert!(!should_promote(
+            func,
+            &cfg,
+            site_pos,
+            &region,
+            &slice,
+            false,
+            0
+        ));
+    }
+
+    #[test]
+    fn destroying_op_blocks_condition_1() {
+        let mut fb = FuncBuilder::new("leaf", 1);
+        fb.store_global(GlobalId(0), 1); // destroying on the only path
+        let v = fb.load_ptr(fb.param(0));
+        let c = fb.cmp(CmpKind::Ge, v, 0);
+        fb.assert(c, "v");
+        fb.ret();
+        let func = fb.finish();
+        let cfg = Cfg::build(&func);
+        let site_pos = InstPos::new(BlockId(0), 1);
+        let region = find_reexec_points(&func, &cfg, site_pos, RegionPolicy::Compensated);
+        let slice = slice_in_region(&func, &region, site_pos);
+        assert!(!region.all_paths_clean);
+        assert!(!should_promote(
+            &func,
+            &cfg,
+            site_pos,
+            &region,
+            &slice,
+            false,
+            1
+        ));
+    }
+
+    #[test]
+    fn never_called_function_is_not_promoted() {
+        let (mut module, get_state, _) = {
+            let mut mb = ModuleBuilder::new("m");
+            let f = mb.declare_function("leaf", 1);
+            let mut fb = FuncBuilder::new("leaf", 1);
+            let v = fb.load_ptr(fb.param(0));
+            fb.ret_value(v);
+            mb.define_function(f, fb.finish());
+            (mb.finish(), f, ())
+        };
+        // No caller exists.
+        module.name = "m".into();
+        assert!(promote_site(
+            &module,
+            SiteId(0),
+            get_state,
+            &InterprocConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn promotion_climbs_multiple_levels() {
+        // leaf <- mid <- top, everything clean: points land at `top`'s
+        // entrance (depth 2 < max 3).
+        let mut mb = ModuleBuilder::new("m");
+        let leaf = mb.declare_function("leaf", 1);
+        let mid = mb.declare_function("mid", 1);
+        let g = mb.global("p", 0);
+
+        let mut fb = FuncBuilder::new("leaf", 1);
+        let v = fb.load_ptr(fb.param(0));
+        fb.ret_value(v);
+        mb.define_function(leaf, fb.finish());
+
+        let mut fb = FuncBuilder::new("mid", 1);
+        let r = fb.call(leaf, vec![Operand::Reg(fb.param(0))]);
+        fb.ret_value(r);
+        mb.define_function(mid, fb.finish());
+
+        let mut fb = FuncBuilder::new("top", 0);
+        let ptr = fb.load_global(g);
+        let _ = fb.call(mid, vec![Operand::Reg(ptr)]);
+        fb.ret();
+        mb.function(fb.finish());
+
+        let module = mb.finish();
+        let promo = promote_site(&module, SiteId(0), leaf, &InterprocConfig::default())
+            .expect("promotes");
+        assert_eq!(promo.depth, 2);
+        let top = module.func_by_name("top").unwrap();
+        assert!(promo.caller_points.iter().any(|l| l.func == top));
+        // `mid` is fully clean, so no point remains there.
+        assert!(promo.caller_points.iter().all(|l| l.func == top));
+    }
+
+    #[test]
+    fn depth_limit_abandons_clean_chains() {
+        // A chain longer than max_depth with every level clean: promotion
+        // is abandoned (returns None).
+        let mut mb = ModuleBuilder::new("m");
+        let leaf = mb.declare_function("leaf", 1);
+        let mut prev = leaf;
+        for i in 0..4 {
+            let name = format!("level{i}");
+            let id = mb.declare_function(&name, 1);
+            let mut fb = FuncBuilder::new(&name, 1);
+            let r = fb.call(prev, vec![Operand::Reg(fb.param(0))]);
+            fb.ret_value(r);
+            mb.define_function(id, fb.finish());
+            prev = id;
+        }
+        let mut fb = FuncBuilder::new("leaf", 1);
+        let v = fb.load_ptr(fb.param(0));
+        fb.ret_value(v);
+        mb.define_function(leaf, fb.finish());
+        let module = mb.finish();
+        assert!(promote_site(&module, SiteId(0), leaf, &InterprocConfig::default()).is_none());
+    }
+
+    #[test]
+    fn unrecoverable_path_detection_deadlock() {
+        // lock(L0) on one arm only; the other arm has no lock acquisition.
+        let mut fb = FuncBuilder::new("f", 1);
+        let locked = fb.new_block();
+        let bare = fb.new_block();
+        let merge = fb.new_block();
+        fb.branch(fb.param(0), locked, bare);
+        fb.switch_to(locked);
+        fb.lock(conair_ir::LockId(0));
+        fb.jump(merge);
+        fb.switch_to(bare);
+        fb.nop();
+        fb.jump(merge);
+        fb.switch_to(merge);
+        fb.lock(conair_ir::LockId(1)); // site
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(3), 0);
+        assert!(exists_unrecoverable_path(&f, &cfg, site, true));
+
+        // With the bare arm also locking, no unrecoverable path remains.
+        let mut fb = FuncBuilder::new("g", 1);
+        let locked = fb.new_block();
+        let bare = fb.new_block();
+        let merge = fb.new_block();
+        fb.branch(fb.param(0), locked, bare);
+        fb.switch_to(locked);
+        fb.lock(conair_ir::LockId(0));
+        fb.jump(merge);
+        fb.switch_to(bare);
+        fb.lock(conair_ir::LockId(2));
+        fb.jump(merge);
+        fb.switch_to(merge);
+        fb.lock(conair_ir::LockId(1));
+        fb.ret();
+        let g = fb.finish();
+        let cfg = Cfg::build(&g);
+        assert!(!exists_unrecoverable_path(&g, &cfg, site, true));
+    }
+}

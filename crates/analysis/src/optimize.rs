@@ -1,0 +1,169 @@
+//! Removal of statically-unrecoverable failure sites (paper Section 4.2).
+//!
+//! * **Deadlock sites** (Figure 7a/7b): recovery must release at least one
+//!   lock held by the failing thread, so a deadlock site is recoverable
+//!   only if at least one of its reexecution regions contains another lock
+//!   acquisition. Otherwise the timed lock is reverted to a plain lock and
+//!   no recovery code is emitted.
+//! * **Non-deadlock sites** (Figure 7c/7d): reexecution can change the
+//!   failure outcome only if the region re-reads some shared memory that
+//!   can affect the site, i.e. the site's region-restricted backward slice
+//!   contains a shared read. Otherwise reexecution is guaranteed to fail
+//!   again and the site is removed.
+
+use conair_ir::{Function, InstPos};
+
+use crate::classify::is_lock_acquisition;
+use crate::region::SiteRegion;
+use crate::slicing::RegionSlice;
+
+/// Why a site was kept or removed by the optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverabilityVerdict {
+    /// The site keeps its recovery code.
+    Recoverable,
+    /// Deadlock site with no lock acquisition in any reexecution region
+    /// (Figure 7a).
+    NoLockInRegion,
+    /// Non-deadlock site whose slice contains no in-region shared read
+    /// (Figure 7c).
+    NoSharedReadOnSlice,
+}
+
+impl RecoverabilityVerdict {
+    /// Whether recovery code is emitted for the site.
+    pub fn is_recoverable(self) -> bool {
+        matches!(self, RecoverabilityVerdict::Recoverable)
+    }
+}
+
+/// Decides recoverability of a *deadlock* site.
+pub fn judge_deadlock_site(
+    func: &Function,
+    region: &SiteRegion,
+    site_pos: InstPos,
+) -> RecoverabilityVerdict {
+    let has_lock = region.region_contains(func, site_pos, is_lock_acquisition);
+    if has_lock {
+        RecoverabilityVerdict::Recoverable
+    } else {
+        RecoverabilityVerdict::NoLockInRegion
+    }
+}
+
+/// Decides recoverability of a *non-deadlock* site from its slice.
+pub fn judge_non_deadlock_site(slice: &RegionSlice) -> RecoverabilityVerdict {
+    if slice.has_shared_read {
+        RecoverabilityVerdict::Recoverable
+    } else {
+        RecoverabilityVerdict::NoSharedReadOnSlice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{BlockId, Cfg, CmpKind, FuncBuilder, GlobalId, LockId};
+
+    use crate::classify::RegionPolicy;
+    use crate::region::find_reexec_points;
+    use crate::slicing::slice_in_region;
+
+    /// Figure 7a: `Reexecution: lock(&L)` — no other lock in the region,
+    /// unrecoverable.
+    #[test]
+    fn figure_7a_lone_lock_unrecoverable() {
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.nop();
+        fb.lock(LockId(0)); // the site, index 1
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(0), 1);
+        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        assert_eq!(
+            judge_deadlock_site(&f, &region, site),
+            RecoverabilityVerdict::NoLockInRegion
+        );
+    }
+
+    /// Figure 7b: `lock(&L0); lock(&L)` — region contains L0's
+    /// acquisition, recoverable.
+    #[test]
+    fn figure_7b_nested_lock_recoverable() {
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.lock(LockId(0));
+        fb.lock(LockId(1)); // the site, index 1
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(0), 1);
+        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        assert_eq!(
+            judge_deadlock_site(&f, &region, site),
+            RecoverabilityVerdict::Recoverable
+        );
+    }
+
+    /// A destroying op *between* the two locks breaks recoverability (the
+    /// HawkNL thread-1 shape, Figure 11: `lock(nlock); driver->Close();
+    /// lock(slock)`).
+    #[test]
+    fn destroying_op_between_locks_unrecoverable() {
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.lock(LockId(0));
+        fb.store_global(GlobalId(0), 1); // driver->Close() analog
+        fb.lock(LockId(1)); // the site, index 2
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(0), 2);
+        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        assert_eq!(
+            judge_deadlock_site(&f, &region, site),
+            RecoverabilityVerdict::NoLockInRegion
+        );
+    }
+
+    /// Figure 7c vs 7d for non-deadlock sites.
+    #[test]
+    fn non_deadlock_judgement_follows_slice() {
+        // 7d: shared read on slice.
+        let mut fb = FuncBuilder::new("f", 0);
+        let tmp = fb.load_global(GlobalId(0));
+        let c = fb.cmp(CmpKind::Ne, tmp, 0);
+        fb.assert(c, "tmp"); // site
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(0), 2);
+        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        let slice = slice_in_region(&f, &region, site);
+        assert_eq!(
+            judge_non_deadlock_site(&slice),
+            RecoverabilityVerdict::Recoverable
+        );
+
+        // 7c: constant condition, nothing shared on the slice.
+        let mut fb = FuncBuilder::new("g", 0);
+        let k = fb.copy(1);
+        fb.assert(k, "k"); // site
+        fb.ret();
+        let g = fb.finish();
+        let cfg = Cfg::build(&g);
+        let site = InstPos::new(BlockId(0), 1);
+        let region = find_reexec_points(&g, &cfg, site, RegionPolicy::Compensated);
+        let slice = slice_in_region(&g, &region, site);
+        assert_eq!(
+            judge_non_deadlock_site(&slice),
+            RecoverabilityVerdict::NoSharedReadOnSlice
+        );
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(RecoverabilityVerdict::Recoverable.is_recoverable());
+        assert!(!RecoverabilityVerdict::NoLockInRegion.is_recoverable());
+        assert!(!RecoverabilityVerdict::NoSharedReadOnSlice.is_recoverable());
+    }
+}

@@ -1,0 +1,342 @@
+//! Reexecution-point identification: the backward depth-first search of
+//! paper Section 3.2.2.
+//!
+//! For a failure site `f`, the search walks the instruction-level CFG
+//! backwards from `f`'s predecessors. Whenever it encounters an
+//! idempotency-destroying instruction `s`, the position *right after* `s`
+//! becomes a reexecution point and that path is abandoned. Whenever it
+//! reaches the entrance of the containing function, the entrance becomes a
+//! reexecution point. Every instruction visited in between belongs to some
+//! reexecution region of `f` — the set the Section 4.2 optimization
+//! inspects. The complexity is linear in the static function size.
+
+use std::collections::HashSet;
+
+use conair_ir::{Cfg, Function, InstPos, Loc, SiteId};
+
+use crate::classify::{classify, InstClass, RegionPolicy};
+
+/// A reexecution point for one or more failure sites.
+///
+/// The point denotes "insert a checkpoint *before* the instruction at
+/// `pos`". Points are intra-procedural positions; [`crate::interproc`]
+/// lifts them into callers where Section 4.3 applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReexecPoint {
+    /// Checkpoint goes immediately before this position.
+    pub pos: InstPos,
+    /// True when the point is the function entrance (paper: "when
+    /// encountering the entrance of the function containing f").
+    pub at_entry: bool,
+}
+
+/// The result of the backward search for one failure site.
+#[derive(Debug, Clone, Default)]
+pub struct SiteRegion {
+    /// All reexecution points found, deduplicated.
+    pub points: Vec<ReexecPoint>,
+    /// Every instruction position visited between a reexecution point and
+    /// the site — i.e. positions lying inside at least one reexecution
+    /// region of the site. Includes the site itself.
+    pub region: HashSet<InstPos>,
+    /// True when at least one backward path reached the function entrance.
+    pub reaches_entry: bool,
+    /// True when *no* backward path met an idempotency-destroying
+    /// instruction — i.e. there is no destroying operation on any path
+    /// between the entrance and the site (inter-procedural condition (1),
+    /// Section 4.3).
+    pub all_paths_clean: bool,
+}
+
+impl SiteRegion {
+    /// True if any instruction in the region (site excluded) satisfies
+    /// `pred`.
+    pub fn region_contains(
+        &self,
+        func: &Function,
+        site_pos: InstPos,
+        mut pred: impl FnMut(&conair_ir::Inst) -> bool,
+    ) -> bool {
+        self.region
+            .iter()
+            .filter(|&&p| p != site_pos)
+            .any(|p| pred(&func.block(p.block).insts[p.inst]))
+    }
+}
+
+/// Computes the reexecution points and region of the failure site at
+/// `site_pos` in `func` under `policy` (paper Section 3.2.2).
+///
+/// The search starts at the site's predecessors: the site instruction
+/// itself is *the end of the region* and is never classified (a deadlock
+/// site is a lock acquisition, yet its own acquisition is what fails).
+pub fn find_reexec_points(
+    func: &Function,
+    cfg: &Cfg,
+    site_pos: InstPos,
+    policy: RegionPolicy,
+) -> SiteRegion {
+    let mut out = SiteRegion {
+        all_paths_clean: true,
+        ..SiteRegion::default()
+    };
+    out.region.insert(site_pos);
+
+    let mut points: HashSet<ReexecPoint> = HashSet::new();
+    let mut visited: HashSet<InstPos> = HashSet::new();
+    let mut work: Vec<InstPos> = cfg.inst_predecessors(func, site_pos);
+
+    // The site might be the first instruction of the entry block: the
+    // entrance itself is then the (only) reexecution point.
+    if work.is_empty() {
+        points.insert(ReexecPoint {
+            pos: site_pos,
+            at_entry: true,
+        });
+        out.reaches_entry = true;
+    }
+
+    while let Some(pos) = work.pop() {
+        if !visited.insert(pos) {
+            continue;
+        }
+        let inst = &func.block(pos.block).insts[pos.inst];
+        match classify(inst, policy) {
+            InstClass::Destroying(_) => {
+                // Reexecution point right after the destroying instruction.
+                points.insert(ReexecPoint {
+                    pos: InstPos::new(pos.block, pos.inst + 1),
+                    at_entry: false,
+                });
+                out.all_paths_clean = false;
+            }
+            _ => {
+                out.region.insert(pos);
+                let preds = cfg.inst_predecessors(func, pos);
+                if preds.is_empty() {
+                    // Reached the entrance of the function.
+                    points.insert(ReexecPoint {
+                        pos: InstPos::new(conair_ir::BlockId(0), 0),
+                        at_entry: true,
+                    });
+                    out.reaches_entry = true;
+                } else {
+                    work.extend(preds);
+                }
+            }
+        }
+    }
+
+    let mut points: Vec<ReexecPoint> = points.into_iter().collect();
+    points.sort();
+    out.points = points;
+    out
+}
+
+/// Region analysis results for every site of a function, plus the location
+/// mapping back to the module.
+#[derive(Debug, Clone)]
+pub struct RegionAnalysis {
+    /// Per-site regions, indexed by [`SiteId`].
+    pub regions: Vec<SiteRegion>,
+    /// Per-site locations (original module coordinates).
+    pub site_locs: Vec<Loc>,
+}
+
+impl RegionAnalysis {
+    /// The region of `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn region(&self, site: SiteId) -> &SiteRegion {
+        &self.regions[site.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{BlockId, CmpKind, FuncBuilder};
+
+    fn analyze_last_assert(func: &Function) -> (SiteRegion, InstPos) {
+        let cfg = Cfg::build(func);
+        // Find the assert.
+        let mut site = None;
+        for (bid, block) in func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if matches!(inst, conair_ir::Inst::Assert { .. }) {
+                    site = Some(InstPos::new(bid, i));
+                }
+            }
+        }
+        let site = site.expect("function under test has an assert");
+        (
+            find_reexec_points(func, &cfg, site, RegionPolicy::Compensated),
+            site,
+        )
+    }
+
+    /// Straight-line: g-store, then loads and an assert. The point must sit
+    /// right after the store.
+    #[test]
+    fn point_after_destroying_inst() {
+        let mut fb = FuncBuilder::new("f", 0);
+        // Use builder against a fake global id 0 — classification is
+        // structural, the module is not needed.
+        let g = conair_ir::GlobalId(0);
+        let v0 = fb.load_global(g);
+        fb.store_global(g, v0); // destroying, index 1
+        let v1 = fb.load_global(g); // index 2
+        let c = fb.cmp(CmpKind::Gt, v1, 0); // index 3
+        fb.assert(c, "x"); // index 4 — the site
+        fb.ret();
+        let f = fb.finish();
+        let (region, site) = analyze_last_assert(&f);
+        assert_eq!(region.points.len(), 1);
+        assert_eq!(region.points[0].pos, InstPos::new(BlockId(0), 2));
+        assert!(!region.points[0].at_entry);
+        assert!(!region.all_paths_clean);
+        assert!(!region.reaches_entry);
+        // Region: the site plus the two instructions after the store.
+        assert_eq!(region.region.len(), 3);
+        assert!(region.region.contains(&site));
+    }
+
+    /// No destroying instruction at all: the point is the entrance.
+    #[test]
+    fn point_at_entry_when_clean() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let g = conair_ir::GlobalId(0);
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Gt, v, 0);
+        fb.assert(c, "x");
+        fb.ret();
+        let f = fb.finish();
+        let (region, _) = analyze_last_assert(&f);
+        assert_eq!(region.points.len(), 1);
+        assert!(region.points[0].at_entry);
+        assert_eq!(region.points[0].pos, InstPos::new(BlockId(0), 0));
+        assert!(region.all_paths_clean);
+        assert!(region.reaches_entry);
+    }
+
+    /// Diamond where only one arm contains a destroying instruction: two
+    /// points — one after the store, one at the entrance via the clean arm.
+    #[test]
+    fn branchy_paths_get_per_path_points() {
+        let g = conair_ir::GlobalId(0);
+        let mut fb = FuncBuilder::new("f", 1);
+        let dirty = fb.new_block();
+        let clean = fb.new_block();
+        let merge = fb.new_block();
+        fb.branch(fb.param(0), dirty, clean);
+        fb.switch_to(dirty);
+        fb.store_global(g, 1); // destroying
+        fb.jump(merge);
+        fb.switch_to(clean);
+        fb.nop();
+        fb.jump(merge);
+        fb.switch_to(merge);
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Gt, v, 0);
+        fb.assert(c, "x");
+        fb.ret();
+        let f = fb.finish();
+        let (region, _) = analyze_last_assert(&f);
+        assert_eq!(region.points.len(), 2, "{:?}", region.points);
+        assert!(region.points.iter().any(|p| p.at_entry));
+        assert!(region
+            .points
+            .iter()
+            .any(|p| !p.at_entry && p.pos == InstPos::new(BlockId(1), 1)));
+        assert!(region.reaches_entry);
+        assert!(!region.all_paths_clean, "the dirty arm is not clean");
+    }
+
+    /// Loops terminate: the backward walk re-visits blocks at most once.
+    #[test]
+    fn loops_terminate_and_reach_entry() {
+        let g = conair_ir::GlobalId(0);
+        let mut fb = FuncBuilder::new("f", 0);
+        // A loop whose body only reads shared state; the induction variable
+        // lives in a stack slot, so the loop back-edge passes a destroying
+        // store.
+        fb.counted_loop(10, |b, _| {
+            let _ = b.load_global(g);
+        });
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Ge, v, 0);
+        fb.assert(c, "x");
+        fb.ret();
+        let f = fb.finish();
+        let (region, _) = analyze_last_assert(&f);
+        // Points exist (after the loop's stack-slot stores) and the search
+        // terminated.
+        assert!(!region.points.is_empty());
+        assert!(!region.all_paths_clean);
+    }
+
+    /// A lock acquisition is inside the region under the compensated
+    /// policy but terminates it under the strict policy.
+    #[test]
+    fn policy_changes_region_extent() {
+        let l = conair_ir::LockId(0);
+        let g = conair_ir::GlobalId(0);
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.lock(l); // index 0
+        let v = fb.load_global(g); // 1
+        let c = fb.cmp(CmpKind::Gt, v, 0); // 2
+        fb.assert(c, "x"); // 3
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(0), 3);
+
+        let comp = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        assert!(comp.points[0].at_entry, "lock admitted, region reaches entry");
+        assert!(comp.region.contains(&InstPos::new(BlockId(0), 0)));
+
+        let strict = find_reexec_points(&f, &cfg, site, RegionPolicy::Strict);
+        assert!(!strict.points[0].at_entry);
+        assert_eq!(strict.points[0].pos, InstPos::new(BlockId(0), 1));
+    }
+
+    /// A site that is the very first instruction: the entrance is the point.
+    #[test]
+    fn site_at_function_start() {
+        let mut fb = FuncBuilder::new("f", 1);
+        fb.assert(fb.param(0), "x");
+        fb.ret();
+        let f = fb.finish();
+        let (region, _) = analyze_last_assert(&f);
+        assert_eq!(region.points.len(), 1);
+        assert!(region.points[0].at_entry);
+    }
+
+    /// Reexecution points of different failure sites never shorten each
+    /// other (paper Section 3.2.2, final paragraph): they are a function of
+    /// the destroying instructions only.
+    #[test]
+    fn points_of_distinct_sites_are_consistent() {
+        let g = conair_ir::GlobalId(0);
+        let mut fb = FuncBuilder::new("f", 0);
+        let v0 = fb.load_global(g);
+        fb.store_global(g, v0); // destroying at index 1
+        let v1 = fb.load_global(g); // 2
+        let c1 = fb.cmp(CmpKind::Gt, v1, 0); // 3
+        fb.assert(c1, "a"); // site A at 4
+        let v2 = fb.load_global(g); // 5
+        let c2 = fb.cmp(CmpKind::Gt, v2, 0); // 6
+        fb.assert(c2, "b"); // site B at 7
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let ra = find_reexec_points(&f, &cfg, InstPos::new(BlockId(0), 4), RegionPolicy::Compensated);
+        let rb = find_reexec_points(&f, &cfg, InstPos::new(BlockId(0), 7), RegionPolicy::Compensated);
+        // Both sites share the point right after the store; site B's region
+        // strictly contains site A's region.
+        assert_eq!(ra.points, rb.points);
+        assert!(ra.region.is_subset(&rb.region));
+    }
+}

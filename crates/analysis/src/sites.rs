@@ -1,0 +1,228 @@
+//! Failure-site identification (paper Section 3.1).
+//!
+//! *Survival mode* identifies every program location where one of the four
+//! common failure types could occur, with no knowledge of any bug.
+//! *Fix mode* is given the location of one observed failure by the user.
+//! Neither requires soundness or completeness: sites that never fail only
+//! cost a checkpoint.
+
+use conair_ir::{FailureKind, Inst, Loc, Module, SiteId};
+
+/// One potential failure site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSite {
+    /// Dense site identity (index into site tables).
+    pub id: SiteId,
+    /// Location of the site instruction in the *original* module.
+    pub loc: Loc,
+    /// The failure type checked at this site.
+    pub kind: FailureKind,
+}
+
+/// How failure sites are selected.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SiteSelection {
+    /// Survival mode: every statically identifiable potential failure site.
+    #[default]
+    Survival,
+    /// Fix mode: only the sites at the named markers. Each marker names the
+    /// first potential failure site at or after it in its basic block (the
+    /// paper's "users inform ConAir of the failure location").
+    Fix(Vec<String>),
+}
+
+/// The site table produced by identification.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTable {
+    /// All sites, indexed by `SiteId`.
+    pub sites: Vec<FailureSite>,
+}
+
+impl SiteTable {
+    /// Looks up a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn site(&self, id: SiteId) -> &FailureSite {
+        &self.sites[id.index()]
+    }
+
+    /// Number of sites of `kind`.
+    pub fn count_of(&self, kind: FailureKind) -> usize {
+        self.sites.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Total number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site at `loc`, if any.
+    pub fn site_at(&self, loc: Loc) -> Option<&FailureSite> {
+        self.sites.iter().find(|s| s.loc == loc)
+    }
+}
+
+/// Returns the failure kind `inst` could manifest, if it is a potential
+/// failure site (paper Section 3.1.1 / Figure 5).
+pub fn potential_failure_kind(inst: &Inst) -> Option<FailureKind> {
+    match inst {
+        Inst::Assert { .. } => Some(FailureKind::AssertionViolation),
+        // Both explicit output oracles and plain output calls are
+        // wrong-output sites; plain outputs lack a checkable condition but
+        // are still hardened ("to better understand the worst-case overhead
+        // ... ConAir treats every output function as a potential failure
+        // site", Section 5).
+        Inst::OutputAssert { .. } | Inst::Output { .. } => Some(FailureKind::WrongOutput),
+        // Every dereference of a heap/global pointer.
+        Inst::LoadPtr { .. } | Inst::StorePtr { .. } => Some(FailureKind::SegFault),
+        // Every lock acquisition under time-out based deadlock detection.
+        Inst::Lock { .. } => Some(FailureKind::Deadlock),
+        // Hardened forms, so the identification can re-run on transformed
+        // modules.
+        Inst::TimedLock { .. } => Some(FailureKind::Deadlock),
+        Inst::FailGuard { kind, .. } => Some(match kind {
+            conair_ir::GuardKind::Assert => FailureKind::AssertionViolation,
+            conair_ir::GuardKind::WrongOutput => FailureKind::WrongOutput,
+        }),
+        _ => None,
+    }
+}
+
+/// Identifies failure sites in `module` according to `selection`.
+///
+/// Site ids are dense and ordered by location, so analyses can use them as
+/// vector indices.
+pub fn identify_sites(module: &Module, selection: &SiteSelection) -> SiteTable {
+    let mut sites = Vec::new();
+    match selection {
+        SiteSelection::Survival => {
+            for (loc, inst) in module.iter_insts() {
+                if let Some(kind) = potential_failure_kind(inst) {
+                    sites.push((loc, kind));
+                }
+            }
+        }
+        SiteSelection::Fix(markers) => {
+            for marker in markers {
+                if let Some(found) = resolve_fix_marker(module, marker) {
+                    sites.push(found);
+                }
+            }
+            sites.sort();
+            sites.dedup();
+        }
+    }
+    SiteTable {
+        sites: sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, (loc, kind))| FailureSite {
+                id: SiteId::from_index(i),
+                loc,
+                kind,
+            })
+            .collect(),
+    }
+}
+
+/// Resolves a fix-mode marker to the first potential failure site at or
+/// after it within the same basic block.
+pub fn resolve_fix_marker(module: &Module, marker: &str) -> Option<(Loc, FailureKind)> {
+    let loc = module.marker(marker)?;
+    let func = module.func(loc.func);
+    let block = func.block(loc.block);
+    for (offset, inst) in block.insts.iter().enumerate().skip(loc.inst) {
+        if let Some(kind) = potential_failure_kind(inst) {
+            return Some((Loc::new(loc.func, loc.block, offset), kind));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+
+    fn sample_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("g", 0);
+        let l = mb.lock("m");
+        let mut fb = FuncBuilder::new("main", 0);
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Gt, v, 0);
+        fb.assert(c, "positive"); // assertion site
+        fb.marker("before_deref");
+        let p = fb.addr_of_global(g);
+        let x = fb.load_ptr(p); // segfault site
+        fb.store_ptr(p, x); // segfault site
+        fb.lock(l); // deadlock site
+        fb.unlock(l);
+        fb.output("result", x); // wrong-output site
+        fb.output_assert(c, "oracle"); // wrong-output site
+        fb.ret();
+        mb.function(fb.finish());
+        mb.finish()
+    }
+
+    #[test]
+    fn survival_finds_all_kinds() {
+        let m = sample_module();
+        let table = identify_sites(&m, &SiteSelection::Survival);
+        assert_eq!(table.count_of(FailureKind::AssertionViolation), 1);
+        assert_eq!(table.count_of(FailureKind::WrongOutput), 2);
+        assert_eq!(table.count_of(FailureKind::SegFault), 2);
+        assert_eq!(table.count_of(FailureKind::Deadlock), 1);
+        assert_eq!(table.len(), 6);
+        // Ids are dense and match indices.
+        for (i, s) in table.sites.iter().enumerate() {
+            assert_eq!(s.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn fix_mode_resolves_marker_to_next_site() {
+        let m = sample_module();
+        let table = identify_sites(
+            &m,
+            &SiteSelection::Fix(vec!["before_deref".into()]),
+        );
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.sites[0].kind, FailureKind::SegFault);
+        // The marker resolves to the LoadPtr (the AddrOfGlobal in between
+        // is not a failure site).
+        let inst = m.inst_at(table.sites[0].loc).unwrap();
+        assert!(matches!(inst, Inst::LoadPtr { .. }));
+    }
+
+    #[test]
+    fn fix_mode_dedupes_and_ignores_unknown_markers() {
+        let m = sample_module();
+        let table = identify_sites(
+            &m,
+            &SiteSelection::Fix(vec![
+                "before_deref".into(),
+                "before_deref".into(),
+                "no_such_marker".into(),
+            ]),
+        );
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn site_lookup_helpers() {
+        let m = sample_module();
+        let table = identify_sites(&m, &SiteSelection::Survival);
+        let first = &table.sites[0];
+        assert_eq!(table.site(first.id), first);
+        assert_eq!(table.site_at(first.loc), Some(first));
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Intra-procedural backward slicing restricted to reexecution regions
+//! (paper Section 4.2, Figure 8).
+//!
+//! ConAir's slicing is much simpler than general program slicing: inside a
+//! reexecution region every write is to a virtual register, and registers
+//! are restored by the checkpoint. So the slice only follows register
+//! def-use chains *within the region*; the moment a value originates from
+//! outside the region (no in-region definition) or from a non-register
+//! location, tracking stops — "slicing outside an idempotent region is
+//! useless for ConAir".
+//!
+//! Control dependence is approximated by including the condition operands
+//! of every branch inside the region: any such branch chooses among the
+//! paths that reach the failure site.
+
+use std::collections::HashSet;
+
+use conair_ir::{Function, Inst, InstPos, Reg};
+
+use crate::region::SiteRegion;
+
+/// The backward slice of a failure site's criterion, restricted to its
+/// reexecution regions.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSlice {
+    /// In-region instructions on the slice.
+    pub insts: HashSet<InstPos>,
+    /// Registers on the slice that have *no* defining instruction inside the
+    /// region — their values flow in from outside (parameters or earlier
+    /// code). Used by the inter-procedural condition (2) of Section 4.3.
+    pub open_regs: HashSet<Reg>,
+    /// True when the slice contains a shared-memory read inside the region —
+    /// the Section 4.2 recoverability condition for non-deadlock sites.
+    pub has_shared_read: bool,
+}
+
+/// The slicing criterion: which operands of the site instruction feed the
+/// failure decision.
+pub fn criterion_regs(site_inst: &Inst) -> Vec<Reg> {
+    match site_inst {
+        Inst::Assert { cond, .. }
+        | Inst::OutputAssert { cond, .. }
+        | Inst::FailGuard { cond, .. } => cond.as_reg().into_iter().collect(),
+        Inst::LoadPtr { ptr, .. } | Inst::StorePtr { ptr, .. } | Inst::PtrGuard { ptr, .. } => {
+            ptr.as_reg().into_iter().collect()
+        }
+        // A wrong-output site without an oracle: the emitted value is the
+        // criterion (hardening it lets a future oracle catch it).
+        Inst::Output { value, .. } => value.as_reg().into_iter().collect(),
+        // Deadlock sites do not use slicing (their optimization looks for
+        // lock acquisitions instead).
+        _ => Vec::new(),
+    }
+}
+
+/// Computes the region-restricted backward slice of the site at `site_pos`.
+///
+/// `region` must be the [`SiteRegion`] computed for that site.
+pub fn slice_in_region(func: &Function, region: &SiteRegion, site_pos: InstPos) -> RegionSlice {
+    let mut slice = RegionSlice::default();
+    let site_inst = &func.block(site_pos.block).insts[site_pos.inst];
+
+    // Worklist of registers whose in-region definitions we must include.
+    let mut pending: Vec<Reg> = criterion_regs(site_inst);
+
+    // Control dependence approximation: conditions of in-region branches.
+    for &pos in &region.region {
+        if pos == site_pos {
+            continue;
+        }
+        if let Inst::Branch { cond, .. } = &func.block(pos.block).insts[pos.inst] {
+            if let Some(r) = cond.as_reg() {
+                pending.push(r);
+            }
+            slice.insts.insert(pos);
+        }
+    }
+
+    let mut seen_regs: HashSet<Reg> = HashSet::new();
+    while let Some(reg) = pending.pop() {
+        if !seen_regs.insert(reg) {
+            continue;
+        }
+        // All in-region definitions of `reg` (the region is small; a linear
+        // scan is fine and avoids building reaching-definition sets).
+        let mut defined_in_region = false;
+        for &pos in &region.region {
+            if pos == site_pos {
+                continue;
+            }
+            let inst = &func.block(pos.block).insts[pos.inst];
+            if inst.def() == Some(reg) {
+                defined_in_region = true;
+                slice.insts.insert(pos);
+                if crate::classify::is_shared_read(inst) {
+                    // Figure 8: a read from non-register memory; inside the
+                    // region this is exactly the shared read the
+                    // optimization is looking for. Tracking stops here —
+                    // the address operand of a pointer load is still
+                    // followed, since it is a register value.
+                    slice.has_shared_read = true;
+                }
+                for used in inst.used_regs() {
+                    pending.push(used);
+                }
+            }
+        }
+        if !defined_in_region {
+            slice.open_regs.insert(reg);
+        }
+    }
+    slice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{BlockId, Cfg, CmpKind, FuncBuilder, GlobalId, LocalId};
+
+    use crate::classify::RegionPolicy;
+    use crate::region::find_reexec_points;
+
+    fn slice_of_last_site(func: &Function) -> (RegionSlice, SiteRegion) {
+        let cfg = Cfg::build(func);
+        let mut site = None;
+        for (bid, block) in func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if (!criterion_regs(inst).is_empty()
+                    || matches!(inst, Inst::Assert { .. } | Inst::LoadPtr { .. }))
+                    && crate::sites::potential_failure_kind(inst).is_some() {
+                        site = Some(InstPos::new(bid, i));
+                    }
+            }
+        }
+        let site = site.expect("test function has a failure site");
+        let region = find_reexec_points(func, &cfg, site, RegionPolicy::Compensated);
+        (slice_in_region(func, &region, site), region)
+    }
+
+    /// Figure 7d: `tmp = global_x; assert(tmp)` — the slice reaches the
+    /// shared read.
+    #[test]
+    fn figure_7d_shared_read_found() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let tmp = fb.load_global(GlobalId(0));
+        let c = fb.cmp(CmpKind::Ne, tmp, 0);
+        fb.assert(c, "tmp");
+        fb.ret();
+        let f = fb.finish();
+        let (slice, _) = slice_of_last_site(&f);
+        assert!(slice.has_shared_read);
+    }
+
+    /// Figure 7c: `tmp = tmp + 1; assert(tmp)` with `tmp` in a stack slot —
+    /// the store truncates the region and the slice sees only the reload,
+    /// which is not a shared read.
+    #[test]
+    fn figure_7c_no_shared_read() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let slot = fb.local();
+        fb.store_local(slot, 5);
+        let t0 = fb.load_local(slot);
+        let t1 = fb.add(t0, 1);
+        fb.store_local(slot, t1); // destroying: region starts after this
+        let t2 = fb.load_local(slot);
+        let c = fb.cmp(CmpKind::Ne, t2, 0);
+        fb.assert(c, "tmp");
+        fb.ret();
+        let f = fb.finish();
+        let (slice, region) = slice_of_last_site(&f);
+        assert!(!slice.has_shared_read);
+        assert!(!region.reaches_entry);
+    }
+
+    /// A segfault site: the slice criterion is the pointer operand; the
+    /// pointer's defining global load is a shared read.
+    #[test]
+    fn pointer_slice_follows_address() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let p = fb.load_global(GlobalId(0)); // the pointer value
+        let _v = fb.load_ptr(p); // the site
+        fb.ret();
+        let f = fb.finish();
+        let (slice, _) = slice_of_last_site(&f);
+        assert!(slice.has_shared_read);
+    }
+
+    /// Parameters show up as open registers (inter-procedural condition 2).
+    #[test]
+    fn params_are_open_regs() {
+        let mut fb = FuncBuilder::new("f", 1);
+        let p = fb.param(0);
+        let masked = fb.binop(conair_ir::BinOpKind::And, p, 0xff);
+        let _v = fb.load_ptr(masked);
+        fb.ret();
+        let f = fb.finish();
+        let (slice, region) = slice_of_last_site(&f);
+        assert!(region.all_paths_clean);
+        assert!(slice.open_regs.contains(&p));
+        // Note `has_shared_read` is false: the pointer itself comes from a
+        // parameter, not from shared memory.
+        assert!(!slice.has_shared_read);
+    }
+
+    /// Branch conditions inside the region join the slice (control
+    /// dependence).
+    #[test]
+    fn branch_conditions_included() {
+        let g = GlobalId(0);
+        let mut fb = FuncBuilder::new("f", 0);
+        let then_bb = fb.new_block();
+        let exit = fb.new_block();
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Gt, v, 0);
+        fb.branch(c, then_bb, exit);
+        fb.switch_to(then_bb);
+        let k = fb.copy(1);
+        fb.assert(k, "const cond");
+        fb.jump(exit);
+        fb.switch_to(exit);
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let site = InstPos::new(BlockId(1), 1);
+        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        let slice = slice_in_region(&f, &region, site);
+        // Even though the assert condition is a constant-copy, the branch
+        // condition's shared read is on the slice.
+        assert!(slice.has_shared_read);
+    }
+
+    /// A load from a stack slot written outside the region stops tracking:
+    /// the value is not a shared read and yields no open reg beyond itself.
+    #[test]
+    fn local_reload_stops_tracking() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let slot: LocalId = fb.local();
+        fb.store_local(slot, 3); // destroying
+        let v = fb.load_local(slot);
+        let c = fb.cmp(CmpKind::Ne, v, 0);
+        fb.assert(c, "v");
+        fb.ret();
+        let f = fb.finish();
+        let (slice, _) = slice_of_last_site(&f);
+        assert!(!slice.has_shared_read);
+        assert!(slice.open_regs.is_empty(), "{:?}", slice.open_regs);
+    }
+}

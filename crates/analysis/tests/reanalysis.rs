@@ -1,0 +1,205 @@
+//! Cross-cutting analysis behaviors: re-analysis of hardened modules,
+//! deadlock-site inter-procedural promotion, and plan stability.
+
+use conair_analysis::{analyze, AnalysisConfig, RegionPolicy};
+use conair_ir::{CmpKind, FailureKind, FuncBuilder, Inst, ModuleBuilder, Operand};
+use conair_transform::harden;
+
+/// Hardened modules can be re-analyzed: guards and timed locks are
+/// classified like the instructions they replaced, so site counts match.
+#[test]
+fn hardened_module_reanalyzes_consistently() {
+    let mut mb = ModuleBuilder::new("re");
+    let g = mb.global("g", 1);
+    let l0 = mb.lock("outer");
+    let l1 = mb.lock("inner");
+    let mut fb = FuncBuilder::new("main", 0);
+    let v = fb.load_global(g);
+    let c = fb.cmp(CmpKind::Gt, v, 0);
+    fb.assert(c, "positive");
+    let p = fb.load_global(g);
+    let _ = fb.load_ptr(p);
+    fb.lock(l0);
+    fb.lock(l1);
+    fb.unlock(l1);
+    fb.unlock(l0);
+    fb.output("x", v);
+    fb.ret();
+    mb.function(fb.finish());
+    let module = mb.finish();
+
+    let plan1 = analyze(&module, &AnalysisConfig::survival_defaults());
+    let hardened = harden(module, &plan1);
+    let plan2 = analyze(&hardened.module, &AnalysisConfig::survival_defaults());
+
+    for kind in FailureKind::ALL {
+        let count = |plan: &conair_analysis::HardeningPlan| {
+            plan.sites.iter().filter(|s| s.site.kind == kind).count()
+        };
+        assert_eq!(
+            count(&plan1),
+            count(&plan2),
+            "{kind} site count must survive hardening"
+        );
+    }
+}
+
+/// A deadlock site inside a helper function with a clean path to the
+/// entrance and no enclosing acquisition is promoted to the caller, where
+/// the enclosing acquisition lives — inter-procedural deadlock recovery.
+#[test]
+fn deadlock_site_promotes_across_call() {
+    let mut mb = ModuleBuilder::new("dl");
+    let l0 = mb.lock("outer");
+    let l1 = mb.lock("inner");
+    let helper = {
+        let mut fb = FuncBuilder::new("take_inner", 0);
+        fb.lock(l1); // clean path to entrance; no enclosing lock here
+        fb.unlock(l1);
+        fb.ret();
+        mb.function(fb.finish())
+    };
+    let mut fb = FuncBuilder::new("caller", 0);
+    fb.lock(l0); // the enclosing acquisition
+    fb.call_void(helper, vec![]);
+    fb.unlock(l0);
+    fb.ret();
+    mb.function(fb.finish());
+    let module = mb.finish();
+
+    let plan = analyze(&module, &AnalysisConfig::survival_defaults());
+    let inner_site = plan
+        .sites
+        .iter()
+        .find(|s| s.site.kind == FailureKind::Deadlock && s.site.loc.func == helper)
+        .expect("the helper acquisition is a site");
+    assert_eq!(inner_site.promoted_depth, Some(1));
+    assert!(inner_site.is_recoverable());
+    // The caller point sits after caller's own lock? No — right after the
+    // *call-preceding* destroying op; here the lock is compensable, so the
+    // point reaches the caller's entrance.
+    let caller = module.func_by_name("caller").unwrap();
+    assert!(inner_site.points.iter().all(|p| p.func == caller));
+
+    // Without inter-procedural analysis the site is unrecoverable
+    // (Figure 7a) and disappears entirely.
+    let mut cfg = AnalysisConfig::survival_defaults();
+    cfg.interproc_depth = None;
+    let plan2 = analyze(&module, &cfg);
+    let inner_site2 = plan2
+        .sites
+        .iter()
+        .find(|s| s.site.kind == FailureKind::Deadlock && s.site.loc.func == helper)
+        .unwrap();
+    assert!(!inner_site2.is_recoverable());
+}
+
+/// Plans are stable under unrelated module growth: appending an isolated
+/// function leaves existing sites' verdicts and points unchanged.
+#[test]
+fn plans_are_local() {
+    let build = |extra: bool| {
+        let mut mb = ModuleBuilder::new("local");
+        let g = mb.global("g", 1);
+        let mut fb = FuncBuilder::new("main", 0);
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Gt, v, 0);
+        fb.assert(c, "positive");
+        fb.ret();
+        mb.function(fb.finish());
+        if extra {
+            let mut fb = FuncBuilder::new("unrelated", 0);
+            fb.store_global(g, 9);
+            fb.output("y", 1);
+            fb.ret();
+            mb.function(fb.finish());
+        }
+        mb.finish()
+    };
+    let small = analyze(&build(false), &AnalysisConfig::survival_defaults());
+    let big = analyze(&build(true), &AnalysisConfig::survival_defaults());
+    // The original assert site keeps identical points.
+    assert_eq!(small.sites[0].points, big.sites[0].points);
+    assert_eq!(small.sites[0].verdict, big.sites[0].verdict);
+    assert!(big.sites.len() > small.sites.len());
+}
+
+/// The strict policy is a subset of the compensated policy: every strict
+/// region instruction is also a compensated region instruction.
+#[test]
+fn strict_regions_are_subsets_of_compensated() {
+    let mut mb = ModuleBuilder::new("sub");
+    let g = mb.global("g", 1);
+    let l = mb.lock("m");
+    let mut fb = FuncBuilder::new("main", 0);
+    fb.lock(l);
+    let v = fb.load_global(g);
+    let c = fb.cmp(CmpKind::Gt, v, 0);
+    fb.assert(c, "positive");
+    fb.unlock(l);
+    fb.ret();
+    mb.function(fb.finish());
+    let module = mb.finish();
+
+    let plan = |policy| {
+        analyze(
+            &module,
+            &AnalysisConfig {
+                policy,
+                ..AnalysisConfig::survival_defaults()
+            },
+        )
+    };
+    let strict = plan(RegionPolicy::Strict);
+    let comp = plan(RegionPolicy::Compensated);
+    // Same sites; regions under strict never exceed compensated.
+    assert_eq!(strict.sites.len(), comp.sites.len());
+    for (s, c) in strict.sites.iter().zip(&comp.sites) {
+        assert!(s.region_size <= c.region_size);
+    }
+}
+
+/// Guards embedded by the transform carry dense, in-range site ids.
+#[test]
+fn transform_site_ids_are_dense_and_valid() {
+    let mut mb = ModuleBuilder::new("ids");
+    let g = mb.global("g", 1);
+    let mut fb = FuncBuilder::new("main", 0);
+    for i in 0..5 {
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Ge, v, 0);
+        fb.assert(c, format!("site {i}"));
+    }
+    fb.ret();
+    mb.function(fb.finish());
+    let module = mb.finish();
+    let plan = analyze(&module, &AnalysisConfig::survival_defaults());
+    let hardened = harden(module, &plan);
+    for (_, inst) in hardened.module.iter_insts() {
+        match inst {
+            Inst::FailGuard { site, .. }
+            | Inst::PtrGuard { site, .. }
+            | Inst::TimedLock { site, .. } => {
+                assert!(site.index() < plan.sites.len());
+                assert_eq!(
+                    hardened.site_kind(*site),
+                    plan.sites[site.index()].site.kind
+                );
+            }
+            Inst::Checkpoint { point } => {
+                assert!(point.index() < plan.checkpoints.len());
+            }
+            _ => {}
+        }
+    }
+    // Sanity: an operand-level check that guards kept their conditions.
+    let guard_conds: Vec<Operand> = hardened
+        .module
+        .iter_insts()
+        .filter_map(|(_, i)| match i {
+            Inst::FailGuard { cond, .. } => Some(*cond),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(guard_conds.len(), 5);
+}

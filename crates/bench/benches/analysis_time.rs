@@ -1,0 +1,38 @@
+//! Criterion bench: static-analysis and transformation time per
+//! application (paper Section 6.4 — "fast enough to process large
+//! real-world multi-threaded software"), with and without the
+//! inter-procedural pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conair::{Conair, ConairConfig};
+use conair_workloads::workload_by_name;
+
+const APPS: [&str; 4] = ["HawkNL", "HTTrack", "MySQL1", "MozillaXP"];
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_analysis");
+    group.sample_size(10);
+    for app in APPS {
+        let w = workload_by_name(app).expect("registered workload");
+        group.bench_with_input(BenchmarkId::new("full", app), &w, |b, w| {
+            let pipeline = Conair::survival();
+            b.iter(|| pipeline.analyze(&w.program.module))
+        });
+        group.bench_with_input(BenchmarkId::new("intra_only", app), &w, |b, w| {
+            let pipeline = Conair::with_config(ConairConfig {
+                interproc_depth: None,
+                ..ConairConfig::default()
+            });
+            b.iter(|| pipeline.analyze(&w.program.module))
+        });
+        group.bench_with_input(BenchmarkId::new("harden", app), &w, |b, w| {
+            let pipeline = Conair::survival();
+            b.iter(|| pipeline.harden(&w.program))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: wall-clock cost of a benign run, original vs hardened
+//! (survival and fix mode) — the Table-3 overhead measurement as a
+//! statistically-sound benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conair::Conair;
+use conair_runtime::{run_scripted, MachineConfig};
+use conair_workloads::workload_by_name;
+
+/// A representative subset spanning sizes: the full set is exercised by the
+/// `table3` binary; Criterion runs need tighter wall-clock budgets.
+const APPS: [&str; 4] = ["FFT", "HawkNL", "MySQL2", "ZSNES"];
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("benign_run");
+    group.sample_size(10);
+    for app in APPS {
+        let w = workload_by_name(app).expect("registered workload");
+        let survival = Conair::survival().harden(&w.program);
+        let fix = Conair::fix(w.fix_markers.clone()).harden(&w.program);
+        let machine = MachineConfig::default();
+
+        group.bench_with_input(BenchmarkId::new("original", app), &w, |b, w| {
+            b.iter(|| run_scripted(&w.program, machine.clone(), w.benign_script.clone(), 7))
+        });
+        group.bench_with_input(BenchmarkId::new("survival", app), &w, |b, w| {
+            b.iter(|| {
+                run_scripted(
+                    &survival.program,
+                    machine.clone(),
+                    w.benign_script.clone(),
+                    7,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fix", app), &w, |b, w| {
+            b.iter(|| run_scripted(&fix.program, machine.clone(), w.benign_script.clone(), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: end-to-end recovery latency under the forced
+//! failure-inducing interleaving (the Table-7 measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conair::Conair;
+use conair_runtime::{run_scripted, MachineConfig};
+use conair_workloads::workload_by_name;
+
+/// Fast-recovery and slow-recovery representatives.
+const APPS: [&str; 4] = ["MySQL2", "SQLite", "HTTrack", "FFT"];
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forced_bug_recovery");
+    group.sample_size(10);
+    for app in APPS {
+        let w = workload_by_name(app).expect("registered workload");
+        let hardened = Conair::survival().harden(&w.program);
+        let machine = MachineConfig {
+            lock_timeout: 200,
+            ..MachineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("survival", app), &w, |b, w| {
+            b.iter(|| {
+                let r = run_scripted(
+                    &hardened.program,
+                    machine.clone(),
+                    w.bug_script.clone(),
+                    11,
+                );
+                assert!(r.outcome.is_completed());
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Exports the quantitative evaluation (Tables 3, 4, 7) as JSON for
+//! plotting scripts and CI regression checks.
+
+use conair_bench::{report, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    eprintln!(
+        "export: {} trials per recovery cell (CONAIR_TRIALS to change)...",
+        cfg.trials
+    );
+    let r = report::evaluation_report(&cfg);
+    println!("{}", report::to_json(&r));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 2's claims: which atomicity-violation patterns are
+//! recoverable by single-threaded rollback, under each region policy.
+
+use conair_bench::{experiments, BenchConfig, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cells = experiments::figure2(&cfg);
+    let mut t = TextTable::new(vec![
+        "Pattern",
+        "Policy",
+        "Original fails",
+        "Hardened recovers",
+    ]);
+    for c in &cells {
+        t.row(vec![
+            c.pattern.name().to_string(),
+            c.policy.name().to_string(),
+            if c.original_fails { "yes" } else { "no" }.to_string(),
+            if c.recovered { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("Figure 2. Atomicity-violation patterns vs region policy");
+    println!("(Section 2.2: only RAW and WAR need shared-write reexecution)\n");
+    println!("{}", t.render());
+}

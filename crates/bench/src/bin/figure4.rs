@@ -1,0 +1,29 @@
+//! Regenerates Figure 4: the reexecution-region design-space trade-off —
+//! recovery coverage versus overhead and recovery speed along the spectrum
+//! from idempotent regions to whole-program restart.
+
+use conair_bench::{experiments, pct, BenchConfig, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    eprintln!("figure4: running the design-space ablation (this hardens every app under every policy)...");
+    let points = experiments::figure4(&cfg);
+    let mut t = TextTable::new(vec![
+        "Design point",
+        "Fig.2 patterns recovered",
+        "Mean overhead",
+        "Mean recovery (steps)",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.label.to_string(),
+            format!("{}/4", p.patterns_recovered),
+            pct(p.mean_overhead),
+            p.mean_recovery_steps
+                .map_or("N/A".to_string(), |s| format!("{s:.0}")),
+        ]);
+    }
+    println!("Figure 4. Reexecution-region design spectrum");
+    println!("(left to right: more bugs recovered; more overhead / slower recovery)\n");
+    println!("{}", t.render());
+}

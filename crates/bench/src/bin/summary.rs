@@ -1,0 +1,66 @@
+//! One-shot summary: runs every experiment at reduced scale and prints the
+//! headline reproduction claims next to the paper's numbers.
+
+use conair_bench::{experiments, pct, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    eprintln!(
+        "summary: {} recovery trials / {} overhead runs per app...",
+        cfg.trials, cfg.overhead_trials
+    );
+
+    println!("== ConAir reproduction summary ==\n");
+
+    // Table 3 headline: everything recovers, overhead < 1%.
+    let t3 = experiments::table3(&cfg);
+    let all_recover = t3.iter().all(|r| r.fix_recovered && r.survival_recovered);
+    let worst = t3
+        .iter()
+        .map(|r| r.survival_overhead)
+        .fold(0.0f64, f64::max);
+    println!(
+        "Recovery (paper: 10/10 apps, 2 with oracle): {}/10 apps recover{}",
+        t3.iter()
+            .filter(|r| r.fix_recovered && r.survival_recovered)
+            .count(),
+        if all_recover { " -- all" } else { "" }
+    );
+    println!(
+        "Worst survival-mode overhead (paper: <1%): {}",
+        pct(worst)
+    );
+
+    // Table 4 shape: segfault sites dominate.
+    let t4 = experiments::table4();
+    let seg_dominates = t4
+        .iter()
+        .filter(|r| r.total() >= 20)
+        .all(|r| r.seg_fault >= r.assertion && r.seg_fault >= r.deadlock);
+    println!(
+        "Seg-fault sites dominate in all large apps (paper: yes): {}",
+        if seg_dominates { "yes" } else { "NO" }
+    );
+
+    // Table 7 shape: recovery orders of magnitude faster than restart.
+    let t7 = experiments::table7(&cfg);
+    let min_speedup = t7
+        .iter()
+        .filter(|r| r.recovery_steps > 0)
+        .map(|r| r.restart_steps as f64 / r.recovery_steps.max(1) as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "Minimum recovery-vs-restart speedup (paper: 8x .. >100000x): {min_speedup:.0}x"
+    );
+
+    // Figure 2 claim.
+    let f2 = experiments::figure2(&cfg);
+    let idem_ok = f2
+        .iter()
+        .filter(|c| c.policy == conair::RegionPolicy::Compensated)
+        .all(|c| c.recovered == c.pattern.idempotent_recoverable());
+    println!(
+        "Figure-2 pattern recoverability matches Section 2.2: {}",
+        if idem_ok { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 1: the qualitative property comparison among
+//! concurrency-bug fixing and survival techniques.
+
+use conair::properties::{Property, Technique};
+use conair_bench::TextTable;
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "Property".to_string(),
+        Technique::AutomaticFixing.name().to_string(),
+        Technique::ProhibitingInterleaving.name().to_string(),
+        Technique::RollbackRecovery.name().to_string(),
+        Technique::ConAir.name().to_string(),
+    ]);
+    for p in Property::ALL {
+        t.row(vec![
+            p.to_string(),
+            Technique::AutomaticFixing.satisfies(p).glyph().to_string(),
+            Technique::ProhibitingInterleaving
+                .satisfies(p)
+                .glyph()
+                .to_string(),
+            Technique::RollbackRecovery.satisfies(p).glyph().to_string(),
+            Technique::ConAir.satisfies(p).glyph().to_string(),
+        ]);
+    }
+    println!("Table 1. Property comparison (+: yes; -: no; *: not all at once)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 2: the benchmark applications and their bugs.
+
+use conair_bench::{experiments, TextTable};
+
+fn main() {
+    let rows = experiments::table2();
+    let mut t = TextTable::new(vec![
+        "App.",
+        "App. Type",
+        "LOC (paper)",
+        "Module insts (ours)",
+        "Failures",
+        "Causes",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.app.to_string(),
+            r.app_type.to_string(),
+            r.paper_loc.to_string(),
+            r.module_insts.to_string(),
+            r.symptom,
+            r.cause,
+        ]);
+    }
+    println!("Table 2. Applications and bugs\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,45 @@
+//! Regenerates Table 3: overall recovery results and run-time overhead in
+//! fix and survival mode.
+
+use conair_bench::{experiments, pct, BenchConfig, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    eprintln!(
+        "table3: {} recovery trials and {} overhead runs per mode \
+         (CONAIR_TRIALS / CONAIR_OVERHEAD_TRIALS to change)...",
+        cfg.trials, cfg.overhead_trials
+    );
+    let rows = experiments::table3(&cfg);
+    let mut t = TextTable::new(vec![
+        "App.",
+        "Recovered (fix)",
+        "Recovered (survival)",
+        "Overhead (fix)",
+        "Overhead (survival)",
+    ]);
+    let tick = |ok: bool, cond: bool| match (ok, cond) {
+        (true, false) => "yes".to_string(),
+        (true, true) => "yes (w/ oracle)".to_string(),
+        (false, _) => "NO".to_string(),
+    };
+    for r in &rows {
+        t.row(vec![
+            r.app.to_string(),
+            tick(r.fix_recovered, r.conditional),
+            tick(r.survival_recovered, r.conditional),
+            pct(r.fix_overhead),
+            pct(r.survival_overhead),
+        ]);
+    }
+    println!(
+        "Table 3. Overall bug recovery results ({} trials per cell)\n",
+        rows.first().map_or(0, |r| r.trials)
+    );
+    println!("{}", t.render());
+    let all = rows.iter().all(|r| r.fix_recovered && r.survival_recovered);
+    println!(
+        "All applications recovered: {}",
+        if all { "YES" } else { "NO" }
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 6: the percentage of reexecution points removed by
+//! the Section-4.2 unrecoverable-site optimization.
+
+use conair_bench::{experiments, pct, BenchConfig, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = experiments::table6(&cfg);
+    let fmt = |v: Option<f64>| v.map_or("N/A".to_string(), pct);
+    let mut t = TextTable::new(vec![
+        "App.",
+        "Non-DL Static",
+        "Non-DL Dynamic",
+        "DL Static",
+        "DL Dynamic",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.app.to_string(),
+            fmt(r.non_deadlock_static),
+            fmt(r.non_deadlock_dynamic),
+            fmt(r.deadlock_static),
+            fmt(r.deadlock_dynamic),
+        ]);
+    }
+    println!("Table 6. Reexecution points optimized away (N/A: zero unoptimized points)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table 7: failure recovery time under ConAir versus
+//! whole-program restart.
+
+use conair_bench::{experiments, micros, BenchConfig, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = experiments::table7(&cfg);
+    let mut t = TextTable::new(vec![
+        "Application",
+        "ConAir Time",
+        "# Retries",
+        "Restart Time",
+        "Speedup",
+    ]);
+    for r in &rows {
+        let speedup = if r.recovery_us > 0.0 {
+            format!("{:.0}x", r.restart_us / r.recovery_us)
+        } else {
+            "inf".to_string()
+        };
+        t.row(vec![
+            r.app.to_string(),
+            format!("{} ({} steps)", micros(r.recovery_us), r.recovery_steps),
+            r.retries.to_string(),
+            format!("{} ({} steps)", micros(r.restart_us), r.restart_steps),
+            speedup,
+        ]);
+    }
+    println!("Table 7. Failure recovery time (forced failure-inducing interleavings)\n");
+    println!("{}", t.render());
+    let all_faster = rows.iter().all(|r| r.recovery_steps < r.restart_steps);
+    println!(
+        "ConAir recovery faster than restart for every app: {}",
+        if all_faster { "YES" } else { "NO" }
+    );
+}

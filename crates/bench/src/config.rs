@@ -1,0 +1,72 @@
+//! Experiment sizing, overridable from the environment.
+
+use conair_runtime::MachineConfig;
+
+/// Trial counts for the experiment binaries.
+///
+/// Defaults are sized for minutes-scale reruns of the full suite; the paper
+/// used 1000 recovery trials and 20 overhead runs per program — set
+/// `CONAIR_TRIALS=1000` / `CONAIR_OVERHEAD_TRIALS=20` to match.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Recovery trials per (workload, mode).
+    pub trials: usize,
+    /// Seed-paired runs for overhead measurement.
+    pub overhead_trials: usize,
+    /// First scheduler seed.
+    pub seed0: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            trials: 50,
+            overhead_trials: 5,
+            seed0: 1,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reads overrides from `CONAIR_TRIALS`, `CONAIR_OVERHEAD_TRIALS`, and
+    /// `CONAIR_SEED`.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = env_usize("CONAIR_TRIALS") {
+            cfg.trials = v.max(1);
+        }
+        if let Some(v) = env_usize("CONAIR_OVERHEAD_TRIALS") {
+            cfg.overhead_trials = v.max(1);
+        }
+        if let Some(v) = env_usize("CONAIR_SEED") {
+            cfg.seed0 = v as u64;
+        }
+        cfg
+    }
+
+    /// The machine configuration used by every experiment.
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig {
+            lock_timeout: 200,
+            step_limit: 50_000_000,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BenchConfig::default();
+        assert!(c.trials >= 1);
+        assert!(c.overhead_trials >= 1);
+        assert!(c.machine().step_limit > 1_000_000);
+    }
+}

@@ -1,0 +1,578 @@
+//! Experiment drivers: one function per evaluation table/figure, returning
+//! structured data the binaries render (and the integration tests assert
+//! shapes over).
+
+use conair::{Conair, ConairConfig, Mode};
+use conair_analysis::RegionPolicy;
+use conair_ir::FailureKind;
+use conair_runtime::{
+    measure_restart, run_scripted, MachineConfig, RunOutcome, RunResult,
+};
+use conair_workloads::{all_workloads, build_micro, AtomicityPattern, Workload};
+
+use crate::config::BenchConfig;
+
+// ---------------------------------------------------------------------------
+// Table 3: recovery + overhead, fix and survival mode
+// ---------------------------------------------------------------------------
+
+/// One Table-3 row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Recovered in every fix-mode trial?
+    pub fix_recovered: bool,
+    /// Recovered in every survival-mode trial?
+    pub survival_recovered: bool,
+    /// Whether recovery needed a developer output oracle (✓c in the paper).
+    pub conditional: bool,
+    /// Fix-mode instruction overhead (fraction).
+    pub fix_overhead: f64,
+    /// Survival-mode instruction overhead (fraction).
+    pub survival_overhead: f64,
+    /// Trials run per mode.
+    pub trials: usize,
+}
+
+/// Runs the Table-3 experiment.
+pub fn table3(cfg: &BenchConfig) -> Vec<Table3Row> {
+    all_workloads()
+        .iter()
+        .map(|w| table3_row(w, cfg))
+        .collect()
+}
+
+fn all_trials_recover(
+    w: &Workload,
+    program: &conair_runtime::Program,
+    machine: &MachineConfig,
+    cfg: &BenchConfig,
+) -> bool {
+    (0..cfg.trials).all(|i| {
+        let r = run_scripted(
+            program,
+            machine.clone(),
+            w.bug_script.clone(),
+            cfg.seed0 + i as u64,
+        );
+        w.run_is_correct(&r)
+    })
+}
+
+fn overhead_vs_original(
+    w: &Workload,
+    hardened: &conair_runtime::Program,
+    machine: &MachineConfig,
+    cfg: &BenchConfig,
+) -> (f64, f64) {
+    // Benign-interleaving runs, seed-paired (paper methodology: same input,
+    // no failure during measurement).
+    let mut base = 0u64;
+    let mut hard = 0u64;
+    let mut points = 0u64;
+    for i in 0..cfg.overhead_trials {
+        let seed = cfg.seed0 + 1000 + i as u64;
+        let b = run_scripted(&w.program, machine.clone(), w.benign_script.clone(), seed);
+        let h = run_scripted(hardened, machine.clone(), w.benign_script.clone(), seed);
+        assert!(
+            b.outcome.is_completed() && h.outcome.is_completed(),
+            "{}: overhead runs must not fail ({:?}/{:?})",
+            w.meta.name,
+            b.outcome,
+            h.outcome
+        );
+        base += b.stats.insts + b.stats.aux_work;
+        hard += h.stats.insts + h.stats.aux_work;
+        points += h.stats.checkpoints;
+    }
+    let overhead = (hard as f64 - base as f64) / base as f64;
+    (
+        overhead.max(0.0),
+        points as f64 / cfg.overhead_trials.max(1) as f64,
+    )
+}
+
+fn table3_row(w: &Workload, cfg: &BenchConfig) -> Table3Row {
+    let machine = cfg.machine();
+    let survival = Conair::survival().harden(&w.program);
+    let fix = Conair::fix(w.fix_markers.clone()).harden(&w.program);
+
+    let (survival_overhead, _) = overhead_vs_original(w, &survival.program, &machine, cfg);
+    let (fix_overhead, _) = overhead_vs_original(w, &fix.program, &machine, cfg);
+
+    Table3Row {
+        app: w.meta.name,
+        fix_recovered: all_trials_recover(w, &fix.program, &machine, cfg),
+        survival_recovered: all_trials_recover(w, &survival.program, &machine, cfg),
+        conditional: w.meta.needs_oracle,
+        fix_overhead,
+        survival_overhead,
+        trials: cfg.trials,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: static failure sites by kind (survival mode)
+// ---------------------------------------------------------------------------
+
+/// One Table-4 row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Identified assertion-violation sites.
+    pub assertion: usize,
+    /// Identified wrong-output sites.
+    pub wrong_output: usize,
+    /// Identified segmentation-fault sites.
+    pub seg_fault: usize,
+    /// Recoverable deadlock sites (the paper counts only locks "enclosed by
+    /// another lock operation" here).
+    pub deadlock: usize,
+}
+
+impl Table4Row {
+    /// Row total.
+    pub fn total(&self) -> usize {
+        self.assertion + self.wrong_output + self.seg_fault + self.deadlock
+    }
+}
+
+/// Runs the Table-4 experiment.
+pub fn table4() -> Vec<Table4Row> {
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let plan = Conair::survival().analyze(&w.program.module);
+            let count = |kind: FailureKind| {
+                plan.sites
+                    .iter()
+                    .filter(|s| s.site.kind == kind)
+                    .filter(|s| kind != FailureKind::Deadlock || s.is_recoverable())
+                    .count()
+            };
+            Table4Row {
+                app: w.meta.name,
+                assertion: count(FailureKind::AssertionViolation),
+                wrong_output: count(FailureKind::WrongOutput),
+                seg_fault: count(FailureKind::SegFault),
+                deadlock: count(FailureKind::Deadlock),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5: reexecution points, static and dynamic, both modes
+// ---------------------------------------------------------------------------
+
+/// One Table-5 row.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Static checkpoints, survival mode.
+    pub survival_static: usize,
+    /// Dynamic checkpoint executions on a benign run, survival mode.
+    pub survival_dynamic: u64,
+    /// Static checkpoints, fix mode.
+    pub fix_static: usize,
+    /// Dynamic checkpoint executions, fix mode.
+    pub fix_dynamic: u64,
+}
+
+/// Runs the Table-5 experiment.
+pub fn table5(cfg: &BenchConfig) -> Vec<Table5Row> {
+    let machine = cfg.machine();
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let survival = Conair::survival().harden(&w.program);
+            let fix = Conair::fix(w.fix_markers.clone()).harden(&w.program);
+            let run = |p: &conair_runtime::Program| {
+                run_scripted(p, machine.clone(), w.benign_script.clone(), cfg.seed0)
+                    .stats
+                    .checkpoints
+            };
+            Table5Row {
+                app: w.meta.name,
+                survival_static: survival.plan.stats.static_points,
+                survival_dynamic: run(&survival.program),
+                fix_static: fix.plan.stats.static_points,
+                fix_dynamic: run(&fix.program),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: fraction of reexecution points removed by the optimization
+// ---------------------------------------------------------------------------
+
+/// One Table-6 row.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Non-deadlock static points optimized away (fraction; `None` when
+    /// the unoptimized count is zero — the paper's N/A).
+    pub non_deadlock_static: Option<f64>,
+    /// Non-deadlock dynamic point executions optimized away.
+    pub non_deadlock_dynamic: Option<f64>,
+    /// Deadlock static points optimized away.
+    pub deadlock_static: Option<f64>,
+    /// Deadlock dynamic point executions optimized away.
+    pub deadlock_dynamic: Option<f64>,
+}
+
+fn optimized_fraction(unopt: usize, opt: usize) -> Option<f64> {
+    (unopt > 0).then(|| (unopt.saturating_sub(opt)) as f64 / unopt as f64)
+}
+
+/// Runs the Table-6 experiment.
+pub fn table6(cfg: &BenchConfig) -> Vec<Table6Row> {
+    let machine = cfg.machine();
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let optimized = Conair::survival();
+            let unoptimized =
+                Conair::with_config(Conair::builder().optimize(false).build());
+            let plan_opt = optimized.analyze(&w.program.module);
+            let plan_unopt = unoptimized.analyze(&w.program.module);
+
+            let static_counts = |plan: &conair::HardeningPlan, deadlock: bool| {
+                plan.points_for_class(deadlock).len()
+            };
+
+            // Dynamic counts: run each hardened variant on the benign
+            // schedule and count checkpoint executions attributable to each
+            // class. A checkpoint shared by both classes counts in both, so
+            // we approximate dynamic per-class counts by scaling total
+            // dynamic executions by the static class share.
+            let dyn_points = |pipeline: &Conair| {
+                let hp = pipeline.harden(&w.program);
+                let r = run_scripted(
+                    &hp.program,
+                    machine.clone(),
+                    w.benign_script.clone(),
+                    cfg.seed0,
+                );
+                (r.stats.checkpoints, hp.plan)
+            };
+            let (dyn_opt, plan_opt_run) = dyn_points(&optimized);
+            let (dyn_unopt, plan_unopt_run) = dyn_points(&unoptimized);
+            let dyn_class = |total: u64, plan: &conair::HardeningPlan, deadlock: bool| {
+                let class = plan.points_for_class(deadlock).len() as f64;
+                let all = plan.checkpoints.len().max(1) as f64;
+                total as f64 * class / all
+            };
+
+            let nd_unopt_dyn = dyn_class(dyn_unopt, &plan_unopt_run, false);
+            let nd_opt_dyn = dyn_class(dyn_opt, &plan_opt_run, false);
+            let dl_unopt_dyn = dyn_class(dyn_unopt, &plan_unopt_run, true);
+            let dl_opt_dyn = dyn_class(dyn_opt, &plan_opt_run, true);
+
+            Table6Row {
+                app: w.meta.name,
+                non_deadlock_static: optimized_fraction(
+                    static_counts(&plan_unopt, false),
+                    static_counts(&plan_opt, false),
+                ),
+                non_deadlock_dynamic: (nd_unopt_dyn > 0.0)
+                    .then(|| ((nd_unopt_dyn - nd_opt_dyn) / nd_unopt_dyn).max(0.0)),
+                deadlock_static: optimized_fraction(
+                    static_counts(&plan_unopt, true),
+                    static_counts(&plan_opt, true),
+                ),
+                deadlock_dynamic: (dl_unopt_dyn > 0.0)
+                    .then(|| ((dl_unopt_dyn - dl_opt_dyn) / dl_unopt_dyn).max(0.0)),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 7: recovery time vs whole-program restart
+// ---------------------------------------------------------------------------
+
+/// One Table-7 row.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Application name.
+    pub app: &'static str,
+    /// ConAir recovery time in interpreter steps.
+    pub recovery_steps: u64,
+    /// ConAir recovery time in microseconds (steps × measured ns/step).
+    pub recovery_us: f64,
+    /// Recovery attempts (# retries).
+    pub retries: u64,
+    /// Whole-program-restart recovery time in steps.
+    pub restart_steps: u64,
+    /// Restart recovery time in microseconds.
+    pub restart_us: f64,
+}
+
+/// Runs the Table-7 experiment.
+pub fn table7(cfg: &BenchConfig) -> Vec<Table7Row> {
+    let machine = cfg.machine();
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let hardened = Conair::survival().harden(&w.program);
+            let r = run_scripted(
+                &hardened.program,
+                machine.clone(),
+                w.bug_script.clone(),
+                cfg.seed0,
+            );
+            assert!(
+                r.outcome.is_completed(),
+                "{}: table 7 needs a recovered run, got {:?}",
+                w.meta.name,
+                r.outcome
+            );
+            let ns_per_step = ns_per_step(&r);
+            let recovery_steps = r.stats.max_recovery_steps().unwrap_or(0);
+            let retries = r.stats.total_retries();
+
+            let restart = measure_restart(
+                &w.program,
+                &machine,
+                &w.bug_script,
+                &w.benign_script,
+                cfg.seed0,
+                50,
+            );
+            Table7Row {
+                app: w.meta.name,
+                recovery_steps,
+                recovery_us: recovery_steps as f64 * ns_per_step / 1000.0,
+                retries,
+                restart_steps: restart.total_steps,
+                restart_us: restart.total_steps as f64 * ns_per_step / 1000.0,
+            }
+        })
+        .collect()
+}
+
+fn ns_per_step(r: &RunResult) -> f64 {
+    if r.stats.steps == 0 {
+        0.0
+    } else {
+        r.stats.wall.as_nanos() as f64 / r.stats.steps as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: the four atomicity-violation patterns
+// ---------------------------------------------------------------------------
+
+/// Outcome of one Figure-2 microbenchmark under one policy.
+#[derive(Debug, Clone)]
+pub struct Figure2Cell {
+    /// The pattern.
+    pub pattern: AtomicityPattern,
+    /// The region policy used for hardening.
+    pub policy: RegionPolicy,
+    /// Did the original (unhardened) run fail under the forced schedule?
+    pub original_fails: bool,
+    /// Did the hardened run recover?
+    pub recovered: bool,
+}
+
+/// Runs the Figure-2 experiment across policies.
+pub fn figure2(cfg: &BenchConfig) -> Vec<Figure2Cell> {
+    let machine = cfg.machine();
+    let mut out = Vec::new();
+    for pattern in AtomicityPattern::ALL {
+        for policy in RegionPolicy::ALL {
+            let m = build_micro(pattern);
+            let orig = run_scripted(
+                &m.program,
+                machine.clone(),
+                m.bug_script.clone(),
+                cfg.seed0,
+            );
+            let pipeline = Conair::with_config(ConairConfig {
+                mode: Mode::Survival,
+                policy,
+                ..ConairConfig::default()
+            });
+            let hardened = pipeline.harden(&m.program);
+            let mut run_machine = machine.clone();
+            run_machine.buffered_writes = policy == RegionPolicy::BufferedWrites;
+            // Bounded retries: unrecoverable patterns must fail fast, not
+            // spin to the million-retry default.
+            run_machine.max_retries = 3_000;
+            let hard = run_scripted(
+                &hardened.program,
+                run_machine,
+                m.bug_script.clone(),
+                cfg.seed0,
+            );
+            let recovered = hard.outcome.is_completed()
+                && hard.outputs_for(&m.expected.0) == m.expected.1;
+            out.push(Figure2Cell {
+                pattern,
+                policy,
+                original_fails: orig.outcome.is_failure(),
+                recovered,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: the reexecution-region design-space ablation
+// ---------------------------------------------------------------------------
+
+/// One design point on the Figure-4 spectrum.
+#[derive(Debug, Clone)]
+pub struct Figure4Point {
+    /// Design-point label.
+    pub label: &'static str,
+    /// Figure-2 patterns recovered (of 4).
+    pub patterns_recovered: usize,
+    /// Mean instruction overhead across the ten applications.
+    pub mean_overhead: f64,
+    /// Mean recovery steps across the recovered Figure-2 patterns
+    /// (`None` when nothing recovered).
+    pub mean_recovery_steps: Option<f64>,
+}
+
+/// Runs the Figure-4 ablation: the three region policies plus
+/// whole-program restart.
+pub fn figure4(cfg: &BenchConfig) -> Vec<Figure4Point> {
+    let machine = cfg.machine();
+    let mut out = Vec::new();
+
+    for policy in RegionPolicy::ALL {
+        let mut recovered = 0;
+        let mut recovery_steps = Vec::new();
+        for pattern in AtomicityPattern::ALL {
+            let m = build_micro(pattern);
+            let pipeline = Conair::with_config(ConairConfig {
+                policy,
+                ..ConairConfig::default()
+            });
+            let hardened = pipeline.harden(&m.program);
+            let mut rm = machine.clone();
+            rm.buffered_writes = policy == RegionPolicy::BufferedWrites;
+            rm.max_retries = 3_000;
+            let r = run_scripted(&hardened.program, rm, m.bug_script.clone(), cfg.seed0);
+            if r.outcome.is_completed() && r.outputs_for(&m.expected.0) == m.expected.1 {
+                recovered += 1;
+                recovery_steps.push(r.stats.max_recovery_steps().unwrap_or(0) as f64);
+            }
+        }
+        // Overhead across the real applications.
+        let mut overheads = Vec::new();
+        for w in all_workloads() {
+            let pipeline = Conair::with_config(ConairConfig {
+                policy,
+                ..ConairConfig::default()
+            });
+            let hardened = pipeline.harden(&w.program);
+            let mut rm = machine.clone();
+            rm.buffered_writes = policy == RegionPolicy::BufferedWrites;
+            let (oh, _) = overhead_vs_original(&w, &hardened.program, &rm, cfg);
+            overheads.push(oh);
+        }
+        out.push(Figure4Point {
+            label: policy.name(),
+            patterns_recovered: recovered,
+            mean_overhead: mean(&overheads),
+            mean_recovery_steps: (!recovery_steps.is_empty())
+                .then(|| mean(&recovery_steps)),
+        });
+    }
+
+    // Whole-program restart: recovers everything, at restart cost and with
+    // zero hardening overhead.
+    let mut restart_steps = Vec::new();
+    let mut recovered = 0;
+    for pattern in AtomicityPattern::ALL {
+        let m = build_micro(pattern);
+        let report = measure_restart(
+            &m.program,
+            &machine,
+            &m.bug_script,
+            &conair_runtime::ScheduleScript::none(),
+            cfg.seed0,
+            50,
+        );
+        if report.succeeded {
+            recovered += 1;
+            restart_steps.push(report.total_steps as f64);
+        }
+    }
+    out.push(Figure4Point {
+        label: "whole-program restart",
+        patterns_recovered: recovered,
+        mean_overhead: 0.0,
+        mean_recovery_steps: (!restart_steps.is_empty()).then(|| mean(&restart_steps)),
+    });
+    out
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: application inventory with measured module sizes
+// ---------------------------------------------------------------------------
+
+/// One Table-2 row with measured synthetic-module size.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Application type.
+    pub app_type: &'static str,
+    /// LOC of the real application (from the paper).
+    pub paper_loc: &'static str,
+    /// Instructions in our synthetic module.
+    pub module_insts: usize,
+    /// Failure symptom.
+    pub symptom: String,
+    /// Root cause.
+    pub cause: String,
+}
+
+/// Builds the Table-2 inventory.
+pub fn table2() -> Vec<Table2Row> {
+    all_workloads()
+        .iter()
+        .map(|w| Table2Row {
+            app: w.meta.name,
+            app_type: w.meta.app_type,
+            paper_loc: w.meta.paper_loc,
+            module_insts: w.program.module.num_insts(),
+            symptom: w.meta.symptom.to_string(),
+            cause: w.meta.cause.to_string(),
+        })
+        .collect()
+}
+
+/// Checks an [`RunOutcome`] against a workload's documented symptom —
+/// shared by tests and the summary binary.
+pub fn outcome_matches_symptom(w: &Workload, outcome: &RunOutcome) -> bool {
+    use conair_workloads::Symptom;
+    match (w.meta.symptom, outcome) {
+        (Symptom::Hang, RunOutcome::Hang { .. }) => true,
+        (Symptom::Assertion, RunOutcome::Failed(f)) => {
+            f.kind == FailureKind::AssertionViolation
+        }
+        (Symptom::SegFault, RunOutcome::Failed(f)) => f.kind == FailureKind::SegFault,
+        (Symptom::WrongOutput, RunOutcome::Failed(f)) => f.kind == FailureKind::WrongOutput,
+        _ => false,
+    }
+}

@@ -1,0 +1,159 @@
+//! Machine-readable export of the evaluation results.
+//!
+//! Serializes the experiment rows to JSON so downstream tooling (plotting
+//! scripts, CI regression checks against EXPERIMENTS.md) can consume the
+//! reproduction's numbers without scraping table text.
+
+use serde::Serialize;
+
+use crate::config::BenchConfig;
+use crate::experiments;
+
+/// JSON-friendly projection of one Table-3 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Json {
+    /// Application name.
+    pub app: String,
+    /// All fix-mode trials recovered.
+    pub fix_recovered: bool,
+    /// All survival-mode trials recovered.
+    pub survival_recovered: bool,
+    /// Recovery required a developer output oracle.
+    pub needs_oracle: bool,
+    /// Fix-mode instruction overhead (fraction).
+    pub fix_overhead: f64,
+    /// Survival-mode instruction overhead (fraction).
+    pub survival_overhead: f64,
+}
+
+/// JSON-friendly projection of one Table-4 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Json {
+    /// Application name.
+    pub app: String,
+    /// Assertion-violation sites.
+    pub assertion: usize,
+    /// Wrong-output sites.
+    pub wrong_output: usize,
+    /// Segmentation-fault sites.
+    pub seg_fault: usize,
+    /// Recoverable deadlock sites.
+    pub deadlock: usize,
+    /// Row total.
+    pub total: usize,
+}
+
+/// JSON-friendly projection of one Table-7 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table7Json {
+    /// Application name.
+    pub app: String,
+    /// ConAir recovery (interpreter steps).
+    pub recovery_steps: u64,
+    /// Recovery attempts.
+    pub retries: u64,
+    /// Whole-program restart (steps).
+    pub restart_steps: u64,
+    /// restart / recovery speedup.
+    pub speedup: f64,
+}
+
+/// The complete machine-readable evaluation report.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvaluationReport {
+    /// Trials per recovery cell.
+    pub trials: usize,
+    /// Table 3.
+    pub table3: Vec<Table3Json>,
+    /// Table 4.
+    pub table4: Vec<Table4Json>,
+    /// Table 7.
+    pub table7: Vec<Table7Json>,
+}
+
+/// Runs the quantitative experiments and assembles the report.
+pub fn evaluation_report(cfg: &BenchConfig) -> EvaluationReport {
+    let table3 = experiments::table3(cfg)
+        .into_iter()
+        .map(|r| Table3Json {
+            app: r.app.to_string(),
+            fix_recovered: r.fix_recovered,
+            survival_recovered: r.survival_recovered,
+            needs_oracle: r.conditional,
+            fix_overhead: r.fix_overhead,
+            survival_overhead: r.survival_overhead,
+        })
+        .collect();
+    let table4 = experiments::table4()
+        .into_iter()
+        .map(|r| Table4Json {
+            app: r.app.to_string(),
+            assertion: r.assertion,
+            wrong_output: r.wrong_output,
+            seg_fault: r.seg_fault,
+            deadlock: r.deadlock,
+            total: r.total(),
+        })
+        .collect();
+    let table7 = experiments::table7(cfg)
+        .into_iter()
+        .map(|r| Table7Json {
+            app: r.app.to_string(),
+            recovery_steps: r.recovery_steps,
+            retries: r.retries,
+            restart_steps: r.restart_steps,
+            speedup: if r.recovery_steps > 0 {
+                r.restart_steps as f64 / r.recovery_steps as f64
+            } else {
+                f64::INFINITY
+            },
+        })
+        .collect();
+    EvaluationReport {
+        trials: cfg.trials,
+        table3,
+        table4,
+        table7,
+    }
+}
+
+/// Serializes the report to pretty JSON.
+///
+/// # Panics
+///
+/// Never panics: the report contains no non-finite floats except speedup,
+/// which is clamped before serialization.
+pub fn to_json(report: &EvaluationReport) -> String {
+    let mut clamped = report.clone();
+    for row in &mut clamped.table7 {
+        if !row.speedup.is_finite() {
+            row.speedup = f64::MAX;
+        }
+    }
+    serde_json::to_string_pretty(&clamped).expect("report serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_and_covers_all_apps() {
+        let cfg = BenchConfig {
+            trials: 1,
+            overhead_trials: 1,
+            seed0: 1,
+        };
+        let report = evaluation_report(&cfg);
+        assert_eq!(report.table3.len(), 10);
+        assert_eq!(report.table4.len(), 10);
+        assert_eq!(report.table7.len(), 10);
+        let json = to_json(&report);
+        assert!(json.contains("\"app\": \"FFT\""));
+        assert!(json.contains("\"survival_recovered\": true"));
+        // Parse back: valid JSON.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["table3"].as_array().unwrap().len(), 10);
+        assert_eq!(v["trials"], 1);
+    }
+}

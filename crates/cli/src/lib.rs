@@ -1,0 +1,499 @@
+//! # conair-cli
+//!
+//! A command-line driver for the ConAir pipeline over textual IR files:
+//!
+//! ```text
+//! conair-cli print   <file.cir>
+//! conair-cli analyze <file.cir> [--fix <marker>]... [--no-optimize] [--no-interproc]
+//! conair-cli harden  <file.cir> [--fix <marker>]... [-o <out.cir>]
+//! conair-cli run     <file.cir> --threads <f1,f2,...> [--seed <n>] [--steps <n>]
+//! ```
+//!
+//! The library half holds the (easily testable) command implementations;
+//! the binary is a thin argument parser around them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+use conair::{Conair, ConairConfig, Mode};
+use conair_ir::{parse_module, validate, validate_hardened, FailureKind, Module};
+use conair_runtime::{run_once, MachineConfig, Program, RunOutcome};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Parse, validate and pretty-print.
+    Print {
+        /// Input path.
+        input: String,
+    },
+    /// Run the static analysis and report sites/points.
+    Analyze {
+        /// Input path.
+        input: String,
+        /// Fix-mode markers (empty = survival mode).
+        fix_markers: Vec<String>,
+        /// Disable the Section-4.2 optimization.
+        no_optimize: bool,
+        /// Disable Section-4.3 inter-procedural promotion.
+        no_interproc: bool,
+    },
+    /// Analyze + transform; print or write the hardened module.
+    Harden {
+        /// Input path.
+        input: String,
+        /// Fix-mode markers (empty = survival mode).
+        fix_markers: Vec<String>,
+        /// Output path (stdout when absent).
+        output: Option<String>,
+    },
+    /// Execute the program.
+    Run {
+        /// Input path.
+        input: String,
+        /// Thread entry function names.
+        threads: Vec<String>,
+        /// Scheduler seed.
+        seed: u64,
+        /// Step limit.
+        steps: u64,
+    },
+}
+
+/// Parses `argv[1..]`.
+///
+/// # Errors
+///
+/// Returns a usage error on unknown commands or malformed flags.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let cmd = it
+        .next()
+        .ok_or_else(|| CliError::new(USAGE))?
+        .as_str();
+    let mut input: Option<String> = None;
+    let mut fix_markers = Vec::new();
+    let mut no_optimize = false;
+    let mut no_interproc = false;
+    let mut output = None;
+    let mut threads = Vec::new();
+    let mut seed = 0u64;
+    let mut steps = 50_000_000u64;
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fix" => fix_markers.push(
+                it.next()
+                    .ok_or_else(|| CliError::new("--fix needs a marker name"))?
+                    .clone(),
+            ),
+            "--no-optimize" => no_optimize = true,
+            "--no-interproc" => no_interproc = true,
+            "-o" | "--output" => {
+                output = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("-o needs a path"))?
+                        .clone(),
+                )
+            }
+            "--threads" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--threads needs a comma-separated list"))?;
+                threads = list.split(',').map(str::to_owned).collect();
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::new("--seed needs a number"))?
+            }
+            "--steps" => {
+                steps = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::new("--steps needs a number"))?
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::new(format!("unknown flag `{other}`\n{USAGE}")))
+            }
+            other => {
+                if input.is_some() {
+                    return Err(CliError::new(format!("unexpected argument `{other}`")));
+                }
+                input = Some(other.to_owned());
+            }
+        }
+    }
+    let input = input.ok_or_else(|| CliError::new(format!("missing input file\n{USAGE}")))?;
+    Ok(match cmd {
+        "print" => Command::Print { input },
+        "analyze" => Command::Analyze {
+            input,
+            fix_markers,
+            no_optimize,
+            no_interproc,
+        },
+        "harden" => Command::Harden {
+            input,
+            fix_markers,
+            output,
+        },
+        "run" => Command::Run {
+            input,
+            threads,
+            seed,
+            steps,
+        },
+        other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
+    })
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: conair-cli <print|analyze|harden|run> <file.cir> [options]
+  print   <file.cir>                     parse, validate, pretty-print
+  analyze <file.cir> [--fix M]... [--no-optimize] [--no-interproc]
+  harden  <file.cir> [--fix M]... [-o out.cir]
+  run     <file.cir> --threads f1,f2 [--seed N] [--steps N]";
+
+fn load(text: &str) -> Result<Module, CliError> {
+    let module =
+        parse_module(text).map_err(|e| CliError::new(format!("parse error: {e}")))?;
+    if let Err(errs) = validate(&module) {
+        // A hardened module is also acceptable input.
+        if validate_hardened(&module).is_err() {
+            let mut msg = String::from("validation failed:\n");
+            for e in errs.iter().take(10) {
+                let _ = writeln!(msg, "  {e}");
+            }
+            return Err(CliError::new(msg));
+        }
+    }
+    Ok(module)
+}
+
+fn pipeline(fix_markers: &[String], no_optimize: bool, no_interproc: bool) -> Conair {
+    Conair::with_config(ConairConfig {
+        mode: if fix_markers.is_empty() {
+            Mode::Survival
+        } else {
+            Mode::Fix(fix_markers.to_vec())
+        },
+        optimize: !no_optimize,
+        interproc_depth: if no_interproc { None } else { Some(3) },
+        ..ConairConfig::default()
+    })
+}
+
+/// Executes `print` on module text, returning the report.
+pub fn cmd_print(text: &str) -> Result<String, CliError> {
+    let module = load(text)?;
+    let mut out = module.to_string();
+    let _ = writeln!(
+        out,
+        "; {} functions, {} globals, {} locks, {} instructions",
+        module.functions.len(),
+        module.globals.len(),
+        module.locks.len(),
+        module.num_insts()
+    );
+    Ok(out)
+}
+
+/// Executes `analyze` on module text, returning the report.
+pub fn cmd_analyze(
+    text: &str,
+    fix_markers: &[String],
+    no_optimize: bool,
+    no_interproc: bool,
+) -> Result<String, CliError> {
+    let module = load(text)?;
+    let plan = pipeline(fix_markers, no_optimize, no_interproc).analyze(&module);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mode: {}",
+        if fix_markers.is_empty() { "survival" } else { "fix" }
+    );
+    for kind in FailureKind::ALL {
+        let n = plan.stats.sites_by_kind.get(&kind).copied().unwrap_or(0);
+        let _ = writeln!(out, "{kind} sites: {n}");
+    }
+    let _ = writeln!(out, "recoverable sites: {}", plan.stats.recoverable_sites);
+    let _ = writeln!(
+        out,
+        "removed by optimization: {} non-deadlock, {} deadlock",
+        plan.stats.removed_non_deadlock_sites, plan.stats.removed_deadlock_sites
+    );
+    let _ = writeln!(out, "inter-procedural promotions: {}", plan.stats.promoted_sites);
+    let _ = writeln!(out, "reexecution points: {}", plan.stats.static_points);
+    for (i, loc) in plan.checkpoints.iter().enumerate() {
+        let func = &module.func(loc.func).name;
+        let _ = writeln!(out, "  pt{i}: before {func} @ {}:{}", loc.block, loc.inst);
+    }
+    Ok(out)
+}
+
+/// Executes `harden` on module text, returning the hardened module text.
+pub fn cmd_harden(text: &str, fix_markers: &[String]) -> Result<String, CliError> {
+    let module = load(text)?;
+    let pipeline = pipeline(fix_markers, false, false);
+    let plan = pipeline.analyze(&module);
+    let hardened = conair_transform::harden(module, &plan);
+    Ok(hardened.module.to_string())
+}
+
+/// Executes `run` on module text with the named thread entries.
+pub fn cmd_run(
+    text: &str,
+    threads: &[String],
+    seed: u64,
+    steps: u64,
+) -> Result<String, CliError> {
+    let module = load(text)?;
+    if threads.is_empty() {
+        return Err(CliError::new("run: --threads is required"));
+    }
+    for t in threads {
+        let func = module
+            .func_by_name(t)
+            .ok_or_else(|| CliError::new(format!("run: unknown thread entry `{t}`")))?;
+        if module.func(func).num_params != 0 {
+            return Err(CliError::new(format!(
+                "run: thread entry `{t}` takes parameters; only no-arg entries are runnable"
+            )));
+        }
+    }
+    let names: Vec<&str> = threads.iter().map(String::as_str).collect();
+    let program = Program::from_entry_names(module, &names);
+    let config = MachineConfig {
+        step_limit: steps,
+        trace_depth: 16,
+        ..MachineConfig::default()
+    };
+    let r = run_once(&program, config, seed);
+    let mut out = String::new();
+    match &r.outcome {
+        RunOutcome::Completed => {
+            let _ = writeln!(out, "completed in {} steps", r.stats.steps);
+        }
+        RunOutcome::Failed(f) => {
+            let _ = writeln!(
+                out,
+                "FAILED ({}) in thread {} at step {}: {}",
+                f.kind, f.thread, f.step, f.msg
+            );
+            for (step, loc) in &f.trace {
+                let func = &program.module.func(loc.func).name;
+                let _ = writeln!(out, "  step {step}: {func} @ {}:{}", loc.block, loc.inst);
+            }
+        }
+        RunOutcome::Hang { blocked_on_locks } => {
+            let _ = writeln!(out, "HANG: {blocked_on_locks} threads blocked on locks");
+            if let Some(cycle) = conair_runtime::find_wait_cycle(&r.stats.wait_edges) {
+                let _ = writeln!(out, "wait cycle: {cycle}");
+            }
+        }
+        RunOutcome::StepLimit => {
+            let _ = writeln!(out, "step limit ({steps}) reached");
+        }
+    }
+    for o in &r.outputs {
+        let _ = writeln!(out, "output [{}] {} = {}", o.thread, o.label, o.value);
+    }
+    if r.stats.rollbacks > 0 {
+        let _ = writeln!(
+            out,
+            "recovery: {} rollbacks, {} retries",
+            r.stats.rollbacks,
+            r.stats.total_retries()
+        );
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command, reading/writing files as needed.
+///
+/// # Errors
+///
+/// Propagates I/O, parse and execution errors.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read `{path}`: {e}")))
+    };
+    match command {
+        Command::Print { input } => cmd_print(&read(input)?),
+        Command::Analyze {
+            input,
+            fix_markers,
+            no_optimize,
+            no_interproc,
+        } => cmd_analyze(&read(input)?, fix_markers, *no_optimize, *no_interproc),
+        Command::Harden {
+            input,
+            fix_markers,
+            output,
+        } => {
+            let hardened = cmd_harden(&read(input)?, fix_markers)?;
+            match output {
+                Some(path) => {
+                    std::fs::write(path, &hardened)
+                        .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+                    Ok(format!("wrote hardened module to {path}\n"))
+                }
+                None => Ok(hardened),
+            }
+        }
+        Command::Run {
+            input,
+            threads,
+            seed,
+            steps,
+        } => cmd_run(&read(input)?, threads, *seed, *steps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "module demo {
+global flag [1 x i64] = 0
+fn reader(params=0, regs=2, locals=0) {
+bb0:
+    %r0 = ldg @g0
+    %r1 = cmp.ne %r0, 0
+    assert %r1, \"flag set\"
+    output \"seen\", %r0
+    ret
+}
+fn writer(params=0, regs=0, locals=0) {
+bb0:
+    stg @g0, 5
+    ret
+}
+}";
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_all_commands() {
+        assert_eq!(
+            parse_args(&args(&["print", "a.cir"])).unwrap(),
+            Command::Print { input: "a.cir".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["analyze", "a.cir", "--fix", "m", "--no-optimize"])).unwrap(),
+            Command::Analyze {
+                input: "a.cir".into(),
+                fix_markers: vec!["m".into()],
+                no_optimize: true,
+                no_interproc: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["harden", "a.cir", "-o", "b.cir"])).unwrap(),
+            Command::Harden {
+                input: "a.cir".into(),
+                fix_markers: vec![],
+                output: Some("b.cir".into()),
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "run", "a.cir", "--threads", "x,y", "--seed", "7", "--steps", "100"
+            ]))
+            .unwrap(),
+            Command::Run {
+                input: "a.cir".into(),
+                threads: vec!["x".into(), "y".into()],
+                seed: 7,
+                steps: 100,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_usable() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args(&["frobnicate", "a.cir"])).is_err());
+        assert!(parse_args(&args(&["print"])).is_err());
+        assert!(parse_args(&args(&["analyze", "a.cir", "--fix"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["run", "a.cir", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn print_roundtrips_demo() {
+        let out = cmd_print(DEMO).unwrap();
+        assert!(out.contains("fn reader"));
+        assert!(out.contains("2 functions"));
+        assert!(cmd_print("not a module").is_err());
+    }
+
+    #[test]
+    fn analyze_reports_sites_and_points() {
+        let out = cmd_analyze(DEMO, &[], false, false).unwrap();
+        assert!(out.contains("assertion-violation sites: 1"), "{out}");
+        assert!(out.contains("wrong-output sites: 1"), "{out}");
+        assert!(out.contains("reexecution points: "), "{out}");
+        assert!(out.contains("mode: survival"));
+    }
+
+    #[test]
+    fn harden_emits_parseable_hardened_module() {
+        let out = cmd_harden(DEMO, &[]).unwrap();
+        assert!(out.contains("checkpoint"), "{out}");
+        assert!(out.contains("failguard.assert"), "{out}");
+        // The hardened output is itself valid CLI input.
+        let reprint = cmd_print(&out).unwrap();
+        assert!(reprint.contains("checkpoint"));
+    }
+
+    #[test]
+    fn run_executes_and_reports_recovery() {
+        // The hardened demo recovers the order violation under some seeds;
+        // the unhardened one may fail. Run the hardened text.
+        let hardened = cmd_harden(DEMO, &[]).unwrap();
+        let out = cmd_run(&hardened, &["reader".into(), "writer".into()], 3, 100_000).unwrap();
+        assert!(out.contains("completed"), "{out}");
+        assert!(out.contains("seen = 5"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_bad_threads() {
+        assert!(cmd_run(DEMO, &[], 0, 1000).is_err());
+        assert!(cmd_run(DEMO, &["ghost".into()], 0, 1000).is_err());
+    }
+}

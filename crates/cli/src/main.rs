@@ -1,0 +1,14 @@
+//! The `conair-cli` binary: thin wrapper over the library commands.
+
+use conair_cli::{execute, parse_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|cmd| execute(&cmd)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("conair-cli: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! ConAir configuration: mode, region policy, and analysis knobs.
+
+use conair_analysis::{AnalysisConfig, RegionPolicy, SiteSelection};
+
+/// The two deployment modes of ConAir (paper Section 3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Harden against *hidden* bugs: every statically identifiable
+    /// potential failure site is hardened, with no bug knowledge.
+    #[default]
+    Survival,
+    /// Generate a safe temporary patch for an *observed* failure: only the
+    /// sites named by the given markers are hardened.
+    Fix(Vec<String>),
+}
+
+/// Full configuration of a ConAir pipeline.
+#[derive(Debug, Clone)]
+pub struct ConairConfig {
+    /// Deployment mode.
+    pub mode: Mode,
+    /// Region policy (Figure 4 spectrum; the paper's system is
+    /// [`RegionPolicy::Compensated`]).
+    pub policy: RegionPolicy,
+    /// Apply the Section 4.2 unrecoverable-site optimization.
+    pub optimize: bool,
+    /// Inter-procedural recovery depth (Section 4.3); `None` disables.
+    pub interproc_depth: Option<usize>,
+}
+
+impl Default for ConairConfig {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Survival,
+            policy: RegionPolicy::Compensated,
+            optimize: true,
+            interproc_depth: Some(3),
+        }
+    }
+}
+
+impl ConairConfig {
+    /// Lowers to the analysis-crate configuration.
+    pub fn to_analysis_config(&self) -> AnalysisConfig {
+        AnalysisConfig {
+            selection: match &self.mode {
+                Mode::Survival => SiteSelection::Survival,
+                Mode::Fix(markers) => SiteSelection::Fix(markers.clone()),
+            },
+            policy: self.policy,
+            optimize: self.optimize,
+            interproc_depth: self.interproc_depth,
+        }
+    }
+}
+
+/// Builder for [`ConairConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ConairConfigBuilder {
+    config: ConairConfig,
+}
+
+impl ConairConfigBuilder {
+    /// Starts from defaults (survival mode, compensated regions,
+    /// optimization on, inter-procedural depth 3).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Sets the region policy.
+    pub fn policy(mut self, policy: RegionPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables/disables the Section 4.2 optimization.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.config.optimize = on;
+        self
+    }
+
+    /// Sets the inter-procedural depth (`None` disables Section 4.3).
+    pub fn interproc_depth(mut self, depth: Option<usize>) -> Self {
+        self.config.interproc_depth = depth;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ConairConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ConairConfig::default();
+        assert_eq!(c.mode, Mode::Survival);
+        assert_eq!(c.policy, RegionPolicy::Compensated);
+        assert!(c.optimize);
+        assert_eq!(c.interproc_depth, Some(3));
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let c = ConairConfigBuilder::new()
+            .mode(Mode::Fix(vec!["bug".into()]))
+            .policy(RegionPolicy::Strict)
+            .optimize(false)
+            .interproc_depth(None)
+            .build();
+        assert_eq!(c.mode, Mode::Fix(vec!["bug".into()]));
+        assert_eq!(c.policy, RegionPolicy::Strict);
+        assert!(!c.optimize);
+        assert_eq!(c.interproc_depth, None);
+        let ac = c.to_analysis_config();
+        assert!(matches!(ac.selection, SiteSelection::Fix(_)));
+        assert!(!ac.optimize);
+    }
+}

@@ -1,0 +1,334 @@
+//! Likely-invariant inference for output oracles (paper Section 6.1.2:
+//! "Future work can also use likely-invariant inference tools to infer
+//! such specifications for an output function, and automate the
+//! wrong-output failure recovery process").
+//!
+//! Wrong-output failures are only recoverable when ConAir can *detect* the
+//! wrong output — the paper requires developers to annotate correctness
+//! conditions. This module automates the common case: profile the program
+//! on correct runs, infer per-label invariants over the emitted values
+//! (constant, or range), and instrument an `OutputAssert` oracle before
+//! every matching `Output`. The instrumented module then goes through the
+//! normal ConAir pipeline, which hardens the synthesized oracles like any
+//! developer-written ones.
+
+use std::collections::{BTreeMap, HashMap};
+
+use conair_ir::{BinOpKind, CmpKind, Inst, Module, Operand};
+use conair_runtime::{run_scripted, MachineConfig, Program, ScheduleScript};
+
+/// An inferred per-label output invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Every observed value was this constant.
+    Constant(i64),
+    /// Observed values spanned this inclusive range.
+    Range {
+        /// Smallest observed value.
+        min: i64,
+        /// Largest observed value.
+        max: i64,
+    },
+}
+
+impl Invariant {
+    /// Whether `v` satisfies the invariant.
+    pub fn holds(&self, v: i64) -> bool {
+        match self {
+            Invariant::Constant(c) => v == *c,
+            Invariant::Range { min, max } => (*min..=*max).contains(&v),
+        }
+    }
+}
+
+/// Inferred invariants keyed by output label.
+#[derive(Debug, Clone, Default)]
+pub struct OracleSet {
+    invariants: BTreeMap<String, Invariant>,
+}
+
+impl OracleSet {
+    /// The invariant for `label`, if inferred.
+    pub fn invariant(&self, label: &str) -> Option<Invariant> {
+        self.invariants.get(label).copied()
+    }
+
+    /// Number of inferred invariants.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// Whether nothing was inferred.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Iterates over `(label, invariant)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Invariant)> {
+        self.invariants.iter().map(|(l, i)| (l.as_str(), *i))
+    }
+}
+
+/// Configuration for invariant inference.
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// Profiling runs (all must complete).
+    pub trials: usize,
+    /// First scheduler seed.
+    pub seed0: u64,
+    /// Labels to skip (e.g. debug traces with no semantic contract).
+    pub exclude_labels: Vec<String>,
+    /// Machine configuration for the profiling runs.
+    pub machine: MachineConfig,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        Self {
+            trials: 8,
+            seed0: 4242,
+            exclude_labels: vec!["trace".into()],
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+/// Profiles `program` on correct runs (under `script`) and infers output
+/// invariants.
+///
+/// Runs that do not complete are skipped (they would poison the sample);
+/// labels whose values vary are summarized as ranges.
+pub fn infer_oracles(
+    program: &Program,
+    script: &ScheduleScript,
+    config: &InferConfig,
+) -> OracleSet {
+    let mut samples: HashMap<String, Vec<i64>> = HashMap::new();
+    for i in 0..config.trials {
+        let r = run_scripted(
+            program,
+            config.machine.clone(),
+            script.clone(),
+            config.seed0 + i as u64,
+        );
+        if !r.outcome.is_completed() {
+            continue;
+        }
+        for o in &r.outputs {
+            if config.exclude_labels.iter().any(|l| l == &o.label) {
+                continue;
+            }
+            samples.entry(o.label.clone()).or_default().push(o.value);
+        }
+    }
+    let mut set = OracleSet::default();
+    for (label, values) in samples {
+        let min = *values.iter().min().expect("non-empty sample");
+        let max = *values.iter().max().expect("non-empty sample");
+        let inv = if min == max {
+            Invariant::Constant(min)
+        } else {
+            Invariant::Range { min, max }
+        };
+        set.invariants.insert(label, inv);
+    }
+    set
+}
+
+/// Instruments `module` with an `OutputAssert` oracle before every
+/// `Output` whose label has an inferred invariant. Returns the number of
+/// oracles inserted.
+pub fn instrument_oracles(module: &mut Module, oracles: &OracleSet) -> usize {
+    let mut inserted = 0;
+    for func in &mut module.functions {
+        for block in &mut func.blocks {
+            let original = std::mem::take(&mut block.insts);
+            let mut rebuilt = Vec::with_capacity(original.len());
+            for inst in original {
+                if let Inst::Output { label, value } = &inst {
+                    if let Some(inv) = oracles.invariant(label) {
+                        let cond = match inv {
+                            Invariant::Constant(c) => {
+                                let r = conair_ir::Reg::from_index(func.num_regs);
+                                func.num_regs += 1;
+                                rebuilt.push(Inst::Cmp {
+                                    dst: r,
+                                    op: CmpKind::Eq,
+                                    lhs: *value,
+                                    rhs: Operand::Const(c),
+                                });
+                                r
+                            }
+                            Invariant::Range { min, max } => {
+                                let lo = conair_ir::Reg::from_index(func.num_regs);
+                                let hi = conair_ir::Reg::from_index(func.num_regs + 1);
+                                let both = conair_ir::Reg::from_index(func.num_regs + 2);
+                                func.num_regs += 3;
+                                rebuilt.push(Inst::Cmp {
+                                    dst: lo,
+                                    op: CmpKind::Ge,
+                                    lhs: *value,
+                                    rhs: Operand::Const(min),
+                                });
+                                rebuilt.push(Inst::Cmp {
+                                    dst: hi,
+                                    op: CmpKind::Le,
+                                    lhs: *value,
+                                    rhs: Operand::Const(max),
+                                });
+                                rebuilt.push(Inst::BinOp {
+                                    dst: both,
+                                    op: BinOpKind::And,
+                                    lhs: Operand::Reg(lo),
+                                    rhs: Operand::Reg(hi),
+                                });
+                                both
+                            }
+                        };
+                        rebuilt.push(Inst::OutputAssert {
+                            cond: Operand::Reg(cond),
+                            msg: format!("inferred invariant for `{label}`: {inv:?}"),
+                        });
+                        inserted += 1;
+                    }
+                }
+                rebuilt.push(inst);
+            }
+            block.insts = rebuilt;
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{validate, FuncBuilder, ModuleBuilder};
+    use conair_runtime::{run_once, Gate};
+
+    use crate::Conair;
+
+    #[test]
+    fn invariant_predicates() {
+        assert!(Invariant::Constant(5).holds(5));
+        assert!(!Invariant::Constant(5).holds(6));
+        let r = Invariant::Range { min: -2, max: 7 };
+        assert!(r.holds(-2) && r.holds(7) && r.holds(0));
+        assert!(!r.holds(8) && !r.holds(-3));
+    }
+
+    /// A racy program whose wrong output has no developer oracle: inference
+    /// learns the correct constant, instrumentation adds the oracle, and
+    /// the full pipeline then recovers the wrong-output failure — the
+    /// Section 6.1.2 automation, end to end.
+    #[test]
+    fn inferred_oracle_enables_wrong_output_recovery() {
+        let program2 = {
+            let mut mb = ModuleBuilder::new("auto_oracle");
+            let flag = mb.global("result_ready", 0);
+            let mut t1 = FuncBuilder::new("reporter", 0);
+            t1.marker("report_start");
+            let v = t1.load_global(flag);
+            t1.marker("report_read_done");
+            t1.output("result", v); // no developer oracle!
+            t1.ret();
+            mb.function(t1.finish());
+            let mut t2 = FuncBuilder::new("producer", 0);
+            t2.marker("before_produce");
+            t2.store_global(flag, 9);
+            t2.marker("produced");
+            t2.ret();
+            mb.function(t2.finish());
+            Program::from_entry_names(mb.finish(), &["reporter", "producer"])
+        };
+        // Benign schedule: hold the reporter before its read until the
+        // producer has published.
+        let benign = ScheduleScript::with_gates(vec![Gate::new(0, "report_start", "produced")]);
+        let bug = ScheduleScript::with_gates(vec![Gate::new(
+            1,
+            "before_produce",
+            "report_read_done",
+        )]);
+
+        // 1. The buggy interleaving silently produces a wrong output.
+        let r = run_scripted(&program2, MachineConfig::default(), bug.clone(), 0);
+        assert!(r.outcome.is_completed(), "no failure is even detected");
+        assert_eq!(r.outputs_for("result"), vec![0], "wrong output!");
+
+        // 2. Infer the invariant from correct runs.
+        let oracles = infer_oracles(&program2, &benign, &InferConfig::default());
+        assert_eq!(oracles.invariant("result"), Some(Invariant::Constant(9)));
+
+        // 3. Instrument + harden.
+        let mut module = program2.module.clone();
+        let inserted = instrument_oracles(&mut module, &oracles);
+        assert_eq!(inserted, 1);
+        validate(&module).expect("instrumented module validates");
+        let instrumented = program2.with_module(module);
+        let hardened = Conair::survival().harden(&instrumented);
+
+        // 4. The same buggy interleaving now recovers with the right value.
+        for seed in 0..10 {
+            let r = run_scripted(
+                &hardened.program,
+                MachineConfig::default(),
+                bug.clone(),
+                seed,
+            );
+            assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
+            assert_eq!(r.outputs_for("result"), vec![9], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn varying_outputs_become_ranges_and_excluded_labels_skipped() {
+        let mut mb = ModuleBuilder::new("range");
+        let g = mb.global("seed_like", 3);
+        let mut fb = FuncBuilder::new("main", 0);
+        let v = fb.load_global(g);
+        fb.output("varies", v);
+        let v2 = fb.add(v, 1);
+        fb.store_global(g, v2);
+        fb.output("trace", v2); // excluded by default
+        fb.ret();
+        mb.function(fb.finish());
+        let program = Program::from_entry_names(mb.finish(), &["main"]);
+        // Each profiling run starts from fresh memory, so the observed
+        // value is constant across runs — force variation by sampling two
+        // different programs... simpler: assert Constant here and Range on
+        // a direct construction.
+        let oracles = infer_oracles(&program, &ScheduleScript::none(), &InferConfig::default());
+        assert_eq!(oracles.invariant("varies"), Some(Invariant::Constant(3)));
+        assert_eq!(oracles.invariant("trace"), None, "excluded label skipped");
+
+        // Range instrumentation path, directly.
+        let mut set = OracleSet::default();
+        set.invariants
+            .insert("varies".into(), Invariant::Range { min: 2, max: 5 });
+        let mut module = program.module.clone();
+        let inserted = instrument_oracles(&mut module, &set);
+        assert_eq!(inserted, 1);
+        validate(&module).expect("range-instrumented module validates");
+        let r = run_once(
+            &program.with_module(module),
+            MachineConfig::default(),
+            0,
+        );
+        assert!(r.outcome.is_completed(), "3 is inside [2,5]");
+    }
+
+    #[test]
+    fn failed_profiling_runs_are_skipped() {
+        // A program that always fails yields no invariants.
+        let mut mb = ModuleBuilder::new("f");
+        let mut fb = FuncBuilder::new("main", 0);
+        let c = fb.copy(0i64);
+        fb.assert(c, "always fails");
+        fb.output("never", 1);
+        fb.ret();
+        mb.function(fb.finish());
+        let program = Program::from_entry_names(mb.finish(), &["main"]);
+        let oracles = infer_oracles(&program, &ScheduleScript::none(), &InferConfig::default());
+        assert!(oracles.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! The qualitative property comparison of paper Table 1.
+//!
+//! Each technique family is scored on the four properties an ideal
+//! concurrency-bug fixing/survival technique should have. This module is
+//! static data: it exists so the bench harness can regenerate Table 1 and
+//! so the claims are spelled out next to the code that embodies them.
+
+use std::fmt;
+
+/// The four properties of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// No OS/hardware modification.
+    Compatibility,
+    /// Never generates results infeasible for the original software.
+    Correctness,
+    /// Helps bugs with a wide variety of root causes, without accurate bug
+    /// detection.
+    Generality,
+    /// Small run-time overhead and fast failure recovery.
+    Performance,
+}
+
+impl Property {
+    /// Row order of Table 1.
+    pub const ALL: [Property; 4] = [
+        Property::Compatibility,
+        Property::Correctness,
+        Property::Generality,
+        Property::Performance,
+    ];
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Property::Compatibility => "Compatibility",
+            Property::Correctness => "Correctness",
+            Property::Generality => "Generality",
+            Property::Performance => "Performance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a technique satisfies a property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Satisfaction {
+    /// Yes (✓ in Table 1).
+    Yes,
+    /// No (- in Table 1).
+    No,
+    /// The family contains techniques satisfying it, but not all four at
+    /// once (* in Table 1).
+    Partial,
+}
+
+impl Satisfaction {
+    /// The Table-1 glyph.
+    pub fn glyph(self) -> char {
+        match self {
+            Satisfaction::Yes => '+',
+            Satisfaction::No => '-',
+            Satisfaction::Partial => '*',
+        }
+    }
+}
+
+/// A technique family (column of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Automated bug fixing (adds synchronization for known root causes).
+    AutomaticFixing,
+    /// Proactively prohibiting interleavings at run time.
+    ProhibitingInterleaving,
+    /// Whole-program checkpoint/rollback recovery.
+    RollbackRecovery,
+    /// This system.
+    ConAir,
+}
+
+impl Technique {
+    /// Column order of Table 1.
+    pub const ALL: [Technique; 4] = [
+        Technique::AutomaticFixing,
+        Technique::ProhibitingInterleaving,
+        Technique::RollbackRecovery,
+        Technique::ConAir,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::AutomaticFixing => "Auto. Fixing",
+            Technique::ProhibitingInterleaving => "Prohibiting Interleaving",
+            Technique::RollbackRecovery => "Rollback Recovery",
+            Technique::ConAir => "ConAir",
+        }
+    }
+
+    /// The Table-1 cell for `property`.
+    pub fn satisfies(self, property: Property) -> Satisfaction {
+        use Property::*;
+        use Satisfaction::*;
+        use Technique::*;
+        match (self, property) {
+            (AutomaticFixing, Compatibility) => Yes,
+            (AutomaticFixing, Correctness) => Yes,
+            (AutomaticFixing, Generality) => No,
+            (AutomaticFixing, Performance) => Yes,
+            (ProhibitingInterleaving, Correctness) => Yes,
+            (ProhibitingInterleaving, _) => Partial,
+            (RollbackRecovery, Correctness) | (RollbackRecovery, Generality) => Yes,
+            (RollbackRecovery, _) => Partial,
+            (ConAir, _) => Yes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conair_satisfies_everything() {
+        for p in Property::ALL {
+            assert_eq!(Technique::ConAir.satisfies(p), Satisfaction::Yes);
+        }
+    }
+
+    #[test]
+    fn no_prior_technique_satisfies_all_four() {
+        for t in [
+            Technique::AutomaticFixing,
+            Technique::ProhibitingInterleaving,
+            Technique::RollbackRecovery,
+        ] {
+            assert!(
+                Property::ALL
+                    .iter()
+                    .any(|&p| t.satisfies(p) != Satisfaction::Yes),
+                "{} should not satisfy all four properties",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table_1_spot_checks() {
+        assert_eq!(
+            Technique::AutomaticFixing.satisfies(Property::Generality),
+            Satisfaction::No
+        );
+        assert_eq!(
+            Technique::RollbackRecovery.satisfies(Property::Generality),
+            Satisfaction::Yes
+        );
+        assert_eq!(
+            Technique::RollbackRecovery.satisfies(Property::Compatibility),
+            Satisfaction::Partial
+        );
+        assert_eq!(Satisfaction::Partial.glyph(), '*');
+    }
+}

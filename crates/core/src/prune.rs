@@ -1,0 +1,252 @@
+//! Dynamic pruning of well-tested failure sites (paper Section 3.4:
+//! "We can also use dynamic technique like ConSeq to prune well tested
+//! potential failure sites").
+//!
+//! Survival mode hardens every statically identifiable site, including many
+//! that never fail. Sites whose checks have executed many times across
+//! test runs without ever failing are unlikely to hide bugs; dropping them
+//! removes their reexecution points and shrinks the (already tiny)
+//! overhead further.
+
+use std::collections::{HashMap, HashSet};
+
+use conair_analysis::HardeningPlan;
+use conair_ir::SiteId;
+use conair_runtime::{run_scripted, MachineConfig, Program, ScheduleScript};
+
+use crate::pipeline::HardenedProgram;
+use crate::Conair;
+
+/// Configuration for well-tested-site pruning.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// A site is "well tested" once its check has executed at least this
+    /// many times across the profiling runs without a single failure.
+    pub min_checks: u64,
+    /// Profiling runs.
+    pub trials: usize,
+    /// First scheduler seed.
+    pub seed0: u64,
+    /// Machine configuration for the profiling runs.
+    pub machine: MachineConfig,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self {
+            min_checks: 10,
+            trials: 5,
+            seed0: 77,
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+/// The outcome of a pruning pass.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// Sites dropped (well tested).
+    pub pruned_sites: Vec<SiteId>,
+    /// Static reexecution points before pruning.
+    pub points_before: usize,
+    /// Static reexecution points after pruning.
+    pub points_after: usize,
+}
+
+/// Profiles the hardened program on benign runs and returns the sites that
+/// qualify as well tested.
+pub fn well_tested_sites(
+    hardened: &Program,
+    script: &ScheduleScript,
+    config: &PruneConfig,
+) -> HashSet<SiteId> {
+    let mut checks: HashMap<SiteId, u64> = HashMap::new();
+    let mut ever_failed: HashSet<SiteId> = HashSet::new();
+    for i in 0..config.trials {
+        let r = run_scripted(
+            hardened,
+            config.machine.clone(),
+            script.clone(),
+            config.seed0 + i as u64,
+        );
+        for (site, n) in &r.stats.site_checks {
+            *checks.entry(*site).or_insert(0) += n;
+        }
+        for (site, rec) in &r.stats.site_recovery {
+            if rec.retries > 0 {
+                ever_failed.insert(*site);
+            }
+        }
+    }
+    checks
+        .into_iter()
+        .filter(|(site, n)| *n >= config.min_checks && !ever_failed.contains(site))
+        .map(|(site, _)| site)
+        .collect()
+}
+
+/// Removes `pruned` sites from `plan`, recomputing the checkpoint set (a
+/// checkpoint survives only while some remaining recoverable site uses it).
+pub fn prune_plan(plan: &HardeningPlan, pruned: &HashSet<SiteId>) -> HardeningPlan {
+    let mut out = plan.clone();
+    let mut checkpoint_set = std::collections::BTreeSet::new();
+    for sp in &mut out.sites {
+        if pruned.contains(&sp.site.id) {
+            sp.verdict = conair_analysis::RecoverabilityVerdict::NoSharedReadOnSlice;
+            sp.points.clear();
+        } else if sp.is_recoverable() {
+            checkpoint_set.extend(sp.points.iter().copied());
+        }
+    }
+    out.checkpoints = checkpoint_set.into_iter().collect();
+    out.stats.static_points = out.checkpoints.len();
+    out.stats.recoverable_sites = out.sites.iter().filter(|s| s.is_recoverable()).count();
+    out
+}
+
+/// End-to-end pruning: profile `program` under survival-mode hardening,
+/// drop well-tested sites, and re-harden with the pruned plan.
+pub fn harden_with_pruning(
+    pipeline: &Conair,
+    program: &Program,
+    script: &ScheduleScript,
+    config: &PruneConfig,
+) -> (HardenedProgram, PruneReport) {
+    let first = pipeline.harden(program);
+    let pruned = well_tested_sites(&first.program, script, config);
+    let new_plan = prune_plan(&first.plan, &pruned);
+    let report = PruneReport {
+        pruned_sites: {
+            let mut v: Vec<_> = pruned.into_iter().collect();
+            v.sort();
+            v
+        },
+        points_before: first.plan.stats.static_points,
+        points_after: new_plan.stats.static_points,
+    };
+    let hardened = conair_transform::harden(program.module.clone(), &new_plan);
+    (
+        HardenedProgram {
+            program: program.with_module(hardened.module),
+            plan: new_plan,
+            transform: hardened.stats,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+    use conair_runtime::run_once;
+
+    /// A program with a hot well-tested assert and a cold never-executed
+    /// assert: pruning drops the former and keeps the latter.
+    fn program() -> Program {
+        let mut mb = ModuleBuilder::new("p");
+        let g = mb.global("g", 1);
+        let cold = {
+            let mut fb = FuncBuilder::new("cold", 0);
+            let v = fb.load_global(g);
+            let c = fb.cmp(CmpKind::Ge, v, 0);
+            fb.assert(c, "cold site");
+            fb.ret();
+            mb.function(fb.finish())
+        };
+        let mut fb = FuncBuilder::new("main", 0);
+        fb.counted_loop(50, |b, _| {
+            let v = b.load_global(g);
+            let c = b.cmp(CmpKind::Ge, v, 0);
+            b.assert(c, "hot site");
+        });
+        let v = fb.load_global(g);
+        let never = fb.cmp(CmpKind::Lt, v, 0);
+        let cold_bb = fb.new_block();
+        let done = fb.new_block();
+        fb.branch(never, cold_bb, done);
+        fb.switch_to(cold_bb);
+        fb.call_void(cold, vec![]);
+        fb.jump(done);
+        fb.switch_to(done);
+        fb.ret();
+        mb.function(fb.finish());
+        Program::from_entry_names(mb.finish(), &["main"])
+    }
+
+    #[test]
+    fn hot_sites_pruned_cold_sites_kept() {
+        let pipeline = Conair::survival();
+        let (hardened, report) = harden_with_pruning(
+            &pipeline,
+            &program(),
+            &ScheduleScript::none(),
+            &PruneConfig::default(),
+        );
+        assert!(!report.pruned_sites.is_empty(), "the hot assert is pruned");
+        assert!(report.points_after < report.points_before);
+        // The pruned program still runs correctly.
+        let r = run_once(&hardened.program, MachineConfig::default(), 1);
+        assert!(r.outcome.is_completed());
+        // The never-executed cold site keeps its guard (0 checks < min).
+        let cold_guards = hardened
+            .program
+            .module
+            .iter_insts()
+            .filter(|(_, i)| matches!(i, conair_ir::Inst::FailGuard { msg, .. } if msg == "cold site"))
+            .count();
+        assert_eq!(cold_guards, 1);
+    }
+
+    #[test]
+    fn pruning_never_fires_below_check_threshold() {
+        let pipeline = Conair::survival();
+        let cfg = PruneConfig {
+            min_checks: 1_000_000,
+            ..PruneConfig::default()
+        };
+        let (_, report) =
+            harden_with_pruning(&pipeline, &program(), &ScheduleScript::none(), &cfg);
+        assert!(report.pruned_sites.is_empty());
+        assert_eq!(report.points_before, report.points_after);
+    }
+
+    #[test]
+    fn failed_sites_are_never_pruned() {
+        // A site that fails (and recovers) during profiling must be kept
+        // no matter how often it executes.
+        use conair_runtime::Gate;
+        let mut mb = ModuleBuilder::new("p");
+        let flag = mb.global("flag", 0);
+        let mut fb = FuncBuilder::new("reader", 0);
+        fb.marker("reader_started");
+        let v = fb.load_global(flag);
+        let c = fb.cmp(CmpKind::Ne, v, 0);
+        fb.assert(c, "flag set");
+        fb.ret();
+        mb.function(fb.finish());
+        let mut fb = FuncBuilder::new("writer", 0);
+        fb.marker("before_write");
+        fb.store_global(flag, 1);
+        fb.ret();
+        mb.function(fb.finish());
+        let program = Program::from_entry_names(mb.finish(), &["reader", "writer"]);
+        let script = ScheduleScript::with_gates(vec![Gate::new(
+            1,
+            "before_write",
+            "reader_started",
+        )]);
+        let cfg = PruneConfig {
+            min_checks: 1,
+            trials: 10,
+            ..PruneConfig::default()
+        };
+        let (_, report) =
+            harden_with_pruning(&Conair::survival(), &program, &script, &cfg);
+        assert!(
+            report.pruned_sites.is_empty(),
+            "a site that failed in profiling is kept: {:?}",
+            report.pruned_sites
+        );
+    }
+}

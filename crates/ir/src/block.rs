@@ -1,0 +1,219 @@
+//! Basic blocks and functions.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::types::{BlockId, FuncId, LocalId, Reg};
+
+/// A straight-line sequence of instructions ending in a terminator.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BasicBlock {
+    /// Optional human-readable name (used by the printer).
+    pub name: Option<String>,
+    /// Instructions; the final one must be a terminator in a valid module.
+    pub insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// Creates an empty, unnamed block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The terminator instruction, if the block has one.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+
+    /// Successor blocks of this block's terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self.terminator() {
+            Some(Inst::Jump { target }) => vec![*target],
+            Some(Inst::Branch {
+                then_bb, else_bb, ..
+            }) => {
+                if then_bb == else_bb {
+                    vec![*then_bb]
+                } else {
+                    vec![*then_bb, *else_bb]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A function: parameters, register/stack-slot counts and basic blocks.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Function {
+    /// Function name, unique within the module.
+    pub name: String,
+    /// Number of parameters; arguments are bound to registers `0..num_params`.
+    pub num_params: usize,
+    /// Size of the virtual register file.
+    pub num_regs: usize,
+    /// Number of stack slots.
+    pub num_locals: usize,
+    /// Basic blocks; `BlockId(0)` is the entry block.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    /// Creates a function with one empty entry block.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        Self {
+            name: name.into(),
+            num_params,
+            num_regs: num_params,
+            num_locals: 0,
+            blocks: vec![BasicBlock::new()],
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable block lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::new());
+        BlockId::from_index(self.blocks.len() - 1)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg::from_index(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Allocates a fresh stack slot.
+    pub fn new_local(&mut self) -> LocalId {
+        let l = LocalId::from_index(self.num_locals);
+        self.num_locals += 1;
+        l
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_index(i), b))
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}(params={}, regs={}, locals={}) {{",
+            self.name, self.num_params, self.num_regs, self.num_locals
+        )?;
+        for (id, block) in self.iter_blocks() {
+            match &block.name {
+                Some(n) => writeln!(f, "{id} ({n}):")?,
+                None => writeln!(f, "{id}:")?,
+            }
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// A reference to a function paired with its id — handy for diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct FuncRef<'a> {
+    /// The function's id in its module.
+    pub id: FuncId,
+    /// The function.
+    pub func: &'a Function,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Operand;
+
+    #[test]
+    fn successors_of_terminators() {
+        let mut b = BasicBlock::new();
+        assert!(b.terminator().is_none());
+        assert!(b.successors().is_empty());
+
+        b.insts.push(Inst::Jump { target: BlockId(3) });
+        assert_eq!(b.successors(), vec![BlockId(3)]);
+
+        b.insts.pop();
+        b.insts.push(Inst::Branch {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+
+        b.insts.pop();
+        b.insts.push(Inst::Branch {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(1),
+        });
+        assert_eq!(b.successors(), vec![BlockId(1)], "duplicate edges collapse");
+
+        b.insts.pop();
+        b.insts.push(Inst::Return { value: None });
+        assert!(b.successors().is_empty());
+    }
+
+    #[test]
+    fn function_allocators() {
+        let mut f = Function::new("test", 2);
+        assert_eq!(f.num_regs, 2, "params occupy the first registers");
+        let r = f.new_reg();
+        assert_eq!(r, Reg(2));
+        let l = f.new_local();
+        assert_eq!(l, LocalId(0));
+        let b = f.add_block();
+        assert_eq!(b, BlockId(1));
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.entry(), BlockId(0));
+    }
+
+    #[test]
+    fn num_insts_counts_all_blocks() {
+        let mut f = Function::new("t", 0);
+        f.block_mut(BlockId(0)).insts.push(Inst::Nop);
+        let b1 = f.add_block();
+        f.block_mut(b1).insts.push(Inst::Nop);
+        f.block_mut(b1).insts.push(Inst::Return { value: None });
+        assert_eq!(f.num_insts(), 3);
+    }
+}

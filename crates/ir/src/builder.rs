@@ -1,0 +1,486 @@
+//! Ergonomic construction of functions and modules.
+//!
+//! [`FuncBuilder`] maintains a cursor (current block) and exposes one method
+//! per instruction; every method that produces a value allocates and returns
+//! a fresh virtual register. Workloads in `conair-workloads` are written
+//! entirely against this API.
+
+use crate::block::Function;
+use crate::inst::Inst;
+use crate::module::Module;
+use crate::types::{BlockId, FuncId, GlobalId, LocalId, LockId, Reg};
+use crate::value::{BinOpKind, CmpKind, Operand};
+
+/// Incremental builder for one [`Function`].
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Function,
+    cursor: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts a function with `num_params` parameters bound to the first
+    /// registers.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        Self {
+            func: Function::new(name, num_params),
+            cursor: BlockId(0),
+        }
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.func.num_params, "parameter index out of range");
+        Reg::from_index(i)
+    }
+
+    /// Creates a new (empty) block without moving the cursor.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Moves the cursor: subsequent instructions append to `block`.
+    pub fn switch_to(&mut self, block: BlockId) -> &mut Self {
+        assert!(
+            block.index() < self.func.blocks.len(),
+            "switch_to: unknown block"
+        );
+        self.cursor = block;
+        self
+    }
+
+    /// The block the cursor is currently in.
+    pub fn current_block(&self) -> BlockId {
+        self.cursor
+    }
+
+    /// Names the current block (printer cosmetics).
+    pub fn name_block(&mut self, name: impl Into<String>) -> &mut Self {
+        self.func.block_mut(self.cursor).name = Some(name.into());
+        self
+    }
+
+    /// Allocates a stack slot.
+    pub fn local(&mut self) -> LocalId {
+        self.func.new_local()
+    }
+
+    /// Appends a raw instruction at the cursor.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        let cur = self.cursor;
+        self.func.block_mut(cur).insts.push(inst);
+        self
+    }
+
+    fn fresh(&mut self) -> Reg {
+        self.func.new_reg()
+    }
+
+    // ---- value-producing instructions -------------------------------------
+
+    /// `dst = src` (constant or register copy).
+    pub fn copy(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Copy {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// `dst = op(lhs, rhs)`.
+    pub fn binop(
+        &mut self,
+        op: BinOpKind,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::BinOp {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        dst
+    }
+
+    /// `dst = lhs + rhs`.
+    pub fn add(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.binop(BinOpKind::Add, lhs, rhs)
+    }
+
+    /// `dst = lhs - rhs`.
+    pub fn sub(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.binop(BinOpKind::Sub, lhs, rhs)
+    }
+
+    /// `dst = lhs * rhs`.
+    pub fn mul(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.binop(BinOpKind::Mul, lhs, rhs)
+    }
+
+    /// `dst = cmp(lhs, rhs)`.
+    pub fn cmp(&mut self, op: CmpKind, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Cmp {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        dst
+    }
+
+    /// `dst = global`.
+    pub fn load_global(&mut self, global: GlobalId) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::LoadGlobal { dst, global });
+        dst
+    }
+
+    /// `dst = &global`.
+    pub fn addr_of_global(&mut self, global: GlobalId) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::AddrOfGlobal { dst, global });
+        dst
+    }
+
+    /// `dst = *ptr`.
+    pub fn load_ptr(&mut self, ptr: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::LoadPtr {
+            dst,
+            ptr: ptr.into(),
+        });
+        dst
+    }
+
+    /// `dst = local`.
+    pub fn load_local(&mut self, local: LocalId) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::LoadLocal { dst, local });
+        dst
+    }
+
+    /// `dst = malloc(words)`.
+    pub fn alloc(&mut self, words: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Alloc {
+            dst,
+            words: words.into(),
+        });
+        dst
+    }
+
+    /// `dst = call callee(args)`.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Call {
+            dst: Some(dst),
+            callee,
+            args,
+        });
+        dst
+    }
+
+    // ---- effect instructions ------------------------------------------------
+
+    /// `global = src`.
+    pub fn store_global(&mut self, global: GlobalId, src: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::StoreGlobal {
+            global,
+            src: src.into(),
+        })
+    }
+
+    /// `*ptr = src`.
+    pub fn store_ptr(&mut self, ptr: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::StorePtr {
+            ptr: ptr.into(),
+            src: src.into(),
+        })
+    }
+
+    /// `local = src`.
+    pub fn store_local(&mut self, local: LocalId, src: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::StoreLocal {
+            local,
+            src: src.into(),
+        })
+    }
+
+    /// `free(ptr)`.
+    pub fn free(&mut self, ptr: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Free { ptr: ptr.into() })
+    }
+
+    /// `pthread_mutex_lock(lock)`.
+    pub fn lock(&mut self, lock: LockId) -> &mut Self {
+        self.push(Inst::Lock { lock })
+    }
+
+    /// `pthread_mutex_unlock(lock)`.
+    pub fn unlock(&mut self, lock: LockId) -> &mut Self {
+        self.push(Inst::Unlock { lock })
+    }
+
+    /// Emit `value` on the output log under `label`.
+    pub fn output(&mut self, label: impl Into<String>, value: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Output {
+            label: label.into(),
+            value: value.into(),
+        })
+    }
+
+    /// `assert(cond)`.
+    pub fn assert(&mut self, cond: impl Into<Operand>, msg: impl Into<String>) -> &mut Self {
+        self.push(Inst::Assert {
+            cond: cond.into(),
+            msg: msg.into(),
+        })
+    }
+
+    /// Output-correctness oracle (wrong-output failure site).
+    pub fn output_assert(
+        &mut self,
+        cond: impl Into<Operand>,
+        msg: impl Into<String>,
+    ) -> &mut Self {
+        self.push(Inst::OutputAssert {
+            cond: cond.into(),
+            msg: msg.into(),
+        })
+    }
+
+    /// `call callee(args)` discarding the result.
+    pub fn call_void(&mut self, callee: FuncId, args: Vec<Operand>) -> &mut Self {
+        self.push(Inst::Call {
+            dst: None,
+            callee,
+            args,
+        })
+    }
+
+    /// Named no-op for schedule scripts / fix-mode site selection.
+    pub fn marker(&mut self, name: impl Into<String>) -> &mut Self {
+        self.push(Inst::Marker { name: name.into() })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    // ---- control flow --------------------------------------------------------
+
+    /// Unconditional jump; leaves the cursor unchanged.
+    pub fn jump(&mut self, target: BlockId) -> &mut Self {
+        self.push(Inst::Jump { target })
+    }
+
+    /// Conditional branch; leaves the cursor unchanged.
+    pub fn branch(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> &mut Self {
+        self.push(Inst::Branch {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        })
+    }
+
+    /// `ret` (no value).
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Return { value: None })
+    }
+
+    /// `ret value`.
+    pub fn ret_value(&mut self, value: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Return {
+            value: Some(value.into()),
+        })
+    }
+
+    /// Builds a counted loop: calls `body` once to emit the loop body, with
+    /// the induction register counting `0..count`. The cursor ends in the
+    /// block following the loop. Returns the induction register.
+    pub fn counted_loop(
+        &mut self,
+        count: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) -> Reg {
+        let count = count.into();
+        // Induction variable lives in a stack slot so the loop is genuinely
+        // non-idempotent (as real loops compiled without SSA registers are);
+        // the current value is re-loaded into a register each iteration.
+        let slot = self.local();
+        let i_reg = self.fresh();
+        self.store_local(slot, 0);
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jump(head);
+        self.switch_to(head);
+        self.push(Inst::LoadLocal {
+            dst: i_reg,
+            local: slot,
+        });
+        let cond = self.cmp(CmpKind::Lt, i_reg, count);
+        self.branch(cond, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self, i_reg);
+        let next = self.add(i_reg, 1);
+        self.store_local(slot, next);
+        self.jump(head);
+        self.switch_to(exit);
+        i_reg
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+/// Convenience wrapper for building a module and registering functions.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declares a single-word global.
+    pub fn global(&mut self, name: impl Into<String>, init: i64) -> GlobalId {
+        self.module.add_global(name, init)
+    }
+
+    /// Declares a multi-word global.
+    pub fn global_array(&mut self, name: impl Into<String>, words: usize, init: i64) -> GlobalId {
+        self.module.add_global_array(name, words, init)
+    }
+
+    /// Declares a mutex.
+    pub fn lock(&mut self, name: impl Into<String>) -> LockId {
+        self.module.add_lock(name)
+    }
+
+    /// Reserves a function id before its body exists, enabling (mutual)
+    /// recursion and forward references. The placeholder body is a bare
+    /// `ret`.
+    pub fn declare_function(&mut self, name: impl Into<String>, num_params: usize) -> FuncId {
+        let mut f = Function::new(name, num_params);
+        f.blocks[0].insts.push(Inst::Return { value: None });
+        self.module.add_function(f)
+    }
+
+    /// Replaces a declared function's body with a built one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the names disagree — that is almost always a wiring bug.
+    pub fn define_function(&mut self, id: FuncId, func: Function) {
+        assert_eq!(
+            self.module.func(id).name,
+            func.name,
+            "define_function: name mismatch"
+        );
+        *self.module.func_mut(id) = func;
+    }
+
+    /// Adds a finished function.
+    pub fn function(&mut self, func: Function) -> FuncId {
+        self.module.add_function(func)
+    }
+
+    /// Finishes the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn straight_line_function_builds() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("x", 5);
+        let mut fb = FuncBuilder::new("main", 0);
+        let v = fb.load_global(g);
+        let w = fb.add(v, 1);
+        fb.store_global(g, w);
+        fb.ret();
+        mb.function(fb.finish());
+        let m = mb.finish();
+        assert!(validate(&m).is_ok(), "built module validates");
+        assert_eq!(m.num_insts(), 4);
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("acc", 0);
+        let mut fb = FuncBuilder::new("main", 0);
+        fb.counted_loop(10, |b, i| {
+            let cur = b.load_global(g);
+            let nxt = b.add(cur, i);
+            b.store_global(g, nxt);
+        });
+        fb.ret();
+        mb.function(fb.finish());
+        let m = mb.finish();
+        validate(&m).expect("loop module validates");
+        // entry + head + body + exit
+        assert_eq!(m.func(FuncId(0)).blocks.len(), 4);
+    }
+
+    #[test]
+    fn declare_then_define() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = mb.declare_function("helper", 1);
+        let mut main = FuncBuilder::new("main", 0);
+        let r = main.call(callee, vec![Operand::Const(3)]);
+        main.ret_value(r);
+        mb.function(main.finish());
+        let mut helper = FuncBuilder::new("helper", 1);
+        let p = helper.param(0);
+        let d = helper.mul(p, 2);
+        helper.ret_value(d);
+        mb.define_function(callee, helper.finish());
+        let m = mb.finish();
+        validate(&m).expect("module validates");
+        assert_eq!(m.func(callee).num_insts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "name mismatch")]
+    fn define_function_checks_names() {
+        let mut mb = ModuleBuilder::new("m");
+        let id = mb.declare_function("a", 0);
+        mb.define_function(id, Function::new("b", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn param_bounds_checked() {
+        let fb = FuncBuilder::new("f", 1);
+        let _ = fb.param(1);
+    }
+}

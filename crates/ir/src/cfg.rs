@@ -1,0 +1,320 @@
+//! Control-flow-graph utilities at block and instruction granularity.
+//!
+//! ConAir's reexecution-point search (paper Section 3.2.2) walks the CFG
+//! *backwards at instruction granularity*: the predecessor of instruction
+//! `i > 0` in a block is instruction `i - 1`; the predecessors of the first
+//! instruction of a block are the terminators of all predecessor blocks.
+//! [`InstPos`] and [`Cfg::inst_predecessors`] provide exactly that view.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::block::Function;
+use crate::types::BlockId;
+
+/// Block-level control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+/// An instruction position inside one function (block + index).
+///
+/// Unlike [`crate::Loc`] this does not carry the function id — CFG walks are
+/// always intra-procedural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstPos {
+    /// Containing block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+}
+
+impl InstPos {
+    /// Builds a position.
+    pub fn new(block: BlockId, inst: usize) -> Self {
+        Self { block, inst }
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn build(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in func.iter_blocks() {
+            for s in block.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        Self { succs, preds }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Instruction-level predecessors of `pos` (see module docs).
+    pub fn inst_predecessors(&self, func: &Function, pos: InstPos) -> Vec<InstPos> {
+        if pos.inst > 0 {
+            return vec![InstPos::new(pos.block, pos.inst - 1)];
+        }
+        self.predecessors(pos.block)
+            .iter()
+            .map(|&p| {
+                let len = func.block(p).insts.len();
+                InstPos::new(p, len.saturating_sub(1))
+            })
+            .collect()
+    }
+
+    /// Instruction-level successors of `pos`.
+    pub fn inst_successors(&self, func: &Function, pos: InstPos) -> Vec<InstPos> {
+        let block = func.block(pos.block);
+        if pos.inst + 1 < block.insts.len() {
+            return vec![InstPos::new(pos.block, pos.inst + 1)];
+        }
+        self.successors(pos.block)
+            .iter()
+            .map(|&s| InstPos::new(s, 0))
+            .collect()
+    }
+
+    /// Blocks reachable from the entry block.
+    pub fn reachable_blocks(&self) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        let entry = BlockId(0);
+        seen.insert(entry);
+        queue.push_back(entry);
+        while let Some(b) = queue.pop_front() {
+            for &s in self.successors(b) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse post-order of reachable blocks (a topological order for
+    /// acyclic regions; stable for iterative dataflow).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.num_blocks()];
+        let mut post = Vec::with_capacity(self.num_blocks());
+        // Iterative DFS with an explicit stack holding (block, next-child).
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        let entry = BlockId(0);
+        if self.num_blocks() == 0 {
+            return post;
+        }
+        visited[entry.index()] = true;
+        stack.push((entry, 0));
+        while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+            if *idx < self.succs[b.index()].len() {
+                let child = self.succs[b.index()][*idx];
+                *idx += 1;
+                if !visited[child.index()] {
+                    visited[child.index()] = true;
+                    stack.push((child, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Computes immediate dominators for reachable blocks using the classic
+/// Cooper–Harvey–Kennedy iterative algorithm.
+///
+/// The entry block dominates itself; unreachable blocks are absent from the
+/// returned map.
+pub fn immediate_dominators(cfg: &Cfg) -> HashMap<BlockId, BlockId> {
+    let rpo = cfg.reverse_postorder();
+    let mut rpo_index = HashMap::new();
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index.insert(b, i);
+    }
+    let entry = BlockId(0);
+    let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+    idom.insert(entry, entry);
+
+    let intersect = |idom: &HashMap<BlockId, BlockId>,
+                     rpo_index: &HashMap<BlockId, usize>,
+                     mut a: BlockId,
+                     mut b: BlockId| {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = idom[&a];
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in cfg.predecessors(b) {
+                if !rpo_index.contains_key(&p) {
+                    continue; // unreachable predecessor
+                }
+                if idom.contains_key(&p) {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&b) != Some(&ni) {
+                    idom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Returns true if `a` dominates `b` given an idom map from
+/// [`immediate_dominators`].
+pub fn dominates(idom: &HashMap<BlockId, BlockId>, a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom.get(&cur) {
+            Some(&d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::value::CmpKind;
+
+    /// Diamond: entry -> (then | else) -> merge.
+    fn diamond() -> Function {
+        let mut fb = FuncBuilder::new("d", 1);
+        let then_bb = fb.new_block();
+        let else_bb = fb.new_block();
+        let merge = fb.new_block();
+        let c = fb.cmp(CmpKind::Gt, fb.param(0), 0);
+        fb.branch(c, then_bb, else_bb);
+        fb.switch_to(then_bb);
+        fb.nop();
+        fb.jump(merge);
+        fb.switch_to(else_bb);
+        fb.nop();
+        fb.jump(merge);
+        fb.switch_to(merge);
+        fb.ret();
+        fb.finish()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.predecessors(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.reachable_blocks().len(), 4);
+    }
+
+    #[test]
+    fn inst_predecessors_cross_blocks() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        // First inst of merge block has two predecessors: the jumps.
+        let preds = cfg.inst_predecessors(&f, InstPos::new(BlockId(3), 0));
+        assert_eq!(preds.len(), 2);
+        for p in &preds {
+            assert!(f.block(p.block).insts[p.inst].is_terminator());
+        }
+        // Within-block predecessor.
+        let preds = cfg.inst_predecessors(&f, InstPos::new(BlockId(0), 1));
+        assert_eq!(preds, vec![InstPos::new(BlockId(0), 0)]);
+        // Entry's first instruction has no predecessors.
+        assert!(cfg
+            .inst_predecessors(&f, InstPos::new(BlockId(0), 0))
+            .is_empty());
+    }
+
+    #[test]
+    fn inst_successors_cross_blocks() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let succs = cfg.inst_successors(&f, InstPos::new(BlockId(0), 1));
+        assert_eq!(
+            succs,
+            vec![InstPos::new(BlockId(1), 0), InstPos::new(BlockId(2), 0)]
+        );
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[3], BlockId(3), "merge block last in RPO");
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let idom = immediate_dominators(&cfg);
+        assert_eq!(idom[&BlockId(1)], BlockId(0));
+        assert_eq!(idom[&BlockId(2)], BlockId(0));
+        assert_eq!(idom[&BlockId(3)], BlockId(0), "merge dominated by entry only");
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(1), BlockId(3)));
+        assert!(dominates(&idom, BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_cfg_dominators() {
+        // entry -> head; head -> body|exit; body -> head
+        let mut fb = FuncBuilder::new("l", 0);
+        fb.counted_loop(5, |b, _| {
+            b.nop();
+        });
+        fb.ret();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let idom = immediate_dominators(&cfg);
+        // head (bb1) dominates body (bb2) and exit (bb3).
+        assert!(dominates(&idom, BlockId(1), BlockId(2)));
+        assert!(dominates(&idom, BlockId(1), BlockId(3)));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Modules: the compilation unit consumed by the analyses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::block::Function;
+use crate::inst::Inst;
+use crate::types::{FuncId, GlobalId, Loc, LockId};
+
+/// A global variable declaration: a named block of shared memory words.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GlobalDecl {
+    /// Name, unique within the module.
+    pub name: String,
+    /// Number of 64-bit words.
+    pub words: usize,
+    /// Initial value of every word.
+    pub init: i64,
+}
+
+/// A mutex declaration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LockDecl {
+    /// Name, unique within the module.
+    pub name: String,
+}
+
+/// A compilation unit: functions, globals and locks.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Module {
+    /// Module name (diagnostics only).
+    pub name: String,
+    /// Functions; indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// Global variables; indexed by [`GlobalId`].
+    pub globals: Vec<GlobalDecl>,
+    /// Mutexes; indexed by [`LockId`].
+    pub locks: Vec<LockDecl>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        self.functions.push(func);
+        FuncId::from_index(self.functions.len() - 1)
+    }
+
+    /// Adds a single-word global initialized to `init`.
+    pub fn add_global(&mut self, name: impl Into<String>, init: i64) -> GlobalId {
+        self.add_global_array(name, 1, init)
+    }
+
+    /// Adds a `words`-word global, each word initialized to `init`.
+    pub fn add_global_array(
+        &mut self,
+        name: impl Into<String>,
+        words: usize,
+        init: i64,
+    ) -> GlobalId {
+        self.globals.push(GlobalDecl {
+            name: name.into(),
+            words: words.max(1),
+            init,
+        });
+        GlobalId::from_index(self.globals.len() - 1)
+    }
+
+    /// Adds a mutex and returns its id.
+    pub fn add_lock(&mut self, name: impl Into<String>) -> LockId {
+        self.locks.push(LockDecl { name: name.into() });
+        LockId::from_index(self.locks.len() - 1)
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable function lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Finds a function id by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_index)
+    }
+
+    /// Finds a global id by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(GlobalId::from_index)
+    }
+
+    /// Finds a lock id by name.
+    pub fn lock_by_name(&self, name: &str) -> Option<LockId> {
+        self.locks
+            .iter()
+            .position(|l| l.name == name)
+            .map(LockId::from_index)
+    }
+
+    /// Iterates over every instruction with its location.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (Loc, &Inst)> {
+        self.functions.iter().enumerate().flat_map(|(fi, f)| {
+            f.blocks.iter().enumerate().flat_map(move |(bi, b)| {
+                b.insts.iter().enumerate().map(move |(ii, inst)| {
+                    (
+                        Loc {
+                            func: FuncId::from_index(fi),
+                            block: crate::types::BlockId::from_index(bi),
+                            inst: ii,
+                        },
+                        inst,
+                    )
+                })
+            })
+        })
+    }
+
+    /// The instruction at `loc`, if it exists.
+    pub fn inst_at(&self, loc: Loc) -> Option<&Inst> {
+        self.functions
+            .get(loc.func.index())?
+            .blocks
+            .get(loc.block.index())?
+            .insts
+            .get(loc.inst)
+    }
+
+    /// Total static instruction count — the paper's "LOC" analog used for
+    /// workload sizing.
+    pub fn num_insts(&self) -> usize {
+        self.functions.iter().map(Function::num_insts).sum()
+    }
+
+    /// The location of every [`Inst::Marker`] keyed by marker name.
+    ///
+    /// Duplicate names keep the first occurrence.
+    pub fn marker_index(&self) -> HashMap<String, Loc> {
+        let mut map = HashMap::new();
+        for (loc, inst) in self.iter_insts() {
+            if let Inst::Marker { name } = inst {
+                map.entry(name.clone()).or_insert(loc);
+            }
+        }
+        map
+    }
+
+    /// Finds the location of a marker by name.
+    pub fn marker(&self, name: &str) -> Option<Loc> {
+        self.iter_insts().find_map(|(loc, inst)| match inst {
+            Inst::Marker { name: n } if n == name => Some(loc),
+            _ => None,
+        })
+    }
+
+    /// Collects all call sites of `callee` across the module.
+    pub fn call_sites_of(&self, callee: FuncId) -> Vec<Loc> {
+        self.iter_insts()
+            .filter_map(|(loc, inst)| match inst {
+                Inst::Call { callee: c, .. } if *c == callee => Some(loc),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name)?;
+        for g in &self.globals {
+            writeln!(f, "global {} [{} x i64] = {}", g.name, g.words, g.init)?;
+        }
+        for l in &self.locks {
+            writeln!(f, "lock {}", l.name)?;
+        }
+        for func in &self.functions {
+            write!(f, "{func}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Operand;
+
+    fn sample() -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("flag", 0);
+        let mut f = Function::new("main", 0);
+        let r = f.new_reg();
+        f.blocks[0].insts.push(Inst::Marker { name: "top".into() });
+        f.blocks[0].insts.push(Inst::LoadGlobal { dst: r, global: g });
+        f.blocks[0].insts.push(Inst::Return {
+            value: Some(Operand::Reg(r)),
+        });
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = sample();
+        assert_eq!(m.func_by_name("main"), Some(FuncId(0)));
+        assert_eq!(m.func_by_name("nope"), None);
+        assert_eq!(m.global_by_name("flag"), Some(GlobalId(0)));
+        assert_eq!(m.global_by_name("nope"), None);
+    }
+
+    #[test]
+    fn marker_lookup() {
+        let m = sample();
+        let loc = m.marker("top").expect("marker exists");
+        assert_eq!(loc.inst, 0);
+        assert!(m.marker("absent").is_none());
+        assert_eq!(m.marker_index().len(), 1);
+    }
+
+    #[test]
+    fn inst_iteration_and_counts() {
+        let m = sample();
+        assert_eq!(m.num_insts(), 3);
+        assert_eq!(m.iter_insts().count(), 3);
+        let loc = Loc::new(FuncId(0), crate::types::BlockId(0), 1);
+        assert!(matches!(m.inst_at(loc), Some(Inst::LoadGlobal { .. })));
+        assert!(m
+            .inst_at(Loc::new(FuncId(9), crate::types::BlockId(0), 0))
+            .is_none());
+    }
+
+    #[test]
+    fn call_sites_are_found() {
+        let mut m = sample();
+        let main = FuncId(0);
+        let mut f2 = Function::new("caller", 0);
+        f2.blocks[0].insts.push(Inst::Call {
+            dst: None,
+            callee: main,
+            args: vec![],
+        });
+        f2.blocks[0].insts.push(Inst::Return { value: None });
+        m.add_function(f2);
+        let sites = m.call_sites_of(main);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].func, FuncId(1));
+    }
+}

@@ -1,0 +1,553 @@
+//! Textual IR parser.
+//!
+//! Parses exactly the format produced by the `Display` impls, so that
+//! `parse(&module.to_string())` roundtrips. The format is line-oriented:
+//!
+//! ```text
+//! module demo {
+//! global flag [1 x i64] = 0
+//! lock m
+//! fn main(params=0, regs=2, locals=0) {
+//! bb0:
+//!     %r0 = ldg @g0
+//!     %r1 = cmp.ne %r0, 0
+//!     assert %r1, "flag set"
+//!     ret
+//! }
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::block::Function;
+use crate::inst::{GuardKind, Inst};
+use crate::module::Module;
+use crate::types::{BlockId, FuncId, GlobalId, LocalId, LockId, PointId, Reg, SiteId};
+use crate::value::{BinOpKind, CmpKind, Operand};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a module from its textual form.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered with its line number.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    Parser::new(text).module()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'))
+            .collect();
+        Self { lines, pos: 0 }
+    }
+
+    fn err(&self, line: usize, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn expect_line(&mut self, what: &str) -> Result<(usize, &'a str), ParseError> {
+        self.next()
+            .ok_or_else(|| self.err(self.lines.last().map_or(0, |l| l.0), format!("expected {what}, found end of input")))
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let (ln, header) = self.expect_line("module header")?;
+        let name = header
+            .strip_prefix("module ")
+            .and_then(|r| r.strip_suffix('{'))
+            .map(str::trim)
+            .ok_or_else(|| self.err(ln, "expected `module <name> {`"))?;
+        let mut module = Module::new(name);
+        loop {
+            let (ln, line) = self.expect_line("module item or `}`")?;
+            if line == "}" {
+                return Ok(module);
+            }
+            if let Some(rest) = line.strip_prefix("global ") {
+                // `<name> [<words> x i64] = <init>`
+                let (gname, rest) = rest
+                    .split_once(" [")
+                    .ok_or_else(|| self.err(ln, "malformed global"))?;
+                let (words, rest) = rest
+                    .split_once(" x i64] = ")
+                    .ok_or_else(|| self.err(ln, "malformed global"))?;
+                let words: usize = words
+                    .parse()
+                    .map_err(|_| self.err(ln, "bad global word count"))?;
+                let init: i64 = rest.parse().map_err(|_| self.err(ln, "bad global init"))?;
+                module.add_global_array(gname.trim(), words, init);
+            } else if let Some(rest) = line.strip_prefix("lock ") {
+                module.add_lock(rest.trim());
+            } else if line.starts_with("fn ") {
+                let func = self.function(ln, line)?;
+                module.add_function(func);
+            } else {
+                return Err(self.err(ln, format!("unexpected line `{line}`")));
+            }
+        }
+    }
+
+    fn function(&mut self, ln: usize, header: &str) -> Result<Function, ParseError> {
+        // `fn <name>(params=P, regs=R, locals=L) {`
+        let rest = header
+            .strip_prefix("fn ")
+            .and_then(|r| r.strip_suffix('{'))
+            .map(str::trim)
+            .ok_or_else(|| self.err(ln, "expected `fn <name>(...) {`"))?;
+        let (name, args) = rest
+            .split_once('(')
+            .ok_or_else(|| self.err(ln, "malformed function header"))?;
+        let args = args
+            .strip_suffix(')')
+            .ok_or_else(|| self.err(ln, "malformed function header"))?;
+        let mut params = 0;
+        let mut regs = 0;
+        let mut locals = 0;
+        for part in args.split(',') {
+            let (k, v) = part
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| self.err(ln, "malformed header field"))?;
+            let v: usize = v.parse().map_err(|_| self.err(ln, "bad header number"))?;
+            match k {
+                "params" => params = v,
+                "regs" => regs = v,
+                "locals" => locals = v,
+                _ => return Err(self.err(ln, format!("unknown header field `{k}`"))),
+            }
+        }
+        let mut func = Function::new(name.trim(), params);
+        func.num_regs = regs.max(params);
+        func.num_locals = locals;
+        func.blocks.clear();
+
+        loop {
+            let (ln, line) = self.expect_line("block label, instruction or `}`")?;
+            if line == "}" {
+                if func.blocks.is_empty() {
+                    func.blocks.push(crate::block::BasicBlock::new());
+                }
+                return Ok(func);
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                // `bbN` or `bbN (name)`
+                let (id_part, bname) = match label.split_once(" (") {
+                    Some((id, n)) => (id, n.strip_suffix(')').map(str::to_owned)),
+                    None => (label, None),
+                };
+                let idx: usize = id_part
+                    .strip_prefix("bb")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| self.err(ln, "bad block label"))?;
+                if idx != func.blocks.len() {
+                    return Err(self.err(ln, "block labels must be dense and in order"));
+                }
+                let mut b = crate::block::BasicBlock::new();
+                b.name = bname;
+                func.blocks.push(b);
+            } else {
+                let inst = parse_inst(line).map_err(|m| self.err(ln, m))?;
+                let block = func
+                    .blocks
+                    .last_mut()
+                    .ok_or_else(|| self.err(ln, "instruction before first block label"))?;
+                block.insts.push(inst);
+            }
+        }
+    }
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    let tok = tok.trim();
+    if let Some(r) = tok.strip_prefix("%r") {
+        let n: u32 = r.parse().map_err(|_| format!("bad register `{tok}`"))?;
+        return Ok(Operand::Reg(Reg(n)));
+    }
+    tok.parse::<i64>()
+        .map(Operand::Const)
+        .map_err(|_| format!("bad operand `{tok}`"))
+}
+
+fn parse_reg(tok: &str) -> Result<Reg, String> {
+    match parse_operand(tok)? {
+        Operand::Reg(r) => Ok(r),
+        Operand::Const(_) => Err(format!("expected register, found `{tok}`")),
+    }
+}
+
+fn parse_id<T: From<u32>>(tok: &str, prefix: &str) -> Result<T, String> {
+    tok.trim()
+        .strip_prefix(prefix)
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(T::from)
+        .ok_or_else(|| format!("expected `{prefix}N`, found `{tok}`"))
+}
+
+fn parse_string(tok: &str) -> Result<String, String> {
+    let t = tok.trim();
+    t.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("expected quoted string, found `{tok}`"))
+}
+
+/// Splits `a, b` into two comma-separated pieces (the second may itself
+/// contain commas only when it is a final quoted string — handled by
+/// splitting at the first comma).
+fn split2(s: &str) -> Result<(&str, &str), String> {
+    s.split_once(',')
+        .map(|(a, b)| (a.trim(), b.trim()))
+        .ok_or_else(|| format!("expected two comma-separated operands in `{s}`"))
+}
+
+fn parse_inst(line: &str) -> Result<Inst, String> {
+    // `%rN = <op> ...` or `<op> ...`
+    if let Some((dst, rest)) = line.split_once(" = ") {
+        let dst = parse_reg(dst)?;
+        let (op, args) = rest.split_once(' ').unwrap_or((rest, ""));
+        return match op {
+            "copy" => Ok(Inst::Copy {
+                dst,
+                src: parse_operand(args)?,
+            }),
+            "ldg" => Ok(Inst::LoadGlobal {
+                dst,
+                global: parse_id::<GlobalId>(args, "@g")?,
+            }),
+            "addrg" => Ok(Inst::AddrOfGlobal {
+                dst,
+                global: parse_id::<GlobalId>(args, "@g")?,
+            }),
+            "ldp" => Ok(Inst::LoadPtr {
+                dst,
+                ptr: parse_operand(args)?,
+            }),
+            "ldl" => Ok(Inst::LoadLocal {
+                dst,
+                local: parse_id::<LocalId>(args, "%s")?,
+            }),
+            "alloc" => Ok(Inst::Alloc {
+                dst,
+                words: parse_operand(args)?,
+            }),
+            "call" => parse_call(Some(dst), args),
+            _ if op.starts_with("cmp.") => {
+                let kind = CmpKind::from_mnemonic(&op[4..])
+                    .ok_or_else(|| format!("unknown comparison `{op}`"))?;
+                let (l, r) = split2(args)?;
+                Ok(Inst::Cmp {
+                    dst,
+                    op: kind,
+                    lhs: parse_operand(l)?,
+                    rhs: parse_operand(r)?,
+                })
+            }
+            _ => {
+                let kind = BinOpKind::from_mnemonic(op)
+                    .ok_or_else(|| format!("unknown opcode `{op}`"))?;
+                let (l, r) = split2(args)?;
+                Ok(Inst::BinOp {
+                    dst,
+                    op: kind,
+                    lhs: parse_operand(l)?,
+                    rhs: parse_operand(r)?,
+                })
+            }
+        };
+    }
+
+    let (op, args) = line.split_once(' ').unwrap_or((line, ""));
+    match op {
+        "stg" => {
+            let (g, v) = split2(args)?;
+            Ok(Inst::StoreGlobal {
+                global: parse_id::<GlobalId>(g, "@g")?,
+                src: parse_operand(v)?,
+            })
+        }
+        "stp" => {
+            let (p, v) = split2(args)?;
+            Ok(Inst::StorePtr {
+                ptr: parse_operand(p)?,
+                src: parse_operand(v)?,
+            })
+        }
+        "stl" => {
+            let (l, v) = split2(args)?;
+            Ok(Inst::StoreLocal {
+                local: parse_id::<LocalId>(l, "%s")?,
+                src: parse_operand(v)?,
+            })
+        }
+        "free" => Ok(Inst::Free {
+            ptr: parse_operand(args)?,
+        }),
+        "lock" => Ok(Inst::Lock {
+            lock: parse_id::<LockId>(args, "@L")?,
+        }),
+        "unlock" => Ok(Inst::Unlock {
+            lock: parse_id::<LockId>(args, "@L")?,
+        }),
+        "timedlock" => {
+            let (l, s) = args
+                .split_once(" !")
+                .ok_or_else(|| "malformed timedlock".to_string())?;
+            Ok(Inst::TimedLock {
+                lock: parse_id::<LockId>(l, "@L")?,
+                site: parse_id::<SiteId>(s, "site")?,
+            })
+        }
+        "output" => {
+            let (label, v) = split2(args)?;
+            Ok(Inst::Output {
+                label: parse_string(label)?,
+                value: parse_operand(v)?,
+            })
+        }
+        "assert" => {
+            let (c, m) = split2(args)?;
+            Ok(Inst::Assert {
+                cond: parse_operand(c)?,
+                msg: parse_string(m)?,
+            })
+        }
+        "oassert" => {
+            let (c, m) = split2(args)?;
+            Ok(Inst::OutputAssert {
+                cond: parse_operand(c)?,
+                msg: parse_string(m)?,
+            })
+        }
+        "jump" => Ok(Inst::Jump {
+            target: parse_id::<BlockId>(args, "bb")?,
+        }),
+        "br" => {
+            let mut parts = args.splitn(3, ',').map(str::trim);
+            let cond = parse_operand(parts.next().ok_or("missing branch cond")?)?;
+            let t = parse_id::<BlockId>(parts.next().ok_or("missing then target")?, "bb")?;
+            let e = parse_id::<BlockId>(parts.next().ok_or("missing else target")?, "bb")?;
+            Ok(Inst::Branch {
+                cond,
+                then_bb: t,
+                else_bb: e,
+            })
+        }
+        "ret" => {
+            if args.is_empty() {
+                Ok(Inst::Return { value: None })
+            } else {
+                Ok(Inst::Return {
+                    value: Some(parse_operand(args)?),
+                })
+            }
+        }
+        "call" => parse_call(None, args),
+        "marker" => Ok(Inst::Marker {
+            name: parse_string(args)?,
+        }),
+        "nop" => Ok(Inst::Nop),
+        "checkpoint" => Ok(Inst::Checkpoint {
+            point: parse_id::<PointId>(args.trim_start_matches('!'), "pt")?,
+        }),
+        "ptrguard" => {
+            let (p, s) = args
+                .split_once(" !")
+                .ok_or_else(|| "malformed ptrguard".to_string())?;
+            Ok(Inst::PtrGuard {
+                ptr: parse_operand(p)?,
+                site: parse_id::<SiteId>(s, "site")?,
+            })
+        }
+        _ if op.starts_with("failguard.") => {
+            let kind = match &op[10..] {
+                "assert" => GuardKind::Assert,
+                "output" => GuardKind::WrongOutput,
+                other => return Err(format!("unknown failguard kind `{other}`")),
+            };
+            let (c, rest) = args
+                .split_once(" !")
+                .ok_or_else(|| "malformed failguard".to_string())?;
+            let (s, m) = split2(rest)?;
+            Ok(Inst::FailGuard {
+                kind,
+                cond: parse_operand(c)?,
+                site: parse_id::<SiteId>(s, "site")?,
+                msg: parse_string(m)?,
+            })
+        }
+        _ => Err(format!("unknown opcode `{op}`")),
+    }
+}
+
+fn parse_call(dst: Option<Reg>, args: &str) -> Result<Inst, String> {
+    // `@fN(a, b, c)`
+    let (callee, rest) = args
+        .split_once('(')
+        .ok_or_else(|| "malformed call".to_string())?;
+    let rest = rest
+        .strip_suffix(')')
+        .ok_or_else(|| "malformed call".to_string())?;
+    let callee = parse_id::<FuncId>(callee, "@f")?;
+    let mut parsed_args = Vec::new();
+    if !rest.trim().is_empty() {
+        for a in rest.split(',') {
+            parsed_args.push(parse_operand(a)?);
+        }
+    }
+    Ok(Inst::Call {
+        dst,
+        callee,
+        args: parsed_args,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FuncBuilder, ModuleBuilder};
+    use crate::value::CmpKind;
+
+    fn roundtrip(m: &Module) {
+        let text = m.to_string();
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(&parsed, m, "roundtrip mismatch for:\n{text}");
+    }
+
+    #[test]
+    fn roundtrip_rich_module() {
+        let mut mb = ModuleBuilder::new("demo");
+        let g = mb.global("flag", 0);
+        let arr = mb.global_array("buf", 8, -1);
+        let l = mb.lock("m");
+        let helper = mb.declare_function("helper", 2);
+
+        let mut fb = FuncBuilder::new("main", 0);
+        fb.name_block("entry");
+        fb.marker("start");
+        let v = fb.load_global(g);
+        let c = fb.cmp(CmpKind::Ne, v, 0);
+        let then_bb = fb.new_block();
+        let else_bb = fb.new_block();
+        fb.branch(c, then_bb, else_bb);
+        fb.switch_to(then_bb);
+        let a = fb.addr_of_global(arr);
+        let p = fb.add(a, 2);
+        let x = fb.load_ptr(p);
+        fb.store_ptr(p, x);
+        fb.lock(l);
+        let h = fb.alloc(4);
+        fb.free(h);
+        fb.unlock(l);
+        fb.output("result", x);
+        fb.assert(c, "flag nonzero");
+        fb.output_assert(c, "output ok");
+        let r = fb.call(helper, vec![Operand::Reg(x), Operand::Const(7)]);
+        fb.ret_value(r);
+        fb.switch_to(else_bb);
+        let slot = fb.local();
+        fb.store_local(slot, 3);
+        let lv = fb.load_local(slot);
+        fb.call_void(helper, vec![Operand::Reg(lv), Operand::Const(0)]);
+        fb.nop();
+        fb.ret();
+        mb.function(fb.finish());
+        roundtrip(&mb.finish());
+    }
+
+    #[test]
+    fn roundtrip_hardened_insts() {
+        let mut m = Module::new("h");
+        m.add_lock("l");
+        let mut f = Function::new("main", 0);
+        f.num_regs = 2;
+        f.blocks[0].insts = vec![
+            Inst::Checkpoint { point: PointId(3) },
+            Inst::TimedLock {
+                lock: LockId(0),
+                site: SiteId(1),
+            },
+            Inst::FailGuard {
+                kind: GuardKind::Assert,
+                cond: Operand::Reg(Reg(0)),
+                site: SiteId(2),
+                msg: "cond".into(),
+            },
+            Inst::PtrGuard {
+                ptr: Operand::Reg(Reg(1)),
+                site: SiteId(0),
+            },
+            Inst::Return { value: None },
+        ];
+        m.add_function(f);
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let err = parse_module("module x {\nbogus line\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unexpected line"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_opcode() {
+        let text = "module x {\nfn main(params=0, regs=0, locals=0) {\nbb0:\n    frobnicate\n}\n}";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("unknown opcode"));
+    }
+
+    #[test]
+    fn parse_rejects_sparse_blocks() {
+        let text = "module x {\nfn main(params=0, regs=0, locals=0) {\nbb1:\n    ret\n}\n}";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("dense"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "; leading comment\nmodule x {\n\n; another\nfn main(params=0, regs=0, locals=0) {\nbb0:\n    ret\n}\n}";
+        let m = parse_module(text).expect("parses");
+        assert_eq!(m.functions.len(), 1);
+    }
+}

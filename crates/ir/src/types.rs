@@ -1,0 +1,203 @@
+//! Core identifier newtypes shared by every IR entity.
+//!
+//! Every structural element of a [`crate::Module`] is referred to by a small
+//! index newtype rather than by reference, which keeps the IR trivially
+//! cloneable and serializable and lets analyses build dense side tables.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in a `u32`.
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id index overflow");
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "@f"
+);
+id_newtype!(
+    /// Identifies a basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+id_newtype!(
+    /// Identifies a virtual register within a [`crate::Function`] frame.
+    ///
+    /// Virtual registers are the analog of LLVM SSA values: they live in the
+    /// interpreter's per-frame register file, which is saved wholesale by a
+    /// `Checkpoint` and restored on rollback. Consequently register writes
+    /// never destroy idempotency (the `setjmp`/`longjmp` register-image
+    /// analog from the paper, Section 3.2.1).
+    Reg,
+    "%r"
+);
+id_newtype!(
+    /// Identifies a stack slot (a local **not** allocated to a virtual
+    /// register). Stack slots are *not* restored on rollback, so a store to
+    /// one is idempotency-destroying — the `-no-stack-slot-sharing` side of
+    /// the paper's design.
+    LocalId,
+    "%s"
+);
+id_newtype!(
+    /// Identifies a global variable (one or more shared memory words).
+    GlobalId,
+    "@g"
+);
+id_newtype!(
+    /// Identifies a named mutex in the module's lock table.
+    LockId,
+    "@L"
+);
+id_newtype!(
+    /// Identifies a potential failure site discovered by the analysis.
+    SiteId,
+    "site"
+);
+id_newtype!(
+    /// Identifies a reexecution point (checkpoint) inserted by the transform.
+    PointId,
+    "pt"
+);
+
+/// A program location: one instruction inside one block of one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Loc {
+    /// Containing function.
+    pub func: FuncId,
+    /// Containing basic block.
+    pub block: BlockId,
+    /// Instruction index inside the block.
+    pub inst: usize,
+}
+
+impl Loc {
+    /// Builds a location.
+    pub fn new(func: FuncId, block: BlockId, inst: usize) -> Self {
+        Self { func, block, inst }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.func, self.block, self.inst)
+    }
+}
+
+/// The kind of failure a site can manifest (paper Section 3.1.1, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FailureKind {
+    /// `assert(e)` evaluated to false.
+    AssertionViolation,
+    /// An output-correctness oracle (developer-specified `Assert` before an
+    /// output call) evaluated to false.
+    WrongOutput,
+    /// Dereference of an invalid heap/global pointer.
+    SegFault,
+    /// A lock acquisition timed out (time-out based deadlock detection).
+    Deadlock,
+}
+
+impl FailureKind {
+    /// All failure kinds, in the column order used by the paper's Table 4.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::AssertionViolation,
+        FailureKind::WrongOutput,
+        FailureKind::SegFault,
+        FailureKind::Deadlock,
+    ];
+
+    /// Whether this kind participates in the non-deadlock optimization of
+    /// Section 4.2 (`true`) or in the deadlock optimization (`false`).
+    pub fn is_non_deadlock(self) -> bool {
+        !matches!(self, FailureKind::Deadlock)
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FailureKind::AssertionViolation => "assertion-violation",
+            FailureKind::WrongOutput => "wrong-output",
+            FailureKind::SegFault => "segmentation-fault",
+            FailureKind::Deadlock => "deadlock",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_indices() {
+        let f = FuncId::from_index(7);
+        assert_eq!(f.index(), 7);
+        assert_eq!(f, FuncId(7));
+        assert_eq!(f.to_string(), "@f7");
+    }
+
+    #[test]
+    fn loc_display_is_compact() {
+        let loc = Loc::new(FuncId(1), BlockId(2), 3);
+        assert_eq!(loc.to_string(), "@f1:bb2:3");
+    }
+
+    #[test]
+    fn loc_ordering_is_lexicographic() {
+        let a = Loc::new(FuncId(0), BlockId(1), 5);
+        let b = Loc::new(FuncId(0), BlockId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn failure_kind_classification() {
+        assert!(FailureKind::AssertionViolation.is_non_deadlock());
+        assert!(FailureKind::WrongOutput.is_non_deadlock());
+        assert!(FailureKind::SegFault.is_non_deadlock());
+        assert!(!FailureKind::Deadlock.is_non_deadlock());
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn id_overflow_panics() {
+        let _ = FuncId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,290 @@
+//! Operands: the values instructions consume.
+
+use std::fmt;
+
+use crate::types::Reg;
+
+/// An instruction operand: either a virtual register or an immediate.
+///
+/// All values in the IR are 64-bit signed integers; pointers are encoded as
+/// addresses in the same space (see `conair-runtime`'s memory layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Operand {
+    /// The current value of a virtual register.
+    Reg(Reg),
+    /// An immediate constant.
+    Const(i64),
+}
+
+impl Operand {
+    /// Returns the register if this operand reads one.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this operand is immediate.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Const(c) => Some(c),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(c: i32) -> Self {
+        Operand::Const(c as i64)
+    }
+}
+
+impl From<bool> for Operand {
+    fn from(b: bool) -> Self {
+        Operand::Const(b as i64)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary arithmetic/logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BinOpKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero yields 0 (the interpreter is total).
+    Div,
+    /// Remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Arithmetic shift right (modulo 64).
+    Shr,
+}
+
+impl BinOpKind {
+    /// Applies the operator to two values with total (never-trapping)
+    /// semantics.
+    pub fn apply(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            BinOpKind::Add => lhs.wrapping_add(rhs),
+            BinOpKind::Sub => lhs.wrapping_sub(rhs),
+            BinOpKind::Mul => lhs.wrapping_mul(rhs),
+            BinOpKind::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_div(rhs)
+                }
+            }
+            BinOpKind::Rem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_rem(rhs)
+                }
+            }
+            BinOpKind::And => lhs & rhs,
+            BinOpKind::Or => lhs | rhs,
+            BinOpKind::Xor => lhs ^ rhs,
+            BinOpKind::Shl => lhs.wrapping_shl(rhs as u32 % 64),
+            BinOpKind::Shr => lhs.wrapping_shr(rhs as u32 % 64),
+        }
+    }
+
+    /// The textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOpKind::Add => "add",
+            BinOpKind::Sub => "sub",
+            BinOpKind::Mul => "mul",
+            BinOpKind::Div => "div",
+            BinOpKind::Rem => "rem",
+            BinOpKind::And => "and",
+            BinOpKind::Or => "or",
+            BinOpKind::Xor => "xor",
+            BinOpKind::Shl => "shl",
+            BinOpKind::Shr => "shr",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`BinOpKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "add" => BinOpKind::Add,
+            "sub" => BinOpKind::Sub,
+            "mul" => BinOpKind::Mul,
+            "div" => BinOpKind::Div,
+            "rem" => BinOpKind::Rem,
+            "and" => BinOpKind::And,
+            "or" => BinOpKind::Or,
+            "xor" => BinOpKind::Xor,
+            "shl" => BinOpKind::Shl,
+            "shr" => BinOpKind::Shr,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison operators; results are 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpKind {
+    /// Applies the comparison, yielding 1 (true) or 0 (false).
+    pub fn apply(self, lhs: i64, rhs: i64) -> i64 {
+        let v = match self {
+            CmpKind::Eq => lhs == rhs,
+            CmpKind::Ne => lhs != rhs,
+            CmpKind::Lt => lhs < rhs,
+            CmpKind::Le => lhs <= rhs,
+            CmpKind::Gt => lhs > rhs,
+            CmpKind::Ge => lhs >= rhs,
+        };
+        v as i64
+    }
+
+    /// The textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CmpKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "eq" => CmpKind::Eq,
+            "ne" => CmpKind::Ne,
+            "lt" => CmpKind::Lt,
+            "le" => CmpKind::Le,
+            "gt" => CmpKind::Gt,
+            "ge" => CmpKind::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)).as_reg(), Some(Reg(3)));
+        assert_eq!(Operand::from(42i64).as_const(), Some(42));
+        assert_eq!(Operand::from(true).as_const(), Some(1));
+        assert_eq!(Operand::Reg(Reg(0)).as_const(), None);
+        assert_eq!(Operand::Const(1).as_reg(), None);
+    }
+
+    #[test]
+    fn binop_total_semantics() {
+        assert_eq!(BinOpKind::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOpKind::Div.apply(10, 0), 0);
+        assert_eq!(BinOpKind::Rem.apply(10, 0), 0);
+        assert_eq!(BinOpKind::Div.apply(10, 3), 3);
+        assert_eq!(BinOpKind::Shl.apply(1, 65), 2);
+    }
+
+    #[test]
+    fn cmp_yields_bool_ints() {
+        assert_eq!(CmpKind::Lt.apply(1, 2), 1);
+        assert_eq!(CmpKind::Ge.apply(1, 2), 0);
+        assert_eq!(CmpKind::Eq.apply(5, 5), 1);
+        assert_eq!(CmpKind::Ne.apply(5, 5), 0);
+    }
+
+    #[test]
+    fn mnemonics_roundtrip() {
+        for op in [
+            BinOpKind::Add,
+            BinOpKind::Sub,
+            BinOpKind::Mul,
+            BinOpKind::Div,
+            BinOpKind::Rem,
+            BinOpKind::And,
+            BinOpKind::Or,
+            BinOpKind::Xor,
+            BinOpKind::Shl,
+            BinOpKind::Shr,
+        ] {
+            assert_eq!(BinOpKind::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for op in [
+            CmpKind::Eq,
+            CmpKind::Ne,
+            CmpKind::Lt,
+            CmpKind::Le,
+            CmpKind::Gt,
+            CmpKind::Ge,
+        ] {
+            assert_eq!(CmpKind::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(BinOpKind::from_mnemonic("bogus"), None);
+        assert_eq!(CmpKind::from_mnemonic("bogus"), None);
+    }
+}

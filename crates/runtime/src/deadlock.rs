@@ -1,0 +1,145 @@
+//! Wait-for-graph deadlock diagnosis.
+//!
+//! The paper notes (Section 3.1.1) that ConAir can work with any deadlock
+//! detection mechanism, including catching "cycles in the run-time
+//! resource-acquisition graph" as Deadlock-Immunity does. The interpreter's
+//! primary mechanism is the paper's time-out based detection, but when a
+//! run ends in a hang this module reconstructs the wait-for cycle for the
+//! failure report — which threads wait on which locks held by whom.
+
+use conair_ir::LockId;
+
+use crate::locks::ThreadId;
+
+/// One edge of the wait-for graph: `waiter` wants `lock`, held by `owner`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The blocked thread.
+    pub waiter: ThreadId,
+    /// The contended lock.
+    pub lock: LockId,
+    /// The thread currently holding the lock (`None` for a lock that is
+    /// free — the waiter is merely gated, not deadlocked).
+    pub owner: Option<ThreadId>,
+}
+
+/// A detected circular wait: the threads on the cycle, in wait order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitCycle {
+    /// Threads forming the cycle (each waits on a lock held by the next;
+    /// the last waits on one held by the first).
+    pub threads: Vec<ThreadId>,
+    /// The locks along the cycle, aligned with `threads`.
+    pub locks: Vec<LockId>,
+}
+
+impl std::fmt::Display for WaitCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (t, l)) in self.threads.iter().zip(&self.locks).enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{t} waits on {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Finds a circular wait in a set of wait-for edges, if one exists.
+///
+/// Follows `waiter -> owner` links; a repeat visit closes the cycle. Only
+/// edges with a live owner participate (a free lock cannot deadlock).
+pub fn find_wait_cycle(edges: &[WaitEdge]) -> Option<WaitCycle> {
+    for start in edges {
+        let mut threads = Vec::new();
+        let mut locks = Vec::new();
+        let mut cur = *start;
+        loop {
+            if threads.contains(&cur.waiter) {
+                // Trim the path to the cycle proper.
+                let at = threads.iter().position(|t| *t == cur.waiter).expect("seen");
+                return Some(WaitCycle {
+                    threads: threads.split_off(at),
+                    locks: locks.split_off(at),
+                });
+            }
+            threads.push(cur.waiter);
+            locks.push(cur.lock);
+            let Some(owner) = cur.owner else {
+                break; // free lock: no cycle via this path
+            };
+            match edges.iter().find(|e| e.waiter == owner) {
+                Some(next) => cur = *next,
+                None => break, // the owner is runnable: no deadlock here
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(w: usize, l: u32, o: Option<usize>) -> WaitEdge {
+        WaitEdge {
+            waiter: ThreadId(w),
+            lock: LockId(l),
+            owner: o.map(ThreadId),
+        }
+    }
+
+    #[test]
+    fn two_thread_cycle_detected() {
+        // T0 waits on L1 held by T1; T1 waits on L0 held by T0.
+        let edges = [edge(0, 1, Some(1)), edge(1, 0, Some(0))];
+        let c = find_wait_cycle(&edges).expect("cycle");
+        assert_eq!(c.threads.len(), 2);
+        assert!(c.threads.contains(&ThreadId(0)) && c.threads.contains(&ThreadId(1)));
+        let s = c.to_string();
+        assert!(s.contains("waits on"));
+    }
+
+    #[test]
+    fn three_thread_cycle_detected() {
+        let edges = [
+            edge(0, 1, Some(1)),
+            edge(1, 2, Some(2)),
+            edge(2, 0, Some(0)),
+        ];
+        let c = find_wait_cycle(&edges).expect("cycle");
+        assert_eq!(c.threads.len(), 3);
+        assert_eq!(c.locks.len(), 3);
+    }
+
+    #[test]
+    fn chain_without_cycle_is_clean() {
+        // T0 waits on a lock held by T1, which is not waiting.
+        let edges = [edge(0, 1, Some(1))];
+        assert!(find_wait_cycle(&edges).is_none());
+    }
+
+    #[test]
+    fn free_lock_breaks_the_chain() {
+        let edges = [edge(0, 1, None), edge(1, 0, Some(0))];
+        assert!(find_wait_cycle(&edges).is_none());
+    }
+
+    #[test]
+    fn partial_cycle_among_more_threads() {
+        // T3 waits into a 2-cycle between T0 and T1: the cycle excludes T3.
+        let edges = [
+            edge(3, 2, Some(0)),
+            edge(0, 1, Some(1)),
+            edge(1, 0, Some(0)),
+        ];
+        let c = find_wait_cycle(&edges).expect("cycle");
+        assert_eq!(c.threads.len(), 2);
+        assert!(!c.threads.contains(&ThreadId(3)));
+    }
+
+    #[test]
+    fn empty_graph_no_cycle() {
+        assert!(find_wait_cycle(&[]).is_none());
+    }
+}

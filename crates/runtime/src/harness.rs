@@ -1,0 +1,230 @@
+//! Experiment harness: repeated trials, overhead measurement and the
+//! whole-program-restart baseline used by Table 7 and Figure 4.
+
+use std::time::Duration;
+
+use crate::machine::{Machine, MachineConfig};
+use crate::outcome::{RunOutcome, RunResult};
+use crate::program::Program;
+use crate::sched::{ScheduleScript, Scheduler, SeededRandom};
+
+/// Runs `program` once with a seeded random scheduler.
+pub fn run_once(program: &Program, config: MachineConfig, seed: u64) -> RunResult {
+    let mut sched = SeededRandom::new(seed);
+    Machine::new(program, config).run(&mut sched)
+}
+
+/// Runs `program` once under a schedule script (bug forcing).
+pub fn run_scripted(
+    program: &Program,
+    config: MachineConfig,
+    script: ScheduleScript,
+    seed: u64,
+) -> RunResult {
+    let mut sched = SeededRandom::new(seed);
+    Machine::new(program, config)
+        .with_script(script)
+        .run(&mut sched)
+}
+
+/// Runs `program` once under an arbitrary scheduler and script.
+pub fn run_with(
+    program: &Program,
+    config: MachineConfig,
+    script: ScheduleScript,
+    scheduler: &mut dyn Scheduler,
+) -> RunResult {
+    Machine::new(program, config)
+        .with_script(script)
+        .run(scheduler)
+}
+
+/// Outcome tallies over repeated trials.
+#[derive(Debug, Clone, Default)]
+pub struct TrialSummary {
+    /// Trials run.
+    pub trials: usize,
+    /// Runs that completed normally.
+    pub completed: usize,
+    /// Runs that failed (any failure kind).
+    pub failed: usize,
+    /// Runs that hung.
+    pub hung: usize,
+    /// Runs stopped by the step limit.
+    pub step_limited: usize,
+    /// Mean instructions executed per run.
+    pub mean_insts: f64,
+    /// Mean retries per run (over all sites).
+    pub mean_retries: f64,
+    /// Maximum recovery steps seen in any run.
+    pub max_recovery_steps: Option<u64>,
+    /// Total wall time over all trials.
+    pub wall: Duration,
+}
+
+impl TrialSummary {
+    /// Whether every trial completed normally — the paper's success
+    /// criterion ("1000 runs, all correct").
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.trials
+    }
+}
+
+/// Runs `trials` seeded trials (seeds `seed0..seed0+trials`) under `script`.
+pub fn run_trials(
+    program: &Program,
+    config: &MachineConfig,
+    script: &ScheduleScript,
+    seed0: u64,
+    trials: usize,
+) -> TrialSummary {
+    let mut summary = TrialSummary {
+        trials,
+        ..TrialSummary::default()
+    };
+    let mut insts_total = 0u64;
+    let mut retries_total = 0u64;
+    for i in 0..trials {
+        let result = run_scripted(program, config.clone(), script.clone(), seed0 + i as u64);
+        match &result.outcome {
+            RunOutcome::Completed => summary.completed += 1,
+            RunOutcome::Failed(_) => summary.failed += 1,
+            RunOutcome::Hang { .. } => summary.hung += 1,
+            RunOutcome::StepLimit => summary.step_limited += 1,
+        }
+        insts_total += result.stats.insts;
+        retries_total += result.stats.total_retries();
+        summary.max_recovery_steps = summary
+            .max_recovery_steps
+            .max(result.stats.max_recovery_steps());
+        summary.wall += result.stats.wall;
+    }
+    summary.mean_insts = insts_total as f64 / trials.max(1) as f64;
+    summary.mean_retries = retries_total as f64 / trials.max(1) as f64;
+    summary
+}
+
+/// Overhead of a hardened program relative to the original, in both
+/// instruction count and wall time, measured on non-failing runs with
+/// identical scheduler seeds (the paper's run-time overhead methodology:
+/// same input, no failure-inducing noise, 20 runs).
+#[derive(Debug, Clone, Default)]
+pub struct OverheadReport {
+    /// Mean instructions per run, original program.
+    pub base_insts: f64,
+    /// Mean instructions per run, hardened program.
+    pub hardened_insts: f64,
+    /// Mean dynamic reexecution points per hardened run.
+    pub dynamic_points: f64,
+    /// Instruction-count overhead fraction (e.g. 0.004 = 0.4%).
+    pub inst_overhead: f64,
+    /// Wall-clock overhead fraction (noisier; reported for completeness).
+    pub wall_overhead: f64,
+}
+
+/// Measures overhead over `trials` seeds.
+pub fn measure_overhead(
+    original: &Program,
+    hardened: &Program,
+    config: &MachineConfig,
+    seed0: u64,
+    trials: usize,
+) -> OverheadReport {
+    let mut base_insts = 0u64;
+    let mut hard_insts = 0u64;
+    let mut points = 0u64;
+    let mut base_wall = Duration::ZERO;
+    let mut hard_wall = Duration::ZERO;
+    for i in 0..trials {
+        let seed = seed0 + i as u64;
+        let b = run_once(original, config.clone(), seed);
+        let h = run_once(hardened, config.clone(), seed);
+        debug_assert!(
+            b.outcome.is_completed() && h.outcome.is_completed(),
+            "overhead must be measured on non-failing runs \
+             (original: {:?}, hardened: {:?})",
+            b.outcome,
+            h.outcome
+        );
+        base_insts += b.stats.insts;
+        hard_insts += h.stats.insts;
+        points += h.stats.checkpoints;
+        base_wall += b.stats.wall;
+        hard_wall += h.stats.wall;
+    }
+    let t = trials.max(1) as f64;
+    let base = base_insts as f64 / t;
+    let hard = hard_insts as f64 / t;
+    OverheadReport {
+        base_insts: base,
+        hardened_insts: hard,
+        dynamic_points: points as f64 / t,
+        inst_overhead: if base > 0.0 { (hard - base) / base } else { 0.0 },
+        wall_overhead: if base_wall.as_nanos() > 0 {
+            (hard_wall.as_secs_f64() - base_wall.as_secs_f64()) / base_wall.as_secs_f64()
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The whole-program-restart recovery baseline (Table 7's "Restart"
+/// column): on failure, the entire program re-runs from scratch with a
+/// different seed until it completes. The cost is the steps wasted in
+/// failed attempts plus one full successful run.
+#[derive(Debug, Clone)]
+pub struct RestartReport {
+    /// Total steps spent including failed attempts and the final success.
+    pub total_steps: u64,
+    /// Number of restarts needed before success.
+    pub restarts: usize,
+    /// Whether a successful run was eventually obtained.
+    pub succeeded: bool,
+}
+
+/// Measures restart recovery: run under the bug-forcing script (which makes
+/// the original program fail); then restart under `retry_script` with fresh
+/// seeds (the failure is nondeterministic in the field, so a retry under a
+/// non-forced — or known-good — schedule eventually passes).
+pub fn measure_restart(
+    program: &Program,
+    config: &MachineConfig,
+    script: &ScheduleScript,
+    retry_script: &ScheduleScript,
+    seed0: u64,
+    max_restarts: usize,
+) -> RestartReport {
+    let mut total_steps = 0u64;
+    // First run: the bug manifests.
+    let first = run_scripted(program, config.clone(), script.clone(), seed0);
+    total_steps += first.stats.steps;
+    if first.outcome.is_completed() {
+        return RestartReport {
+            total_steps,
+            restarts: 0,
+            succeeded: true,
+        };
+    }
+    // Restarts: the failure-inducing interleaving is not forced again.
+    for i in 0..max_restarts {
+        let r = run_scripted(
+            program,
+            config.clone(),
+            retry_script.clone(),
+            seed0 + 1 + i as u64,
+        );
+        total_steps += r.stats.steps;
+        if r.outcome.is_completed() {
+            return RestartReport {
+                total_steps,
+                restarts: i + 1,
+                succeeded: true,
+            };
+        }
+    }
+    RestartReport {
+        total_steps,
+        restarts: max_restarts,
+        succeeded: false,
+    }
+}

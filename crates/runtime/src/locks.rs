@@ -1,0 +1,175 @@
+//! The mutex table.
+//!
+//! Mutexes are non-reentrant and owner-tracked, matching
+//! `pthread_mutex_t` with default attributes: re-acquiring a held lock
+//! self-deadlocks, and unlocking a lock the thread does not own is reported
+//! as a usage error.
+
+use conair_ir::LockId;
+
+/// Identifies a logical thread of the interpreted program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub usize);
+
+impl ThreadId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Result of a lock-acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireResult {
+    /// The lock was taken.
+    Acquired,
+    /// The lock is held by another thread (or by the caller — pthread
+    /// default mutexes self-deadlock).
+    WouldBlock,
+}
+
+/// Error from a bad unlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnlockError {
+    /// The lock involved.
+    pub lock: LockId,
+    /// The current owner, if any.
+    pub owner: Option<ThreadId>,
+}
+
+/// The state of every mutex in a run.
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    owners: Vec<Option<ThreadId>>,
+    /// Total successful acquisitions (diagnostics).
+    pub acquisitions: u64,
+}
+
+impl LockTable {
+    /// Creates a table of `count` free mutexes.
+    pub fn new(count: usize) -> Self {
+        Self {
+            owners: vec![None; count],
+            acquisitions: 0,
+        }
+    }
+
+    /// Attempts to acquire `lock` for `thread`.
+    pub fn try_acquire(&mut self, lock: LockId, thread: ThreadId) -> AcquireResult {
+        match self.owners[lock.index()] {
+            None => {
+                self.owners[lock.index()] = Some(thread);
+                self.acquisitions += 1;
+                AcquireResult::Acquired
+            }
+            Some(_) => AcquireResult::WouldBlock,
+        }
+    }
+
+    /// Releases `lock`, which must be held by `thread`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the lock is free or held by another thread.
+    pub fn release(&mut self, lock: LockId, thread: ThreadId) -> Result<(), UnlockError> {
+        match self.owners[lock.index()] {
+            Some(owner) if owner == thread => {
+                self.owners[lock.index()] = None;
+                Ok(())
+            }
+            owner => Err(UnlockError { lock, owner }),
+        }
+    }
+
+    /// Releases `lock` regardless of checks — used by compensation, which
+    /// by construction only releases locks the rolling-back thread acquired
+    /// in the current epoch.
+    pub fn force_release(&mut self, lock: LockId) {
+        self.owners[lock.index()] = None;
+    }
+
+    /// The current owner of `lock`.
+    pub fn owner(&self, lock: LockId) -> Option<ThreadId> {
+        self.owners[lock.index()]
+    }
+
+    /// Whether `lock` is currently free.
+    pub fn is_free(&self, lock: LockId) -> bool {
+        self.owners[lock.index()].is_none()
+    }
+
+    /// All locks currently held by `thread` (used on thread failure
+    /// diagnostics).
+    pub fn held_by(&self, thread: ThreadId) -> Vec<LockId> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_i, o)| *o == Some(thread)).map(|(i, _o)| LockId::from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut t = LockTable::new(2);
+        let l = LockId(0);
+        assert!(t.is_free(l));
+        assert_eq!(t.try_acquire(l, ThreadId(0)), AcquireResult::Acquired);
+        assert_eq!(t.owner(l), Some(ThreadId(0)));
+        assert_eq!(t.try_acquire(l, ThreadId(1)), AcquireResult::WouldBlock);
+        t.release(l, ThreadId(0)).unwrap();
+        assert!(t.is_free(l));
+        assert_eq!(t.try_acquire(l, ThreadId(1)), AcquireResult::Acquired);
+        assert_eq!(t.acquisitions, 2);
+    }
+
+    #[test]
+    fn self_reacquire_blocks() {
+        let mut t = LockTable::new(1);
+        let l = LockId(0);
+        t.try_acquire(l, ThreadId(0));
+        assert_eq!(
+            t.try_acquire(l, ThreadId(0)),
+            AcquireResult::WouldBlock,
+            "pthread default mutexes are not reentrant"
+        );
+    }
+
+    #[test]
+    fn bad_unlock_reports_owner() {
+        let mut t = LockTable::new(1);
+        let l = LockId(0);
+        assert_eq!(
+            t.release(l, ThreadId(0)),
+            Err(UnlockError { lock: l, owner: None })
+        );
+        t.try_acquire(l, ThreadId(1));
+        assert_eq!(
+            t.release(l, ThreadId(0)),
+            Err(UnlockError {
+                lock: l,
+                owner: Some(ThreadId(1))
+            })
+        );
+    }
+
+    #[test]
+    fn force_release_and_held_by() {
+        let mut t = LockTable::new(3);
+        t.try_acquire(LockId(0), ThreadId(4));
+        t.try_acquire(LockId(2), ThreadId(4));
+        assert_eq!(t.held_by(ThreadId(4)), vec![LockId(0), LockId(2)]);
+        t.force_release(LockId(0));
+        assert_eq!(t.held_by(ThreadId(4)), vec![LockId(2)]);
+    }
+}

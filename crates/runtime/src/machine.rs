@@ -1,0 +1,774 @@
+//! The interpreter: executes a [`Program`] under a [`Scheduler`], detecting
+//! failures and — for hardened modules — performing single-threaded
+//! idempotent rollback recovery.
+//!
+//! ## Recovery semantics (paper Figure 6, folded into the runtime)
+//!
+//! * `Checkpoint` saves the thread-local checkpoint slot (register image of
+//!   the top frame + resume position) and bumps the compensation epoch —
+//!   the `setjmp` analog.
+//! * A failing `FailGuard`/`PtrGuard`/timed-lock timeout attempts recovery:
+//!   if the per-site retry count is below the cap and a checkpoint exists,
+//!   the thread compensates (frees blocks, releases locks acquired in the
+//!   current epoch — Section 4.1) and rolls back — the `longjmp`. Deadlock
+//!   recoveries additionally sleep a small random number of steps to break
+//!   recovery livelock (Section 3.3).
+//! * Otherwise the original failure fires, exactly as in the untransformed
+//!   program.
+
+use std::time::Instant;
+
+use conair_ir::{FailureKind, Inst, LockId, Module, Operand, Reg, SiteId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::deadlock::WaitEdge;
+use crate::locks::{AcquireResult, LockTable, ThreadId};
+use crate::memory::{Memory, DEFAULT_LOWER_BOUND};
+use crate::outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
+use crate::program::Program;
+use crate::sched::{SchedContext, ScheduleScript, Scheduler};
+use crate::thread::{
+    CompensationRecord, Frame, ThreadState, ThreadStatus, UndoRecord,
+};
+
+/// Tuning knobs of one run.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Maximum recovery attempts per (thread, site) — `maxRetryNum` of
+    /// Figure 6 (paper default: one million).
+    pub max_retries: u64,
+    /// Steps a timed lock waits before its timeout fires.
+    pub lock_timeout: u64,
+    /// Hard step limit; exceeding it reports [`RunOutcome::StepLimit`].
+    pub step_limit: u64,
+    /// Pointer sanity lower bound (paper Figure 5c; default 10,000).
+    pub lower_bound: i64,
+    /// Maximum random backoff (steps) after a deadlock rollback.
+    pub backoff_max: u64,
+    /// Seed for the backoff RNG.
+    pub backoff_seed: u64,
+    /// Maintain an undo log and roll shared memory back on recovery — the
+    /// buffered-writes ablation point of Figure 4. Requires the module to
+    /// have been hardened under the matching region policy.
+    pub buffered_writes: bool,
+    /// Keep a ring buffer of each thread's last N executed locations and
+    /// attach the failing thread's to the failure record (0 disables).
+    pub trace_depth: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 1_000_000,
+            lock_timeout: 400,
+            step_limit: 50_000_000,
+            lower_bound: DEFAULT_LOWER_BOUND,
+            backoff_max: 24,
+            backoff_seed: 0xC0A1,
+            buffered_writes: false,
+            trace_depth: 0,
+        }
+    }
+}
+
+/// What the execution of one instruction asked the machine to do.
+enum StepEffect {
+    /// Continue normally.
+    Continue,
+    /// The thread blocked on a lock (pc stays at the lock instruction).
+    Blocked(LockId, Option<SiteId>),
+    /// A failure was detected at a *hardened* site: attempt recovery.
+    AttemptRecovery(SiteId, FailureKind, String),
+    /// An unrecoverable failure (original semantics).
+    Fail(FailureKind, Option<SiteId>, String),
+}
+
+/// The interpreter for one program run.
+pub struct Machine<'p> {
+    program: &'p Program,
+    config: MachineConfig,
+    memory: Memory,
+    locks: LockTable,
+    threads: Vec<ThreadState>,
+    script: ScheduleScript,
+    outputs: Vec<OutputRecord>,
+    marker_counts: HashMap<String, u64>,
+    site_recovery: HashMap<SiteId, SiteRecovery>,
+    site_checks: HashMap<SiteId, u64>,
+    wait_edges: Vec<WaitEdge>,
+    step: u64,
+    aux_work: u64,
+    backoff_rng: SmallRng,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine for `program`.
+    pub fn new(program: &'p Program, config: MachineConfig) -> Self {
+        let memory = Memory::new(&program.module);
+        let locks = LockTable::new(program.module.locks.len());
+        let threads = program
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                ThreadState::new(
+                    ThreadId(i),
+                    spec.name.clone(),
+                    spec.func,
+                    program.module.func(spec.func),
+                    &spec.args,
+                )
+            })
+            .collect();
+        let backoff_seed = config.backoff_seed;
+        Self {
+            program,
+            config,
+            memory,
+            locks,
+            threads,
+            script: ScheduleScript::none(),
+            outputs: Vec::new(),
+            marker_counts: HashMap::new(),
+            site_recovery: HashMap::new(),
+            site_checks: HashMap::new(),
+            wait_edges: Vec::new(),
+            step: 0,
+            aux_work: 0,
+            backoff_rng: SmallRng::seed_from_u64(backoff_seed),
+        }
+    }
+
+    /// Installs a bug-forcing schedule script.
+    pub fn with_script(mut self, script: ScheduleScript) -> Self {
+        self.script = script;
+        self
+    }
+
+    fn module(&self) -> &Module {
+        &self.program.module
+    }
+
+    /// Runs the program to completion under `scheduler`.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunResult {
+        let start = Instant::now();
+        let outcome = self.run_loop(scheduler);
+        let mut stats = RunStats {
+            steps: self.step,
+            insts: self.threads.iter().map(|t| t.stats.insts).sum(),
+            checkpoints: self.threads.iter().map(|t| t.stats.checkpoints).sum(),
+            rollbacks: self.threads.iter().map(|t| t.stats.rollbacks).sum(),
+            aux_work: self.aux_work,
+            site_recovery: self.site_recovery,
+            site_checks: self.site_checks,
+            wall: start.elapsed(),
+            wait_edges: self.wait_edges,
+        };
+        stats.wall = start.elapsed();
+        RunResult {
+            outcome,
+            outputs: self.outputs,
+            stats,
+        }
+    }
+
+    fn run_loop(&mut self, scheduler: &mut dyn Scheduler) -> RunOutcome {
+        loop {
+            if self.step >= self.config.step_limit {
+                return RunOutcome::StepLimit;
+            }
+            self.step += 1;
+
+            // 1. Timed-lock timeouts fire before scheduling.
+            if let Some(outcome) = self.process_lock_timeouts() {
+                return outcome;
+            }
+
+            // 2. Compute eligibility.
+            let eligible = self.eligible_threads();
+            if eligible.is_empty() {
+                if self.threads.iter().all(ThreadState::is_done) {
+                    return RunOutcome::Completed;
+                }
+                let blocked = self
+                    .threads
+                    .iter()
+                    .filter(|t| matches!(t.status, ThreadStatus::BlockedOnLock { .. }))
+                    .count();
+                let sleeping = self
+                    .threads
+                    .iter()
+                    .any(|t| matches!(t.status, ThreadStatus::SleepingUntil(_)));
+                let waiting_on_timeout = self.threads.iter().any(|t| {
+                    matches!(
+                        t.status,
+                        ThreadStatus::BlockedOnLock { site: Some(_), .. }
+                    )
+                });
+                if sleeping || waiting_on_timeout {
+                    // Time passes; sleepers wake and timeouts eventually fire.
+                    continue;
+                }
+                // Snapshot the wait-for graph for diagnosis.
+                self.wait_edges = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| match t.status {
+                        ThreadStatus::BlockedOnLock { lock, .. } => Some(WaitEdge {
+                            waiter: t.id,
+                            lock,
+                            owner: self.locks.owner(lock),
+                        }),
+                        _ => None,
+                    })
+                    .collect();
+                return RunOutcome::Hang {
+                    blocked_on_locks: blocked,
+                };
+            }
+
+            // 3. Pick and execute.
+            let ctx = SchedContext {
+                eligible: &eligible,
+                step: self.step,
+            };
+            let tid = scheduler.pick(&ctx);
+            debug_assert!(eligible.contains(&tid), "scheduler picked ineligible thread");
+            if let Some(outcome) = self.step_thread(tid) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Threads that can execute an instruction this step.
+    fn eligible_threads(&self) -> Vec<ThreadId> {
+        let mut out = Vec::new();
+        for t in &self.threads {
+            let ok = match t.status {
+                ThreadStatus::Runnable => !self.is_gate_held(t),
+                ThreadStatus::BlockedOnLock { lock, .. } => self.locks.is_free(lock),
+                ThreadStatus::SleepingUntil(until) => self.step >= until,
+                ThreadStatus::Done => false,
+            };
+            if ok {
+                out.push(t.id);
+            }
+        }
+        out
+    }
+
+    fn is_gate_held(&self, t: &ThreadState) -> bool {
+        if self.script.gates.is_empty() || t.frames.is_empty() {
+            return false;
+        }
+        let frame = t.top();
+        let func = self.module().func(frame.func);
+        let next_marker = func
+            .block(frame.block)
+            .insts
+            .get(frame.inst)
+            .and_then(|i| match i {
+                Inst::Marker { name } => Some(name.as_str()),
+                _ => None,
+            });
+        self.script.is_held(t.id.index(), next_marker, |m| {
+            self.marker_counts.get(m).copied().unwrap_or(0)
+        })
+    }
+
+    /// Fires timed-lock timeouts; may end the run.
+    fn process_lock_timeouts(&mut self) -> Option<RunOutcome> {
+        for i in 0..self.threads.len() {
+            let (lock, since, site) = match self.threads[i].status {
+                ThreadStatus::BlockedOnLock {
+                    lock,
+                    since,
+                    site: Some(site),
+                } => (lock, since, site),
+                _ => continue,
+            };
+            let _ = lock;
+            if self.step.saturating_sub(since) < self.config.lock_timeout {
+                continue;
+            }
+            // Timeout fired: `pthread_mutex_timedlock` returned ETIMEDOUT —
+            // a deadlock failure site (Figure 5d).
+            self.threads[i].status = ThreadStatus::Runnable;
+            let tid = ThreadId(i);
+            match self.attempt_recovery(tid, site, FailureKind::Deadlock) {
+                RecoveryOutcome::RolledBack => {
+                    // Random backoff breaks deadlock-recovery livelock.
+                    let pause = self.backoff_rng.gen_range(0..=self.config.backoff_max);
+                    if pause > 0 {
+                        self.threads[i].status = ThreadStatus::SleepingUntil(self.step + pause);
+                    }
+                }
+                RecoveryOutcome::Exhausted => {
+                    return Some(RunOutcome::Failed(FailureRecord {
+                        kind: FailureKind::Deadlock,
+                        site: Some(site),
+                        thread: tid,
+                        step: self.step,
+                        msg: "lock acquisition timed out; retries exhausted".into(),
+                        trace: self.thread_trace(tid),
+                    }));
+                }
+            }
+        }
+        None
+    }
+
+    /// Executes one instruction of `tid`; returns a terminal outcome if the
+    /// run ends.
+    fn step_thread(&mut self, tid: ThreadId) -> Option<RunOutcome> {
+        // Wake sleepers / unblock on entry.
+        match self.threads[tid.index()].status {
+            ThreadStatus::SleepingUntil(_) | ThreadStatus::BlockedOnLock { .. } => {
+                self.threads[tid.index()].status = ThreadStatus::Runnable;
+            }
+            _ => {}
+        }
+
+        let frame = self.threads[tid.index()].top().clone_position();
+        let func = self.module().func(frame.0);
+        let inst = func.block(frame.1).insts[frame.2].clone();
+
+        let step = self.step;
+        let depth = self.config.trace_depth;
+        self.threads[tid.index()].record_trace(
+            step,
+            conair_ir::Loc::new(frame.0, frame.1, frame.2),
+            depth,
+        );
+        self.threads[tid.index()].stats.insts += 1;
+        // Advance pc optimistically; control flow overwrites it.
+        self.threads[tid.index()].top_mut().inst += 1;
+
+        let effect = self.exec(tid, &inst);
+        match effect {
+            StepEffect::Continue => None,
+            StepEffect::Blocked(lock, site) => {
+                let t = &mut self.threads[tid.index()];
+                // Stay at the lock instruction.
+                t.top_mut().inst -= 1;
+                // Preserve the original wait start across retries of the
+                // same blocked acquisition.
+                let since = match t.status {
+                    ThreadStatus::BlockedOnLock {
+                        lock: l, since, ..
+                    } if l == lock => since,
+                    _ => self.step,
+                };
+                t.status = ThreadStatus::BlockedOnLock { lock, since, site };
+                None
+            }
+            StepEffect::AttemptRecovery(site, kind, msg) => {
+                match self.attempt_recovery(tid, site, kind) {
+                    RecoveryOutcome::RolledBack => None,
+                    RecoveryOutcome::Exhausted => Some(RunOutcome::Failed(FailureRecord {
+                        kind,
+                        site: Some(site),
+                        thread: tid,
+                        step: self.step,
+                        msg,
+                        trace: self.thread_trace(tid),
+                    })),
+                }
+            }
+            StepEffect::Fail(kind, site, msg) => Some(RunOutcome::Failed(FailureRecord {
+                kind,
+                site,
+                thread: tid,
+                step: self.step,
+                msg,
+                trace: self.thread_trace(tid),
+            })),
+        }
+    }
+
+    fn reg(&self, tid: ThreadId, r: Reg) -> i64 {
+        self.threads[tid.index()].top().regs[r.index()]
+    }
+
+    fn eval(&self, tid: ThreadId, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.reg(tid, r),
+            Operand::Const(c) => c,
+        }
+    }
+
+    fn set_reg(&mut self, tid: ThreadId, r: Reg, v: i64) {
+        self.threads[tid.index()].top_mut().regs[r.index()] = v;
+    }
+
+    fn ptr_is_valid(&self, addr: i64) -> bool {
+        addr >= self.config.lower_bound && self.memory.is_valid(addr)
+    }
+
+    /// Records an undo entry for a shared write (buffered-writes policy).
+    fn log_mem_undo(&mut self, tid: ThreadId, addr: i64, old: i64) {
+        if !self.config.buffered_writes {
+            return;
+        }
+        let t = &mut self.threads[tid.index()];
+        if t.checkpoint.is_none() {
+            return;
+        }
+        let epoch = t.epoch;
+        if t.undo.last().is_some_and(|u| u.epoch() != epoch) {
+            t.undo.clear();
+        }
+        t.undo.push(UndoRecord::Mem { addr, old, epoch });
+        self.aux_work += 1;
+    }
+
+    fn exec(&mut self, tid: ThreadId, inst: &Inst) -> StepEffect {
+        match inst {
+            Inst::Copy { dst, src } => {
+                let v = self.eval(tid, *src);
+                self.set_reg(tid, *dst, v);
+                StepEffect::Continue
+            }
+            Inst::BinOp { dst, op, lhs, rhs } => {
+                let v = op.apply(self.eval(tid, *lhs), self.eval(tid, *rhs));
+                self.set_reg(tid, *dst, v);
+                StepEffect::Continue
+            }
+            Inst::Cmp { dst, op, lhs, rhs } => {
+                let v = op.apply(self.eval(tid, *lhs), self.eval(tid, *rhs));
+                self.set_reg(tid, *dst, v);
+                StepEffect::Continue
+            }
+            Inst::LoadGlobal { dst, global } => {
+                let v = self.memory.read_global(*global);
+                self.set_reg(tid, *dst, v);
+                StepEffect::Continue
+            }
+            Inst::StoreGlobal { global, src } => {
+                let v = self.eval(tid, *src);
+                let old = self.memory.read_global(*global);
+                let addr = self.memory.global_addr(*global);
+                self.log_mem_undo(tid, addr, old);
+                self.memory.write_global(*global, v);
+                StepEffect::Continue
+            }
+            Inst::AddrOfGlobal { dst, global } => {
+                let a = self.memory.global_addr(*global);
+                self.set_reg(tid, *dst, a);
+                StepEffect::Continue
+            }
+            Inst::LoadPtr { dst, ptr } => {
+                let addr = self.eval(tid, *ptr);
+                match self.memory.read(addr) {
+                    Ok(v) => {
+                        self.set_reg(tid, *dst, v);
+                        StepEffect::Continue
+                    }
+                    Err(f) => StepEffect::Fail(FailureKind::SegFault, None, f.to_string()),
+                }
+            }
+            Inst::StorePtr { ptr, src } => {
+                let addr = self.eval(tid, *ptr);
+                let v = self.eval(tid, *src);
+                match self.memory.read(addr) {
+                    Ok(old) => {
+                        self.log_mem_undo(tid, addr, old);
+                        self.memory.write(addr, v).expect("validated by read");
+                        StepEffect::Continue
+                    }
+                    Err(f) => StepEffect::Fail(FailureKind::SegFault, None, f.to_string()),
+                }
+            }
+            Inst::LoadLocal { dst, local } => {
+                let v = self.threads[tid.index()].top().locals[local.index()];
+                self.set_reg(tid, *dst, v);
+                StepEffect::Continue
+            }
+            Inst::StoreLocal { local, src } => {
+                let v = self.eval(tid, *src);
+                let t = &mut self.threads[tid.index()];
+                if self.config.buffered_writes && t.checkpoint.is_some() {
+                    let epoch = t.epoch;
+                    let old = t.top().locals[local.index()];
+                    if t.undo.last().is_some_and(|u| u.epoch() != epoch) {
+                        t.undo.clear();
+                    }
+                    t.undo.push(UndoRecord::Local {
+                        slot: local.index(),
+                        old,
+                        epoch,
+                    });
+                    self.aux_work += 1;
+                }
+                t.top_mut().locals[local.index()] = v;
+                StepEffect::Continue
+            }
+            Inst::Alloc { dst, words } => {
+                let n = self.eval(tid, *words).max(0) as usize;
+                let base = self.memory.alloc(n);
+                self.set_reg(tid, *dst, base);
+                let t = &mut self.threads[tid.index()];
+                if t.checkpoint.is_some() {
+                    let epoch = t.epoch;
+                    t.record_compensation(CompensationRecord::Allocation { base, epoch });
+                    self.aux_work += 1;
+                }
+                StepEffect::Continue
+            }
+            Inst::Free { ptr } => {
+                let addr = self.eval(tid, *ptr);
+                match self.memory.free(addr) {
+                    Ok(()) => StepEffect::Continue,
+                    Err(f) => StepEffect::Fail(
+                        FailureKind::SegFault,
+                        None,
+                        format!("invalid free: {f}"),
+                    ),
+                }
+            }
+            Inst::Lock { lock } => match self.locks.try_acquire(*lock, tid) {
+                AcquireResult::Acquired => {
+                    let t = &mut self.threads[tid.index()];
+                    if t.checkpoint.is_some() {
+                        let epoch = t.epoch;
+                        t.record_compensation(CompensationRecord::Lock { lock: *lock, epoch });
+                        self.aux_work += 1;
+                    }
+                    StepEffect::Continue
+                }
+                AcquireResult::WouldBlock => StepEffect::Blocked(*lock, None),
+            },
+            Inst::TimedLock { lock, site } => {
+                *self.site_checks.entry(*site).or_insert(0) += 1;
+                match self.locks.try_acquire(*lock, tid) {
+                AcquireResult::Acquired => {
+                    self.note_site_success(tid, *site);
+                    let t = &mut self.threads[tid.index()];
+                    if t.checkpoint.is_some() {
+                        let epoch = t.epoch;
+                        t.record_compensation(CompensationRecord::Lock { lock: *lock, epoch });
+                        self.aux_work += 1;
+                    }
+                    StepEffect::Continue
+                }
+                AcquireResult::WouldBlock => StepEffect::Blocked(*lock, Some(*site)),
+                }
+            }
+            Inst::Unlock { lock } => match self.locks.release(*lock, tid) {
+                Ok(()) => StepEffect::Continue,
+                Err(e) => StepEffect::Fail(
+                    FailureKind::AssertionViolation,
+                    None,
+                    format!("unlock of {} not held by {tid} (owner {:?})", e.lock, e.owner),
+                ),
+            },
+            Inst::Output { label, value } => {
+                let v = self.eval(tid, *value);
+                self.outputs.push(OutputRecord {
+                    thread: tid,
+                    label: label.clone(),
+                    value: v,
+                });
+                StepEffect::Continue
+            }
+            Inst::Assert { cond, msg } => {
+                if self.eval(tid, *cond) != 0 {
+                    StepEffect::Continue
+                } else {
+                    StepEffect::Fail(
+                        FailureKind::AssertionViolation,
+                        None,
+                        format!("assertion failed: {msg}"),
+                    )
+                }
+            }
+            Inst::OutputAssert { cond, msg } => {
+                if self.eval(tid, *cond) != 0 {
+                    StepEffect::Continue
+                } else {
+                    StepEffect::Fail(
+                        FailureKind::WrongOutput,
+                        None,
+                        format!("output oracle violated: {msg}"),
+                    )
+                }
+            }
+            Inst::Jump { target } => {
+                let top = self.threads[tid.index()].top_mut();
+                top.block = *target;
+                top.inst = 0;
+                StepEffect::Continue
+            }
+            Inst::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let taken = if self.eval(tid, *cond) != 0 {
+                    *then_bb
+                } else {
+                    *else_bb
+                };
+                let top = self.threads[tid.index()].top_mut();
+                top.block = taken;
+                top.inst = 0;
+                StepEffect::Continue
+            }
+            Inst::Return { value } => {
+                let v = value.map(|op| self.eval(tid, op));
+                let t = &mut self.threads[tid.index()];
+                let finished = t.frames.pop().expect("return with a frame");
+                if let Some(parent) = t.frames.last_mut() {
+                    if let (Some(dst), Some(v)) = (finished.ret_dst, v) {
+                        parent.regs[dst.index()] = v;
+                    }
+                } else {
+                    t.status = ThreadStatus::Done;
+                }
+                StepEffect::Continue
+            }
+            Inst::Call { dst, callee, args } => {
+                let vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
+                let func = self.module().func(*callee);
+                let frame = Frame::new(*callee, func, &vals, *dst);
+                self.threads[tid.index()].frames.push(frame);
+                StepEffect::Continue
+            }
+            Inst::Marker { name } => {
+                *self.marker_counts.entry(name.clone()).or_insert(0) += 1;
+                StepEffect::Continue
+            }
+            Inst::Nop => StepEffect::Continue,
+            Inst::Checkpoint { .. } => {
+                self.threads[tid.index()].save_checkpoint();
+                StepEffect::Continue
+            }
+            Inst::FailGuard {
+                kind, cond, site, msg,
+            } => {
+                *self.site_checks.entry(*site).or_insert(0) += 1;
+                if self.eval(tid, *cond) != 0 {
+                    self.note_site_success(tid, *site);
+                    StepEffect::Continue
+                } else {
+                    let fk = match kind {
+                        conair_ir::GuardKind::Assert => FailureKind::AssertionViolation,
+                        conair_ir::GuardKind::WrongOutput => FailureKind::WrongOutput,
+                    };
+                    StepEffect::AttemptRecovery(*site, fk, format!("guard failed: {msg}"))
+                }
+            }
+            Inst::PtrGuard { ptr, site } => {
+                *self.site_checks.entry(*site).or_insert(0) += 1;
+                let addr = self.eval(tid, *ptr);
+                if self.ptr_is_valid(addr) {
+                    self.note_site_success(tid, *site);
+                    StepEffect::Continue
+                } else {
+                    StepEffect::AttemptRecovery(
+                        *site,
+                        FailureKind::SegFault,
+                        format!("pointer sanity check failed for {addr:#x}"),
+                    )
+                }
+            }
+        }
+    }
+
+    /// The failing thread's recorded trace, oldest first.
+    fn thread_trace(&self, tid: ThreadId) -> Vec<(u64, conair_ir::Loc)> {
+        self.threads[tid.index()].trace.iter().copied().collect()
+    }
+
+    /// Marks a hardened site as passed; completes its recovery timing if it
+    /// had failed earlier.
+    fn note_site_success(&mut self, _tid: ThreadId, site: SiteId) {
+        if let Some(rec) = self.site_recovery.get_mut(&site) {
+            if rec.recovered_step.is_none() && rec.first_failure_step.is_some() {
+                rec.recovered_step = Some(self.step);
+            }
+        }
+    }
+
+    /// The rollback-recovery path shared by guards and lock timeouts.
+    fn attempt_recovery(
+        &mut self,
+        tid: ThreadId,
+        site: SiteId,
+        kind: FailureKind,
+    ) -> RecoveryOutcome {
+        let rec = self.site_recovery.entry(site).or_default();
+        if rec.first_failure_step.is_none() {
+            rec.first_failure_step = Some(self.step);
+        }
+        rec.retries += 1;
+
+        let retries = self.threads[tid.index()]
+            .retries
+            .entry(site)
+            .or_insert(0);
+        if *retries >= self.config.max_retries {
+            return RecoveryOutcome::Exhausted;
+        }
+        *retries += 1;
+
+        if self.threads[tid.index()].checkpoint.is_none() {
+            return RecoveryOutcome::Exhausted;
+        }
+
+        // Compensation (Section 4.1): release resources acquired in the
+        // current epoch, in reverse acquisition order.
+        let records = self.threads[tid.index()].take_current_epoch_compensation();
+        for record in records.into_iter().rev() {
+            match record {
+                CompensationRecord::Allocation { base, .. } => {
+                    // The block may already be freed only if the region
+                    // contained a free — which regions never do.
+                    let _ = self.memory.free(base);
+                }
+                CompensationRecord::Lock { lock, .. } => {
+                    self.locks.force_release(lock);
+                }
+            }
+        }
+
+        // Undo log (buffered-writes ablation): restore memory of the
+        // current epoch in reverse write order.
+        if self.config.buffered_writes {
+            let epoch = self.threads[tid.index()].epoch;
+            let undo: Vec<UndoRecord> = {
+                let t = &mut self.threads[tid.index()];
+                let all = std::mem::take(&mut t.undo);
+                all.into_iter().filter(|u| u.epoch() == epoch).collect()
+            };
+            for u in undo.into_iter().rev() {
+                match u {
+                    UndoRecord::Mem { addr, old, .. } => {
+                        let _ = self.memory.write(addr, old);
+                    }
+                    UndoRecord::Local { slot, old, .. } => {
+                        self.threads[tid.index()].top_mut().locals[slot] = old;
+                    }
+                }
+            }
+        }
+
+        let restored = self.threads[tid.index()].restore_checkpoint();
+        debug_assert!(restored, "checkpoint checked above");
+        let _ = kind;
+        RecoveryOutcome::RolledBack
+    }
+}
+
+enum RecoveryOutcome {
+    RolledBack,
+    Exhausted,
+}
+
+impl Frame {
+    fn clone_position(&self) -> (conair_ir::FuncId, conair_ir::BlockId, usize) {
+        (self.func, self.block, self.inst)
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared memory: globals and heap.
+//!
+//! All memory is word-addressed: one address = one 64-bit word. The address
+//! space is segmented so that the paper's pointer sanity check (Figure 5c:
+//! `l_ptr > LowerBound`, default 10,000) is meaningful:
+//!
+//! * `0 .. LOWER_BOUND`           — never mapped (NULL page analog);
+//! * `GLOBAL_BASE ..`             — global variables, laid out in
+//!   declaration order;
+//! * `HEAP_BASE ..`               — heap blocks from a bump allocator.
+//!
+//! Dereferencing an unmapped or freed address is a memory fault — the
+//! segmentation-fault analog.
+
+use std::collections::BTreeMap;
+
+use conair_ir::{GlobalId, Module};
+
+/// Default pointer lower bound (paper Figure 5c: 10,000).
+pub const DEFAULT_LOWER_BOUND: i64 = 10_000;
+
+/// First address of the global segment.
+pub const GLOBAL_BASE: i64 = 0x1_0000;
+
+/// First address of the heap segment.
+pub const HEAP_BASE: i64 = 0x100_0000;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting address.
+    pub addr: i64,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid memory access at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[derive(Debug, Clone)]
+struct HeapBlock {
+    data: Vec<i64>,
+}
+
+/// The shared-memory state of one program run.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    /// Flattened global words.
+    globals: Vec<i64>,
+    /// Word offset of each global in `globals`.
+    offsets: Vec<usize>,
+    /// Live heap blocks keyed by base address.
+    heap: BTreeMap<i64, HeapBlock>,
+    next_heap: i64,
+    /// Words allocated over the lifetime of the run (diagnostics).
+    pub total_allocated: usize,
+}
+
+impl Memory {
+    /// Initializes memory for `module`'s globals.
+    pub fn new(module: &Module) -> Self {
+        let mut globals = Vec::new();
+        let mut offsets = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            offsets.push(globals.len());
+            globals.extend(std::iter::repeat_n(g.init, g.words));
+        }
+        Self {
+            globals,
+            offsets,
+            heap: BTreeMap::new(),
+            next_heap: HEAP_BASE,
+            total_allocated: 0,
+        }
+    }
+
+    /// The address of word 0 of `global`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is out of range (validated modules never do this).
+    pub fn global_addr(&self, global: GlobalId) -> i64 {
+        GLOBAL_BASE + self.offsets[global.index()] as i64
+    }
+
+    /// Reads global word 0 directly (the common scalar-global fast path).
+    pub fn read_global(&self, global: GlobalId) -> i64 {
+        self.globals[self.offsets[global.index()]]
+    }
+
+    /// Writes global word 0 directly.
+    pub fn write_global(&mut self, global: GlobalId, value: i64) {
+        let off = self.offsets[global.index()];
+        self.globals[off] = value;
+    }
+
+    /// Allocates `words` heap words, returning the block base address.
+    pub fn alloc(&mut self, words: usize) -> i64 {
+        let words = words.max(1);
+        let base = self.next_heap;
+        // Pad between blocks so off-by-one pointers fault rather than
+        // silently touching a neighbor.
+        self.next_heap += words as i64 + 1;
+        self.heap.insert(
+            base,
+            HeapBlock {
+                data: vec![0; words],
+            },
+        );
+        self.total_allocated += words;
+        base
+    }
+
+    /// Frees the block based at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `base` is not the base of a live block (double free or
+    /// wild free).
+    pub fn free(&mut self, base: i64) -> Result<(), MemFault> {
+        self.heap
+            .remove(&base)
+            .map(|_| ())
+            .ok_or(MemFault { addr: base })
+    }
+
+    /// Whether `addr` is a currently-valid (mapped) address.
+    pub fn is_valid(&self, addr: i64) -> bool {
+        self.resolve(addr).is_some()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses.
+    pub fn read(&self, addr: i64) -> Result<i64, MemFault> {
+        match self.resolve(addr) {
+            Some(Slot::Global(off)) => Ok(self.globals[off]),
+            Some(Slot::Heap(base, idx)) => Ok(self.heap[&base].data[idx]),
+            None => Err(MemFault { addr }),
+        }
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses.
+    pub fn write(&mut self, addr: i64, value: i64) -> Result<(), MemFault> {
+        match self.resolve(addr) {
+            Some(Slot::Global(off)) => {
+                self.globals[off] = value;
+                Ok(())
+            }
+            Some(Slot::Heap(base, idx)) => {
+                self.heap.get_mut(&base).expect("resolved block").data[idx] = value;
+                Ok(())
+            }
+            None => Err(MemFault { addr }),
+        }
+    }
+
+    /// Number of live heap blocks (leak checks in tests).
+    pub fn live_blocks(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn resolve(&self, addr: i64) -> Option<Slot> {
+        if (GLOBAL_BASE..GLOBAL_BASE + self.globals.len() as i64).contains(&addr) {
+            return Some(Slot::Global((addr - GLOBAL_BASE) as usize));
+        }
+        if addr >= HEAP_BASE {
+            if let Some((&base, block)) = self.heap.range(..=addr).next_back() {
+                let idx = (addr - base) as usize;
+                if idx < block.data.len() {
+                    return Some(Slot::Heap(base, idx));
+                }
+            }
+        }
+        None
+    }
+}
+
+enum Slot {
+    Global(usize),
+    Heap(i64, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::ModuleBuilder;
+
+    fn memory() -> (Memory, GlobalId, GlobalId) {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 7);
+        let b = mb.global_array("b", 4, -1);
+        let m = mb.finish();
+        (Memory::new(&m), a, b)
+    }
+
+    #[test]
+    fn globals_initialized_and_addressable() {
+        let (mem, a, b) = memory();
+        assert_eq!(mem.read_global(a), 7);
+        assert_eq!(mem.read(mem.global_addr(a)).unwrap(), 7);
+        // Array words are contiguous.
+        for i in 0..4 {
+            assert_eq!(mem.read(mem.global_addr(b) + i).unwrap(), -1);
+        }
+        // One past the end faults.
+        assert!(mem.read(mem.global_addr(b) + 4).is_err());
+    }
+
+    #[test]
+    fn global_writes_via_both_paths_agree() {
+        let (mut mem, a, _) = memory();
+        mem.write_global(a, 42);
+        assert_eq!(mem.read(mem.global_addr(a)).unwrap(), 42);
+        mem.write(mem.global_addr(a), 43).unwrap();
+        assert_eq!(mem.read_global(a), 43);
+    }
+
+    #[test]
+    fn heap_alloc_read_write_free() {
+        let (mut mem, _, _) = memory();
+        let p = mem.alloc(3);
+        assert!(p >= HEAP_BASE);
+        mem.write(p + 2, 99).unwrap();
+        assert_eq!(mem.read(p + 2).unwrap(), 99);
+        assert_eq!(mem.read(p).unwrap(), 0, "heap zero-initialized");
+        assert!(mem.read(p + 3).is_err(), "past-the-end faults");
+        assert_eq!(mem.live_blocks(), 1);
+        mem.free(p).unwrap();
+        assert_eq!(mem.live_blocks(), 0);
+        assert!(mem.read(p).is_err(), "use-after-free faults");
+        assert!(mem.free(p).is_err(), "double free faults");
+    }
+
+    #[test]
+    fn null_and_low_addresses_fault() {
+        let (mem, _, _) = memory();
+        assert!(mem.read(0).is_err());
+        assert!(mem.read(DEFAULT_LOWER_BOUND - 1).is_err());
+        assert!(!mem.is_valid(0));
+    }
+
+    #[test]
+    fn blocks_are_padded() {
+        let (mut mem, _, _) = memory();
+        let p1 = mem.alloc(2);
+        let p2 = mem.alloc(2);
+        assert!(p2 > p1 + 2, "gap between blocks");
+        assert!(mem.read(p1 + 2).is_err(), "gap word is unmapped");
+    }
+
+    #[test]
+    fn zero_word_alloc_rounds_up() {
+        let (mut mem, _, _) = memory();
+        let p = mem.alloc(0);
+        assert!(mem.read(p).is_ok());
+    }
+}

@@ -1,0 +1,124 @@
+//! Programs: a module plus the threads that execute it.
+
+use conair_ir::{FuncId, Module};
+
+/// One logical thread's entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSpec {
+    /// Thread name (diagnostics).
+    pub name: String,
+    /// Entry function.
+    pub func: FuncId,
+    /// Arguments bound to the entry function's parameters.
+    pub args: Vec<i64>,
+}
+
+impl ThreadSpec {
+    /// Builds a spec.
+    pub fn new(name: impl Into<String>, func: FuncId, args: Vec<i64>) -> Self {
+        Self {
+            name: name.into(),
+            func,
+            args,
+        }
+    }
+}
+
+/// A runnable multithreaded program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The code.
+    pub module: Module,
+    /// The statically-spawned threads (the paper's workloads all create
+    /// their racing threads up front).
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl Program {
+    /// Builds a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread references a missing function or passes the wrong
+    /// number of arguments — these are wiring bugs in workload definitions.
+    pub fn new(module: Module, threads: Vec<ThreadSpec>) -> Self {
+        for t in &threads {
+            let func = module
+                .functions
+                .get(t.func.index())
+                .unwrap_or_else(|| panic!("thread `{}`: unknown function {}", t.name, t.func));
+            assert_eq!(
+                func.num_params,
+                t.args.len(),
+                "thread `{}`: argument count mismatch",
+                t.name
+            );
+        }
+        Self { module, threads }
+    }
+
+    /// Convenience: a program whose threads are the named functions with no
+    /// arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown.
+    pub fn from_entry_names(module: Module, names: &[&str]) -> Self {
+        let threads = names
+            .iter()
+            .map(|n| {
+                let func = module
+                    .func_by_name(n)
+                    .unwrap_or_else(|| panic!("unknown thread entry `{n}`"));
+                ThreadSpec::new(*n, func, Vec::new())
+            })
+            .collect();
+        Self::new(module, threads)
+    }
+
+    /// Replaces the module (used after hardening) keeping the same threads.
+    ///
+    /// Thread entry `FuncId`s remain valid because the transform never
+    /// renumbers functions.
+    pub fn with_module(&self, module: Module) -> Self {
+        Self::new(module, self.threads.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{FuncBuilder, ModuleBuilder};
+
+    fn two_thread_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut a = FuncBuilder::new("a", 0);
+        a.ret();
+        mb.function(a.finish());
+        let mut b = FuncBuilder::new("b", 1);
+        b.ret();
+        mb.function(b.finish());
+        mb.finish()
+    }
+
+    #[test]
+    fn from_entry_names_resolves() {
+        let p = Program::from_entry_names(two_thread_module(), &["a"]);
+        assert_eq!(p.threads.len(), 1);
+        assert_eq!(p.threads[0].name, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "argument count mismatch")]
+    fn arg_mismatch_panics() {
+        let m = two_thread_module();
+        let b = m.func_by_name("b").unwrap();
+        let _ = Program::new(m, vec![ThreadSpec::new("b", b, vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown thread entry")]
+    fn unknown_entry_panics() {
+        let _ = Program::from_entry_names(two_thread_module(), &["zzz"]);
+    }
+}

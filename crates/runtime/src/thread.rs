@@ -1,0 +1,407 @@
+//! Per-thread interpreter state: call frames, checkpoint slot, compensation
+//! log and retry counters.
+
+use std::collections::HashMap;
+
+use conair_ir::{BlockId, FuncId, Function, Loc, LockId, Reg, SiteId};
+
+use crate::locks::ThreadId;
+
+/// One activation record.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Virtual register file — saved wholesale by a checkpoint.
+    pub regs: Vec<i64>,
+    /// Stack slots — **not** saved by a checkpoint (the stack-slot side of
+    /// the paper's idempotency argument).
+    pub locals: Vec<i64>,
+    /// Current block.
+    pub block: BlockId,
+    /// Next instruction index within the block.
+    pub inst: usize,
+    /// Register in the *caller's* frame receiving this call's return value.
+    pub ret_dst: Option<Reg>,
+}
+
+impl Frame {
+    /// Builds the frame for calling `func` (by id) with `args`.
+    pub fn new(func_id: FuncId, func: &Function, args: &[i64], ret_dst: Option<Reg>) -> Self {
+        let mut regs = vec![0; func.num_regs];
+        regs[..args.len()].copy_from_slice(args);
+        Self {
+            func: func_id,
+            regs,
+            locals: vec![0; func.num_locals],
+            block: BlockId(0),
+            inst: 0,
+            ret_dst,
+        }
+    }
+}
+
+/// The thread-local checkpoint slot — the `__thread jmp_buf c` of paper
+/// Figure 6. A thread holds at most one: the most recent reexecution point.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Call-stack depth at the checkpoint; rollback truncates to this depth
+    /// (`longjmp` across frames).
+    pub frame_depth: usize,
+    /// Saved register image of the checkpoint frame.
+    pub regs: Vec<i64>,
+    /// Resume block (the checkpoint instruction's own position — on resume
+    /// the checkpoint re-executes, re-saving and bumping the epoch, exactly
+    /// like a re-entered `setjmp`).
+    pub block: BlockId,
+    /// Resume instruction index.
+    pub inst: usize,
+}
+
+/// Why a thread cannot run right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Ready to execute.
+    Runnable,
+    /// Waiting on a mutex. `site` is set for timed (hardened) acquisitions.
+    BlockedOnLock {
+        /// The contended lock.
+        lock: LockId,
+        /// Step at which the wait began (timeout accounting).
+        since: u64,
+        /// The deadlock failure site, for timed locks.
+        site: Option<SiteId>,
+    },
+    /// Sleeping until the given step (deadlock-recovery random backoff).
+    SleepingUntil(u64),
+    /// Finished.
+    Done,
+}
+
+/// A compensation record (paper Section 4.1): a resource acquired inside
+/// the current reexecution region, to be released before rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompensationRecord {
+    /// A heap block allocated at `base`.
+    Allocation {
+        /// Block base address.
+        base: i64,
+        /// Epoch (reexecution-point counter) at acquisition.
+        epoch: u64,
+    },
+    /// A lock acquired.
+    Lock {
+        /// The lock.
+        lock: LockId,
+        /// Epoch at acquisition.
+        epoch: u64,
+    },
+}
+
+impl CompensationRecord {
+    /// The epoch the record was made under.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            CompensationRecord::Allocation { epoch, .. }
+            | CompensationRecord::Lock { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// An entry in the undo log (only under the buffered-writes ablation
+/// policy): the previous value of an overwritten location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UndoRecord {
+    /// A shared-memory word.
+    Mem {
+        /// Address overwritten.
+        addr: i64,
+        /// Previous value.
+        old: i64,
+        /// Epoch of the write.
+        epoch: u64,
+    },
+    /// A stack slot of the checkpoint frame.
+    Local {
+        /// Slot index.
+        slot: usize,
+        /// Previous value.
+        old: i64,
+        /// Epoch of the write.
+        epoch: u64,
+    },
+}
+
+impl UndoRecord {
+    /// The epoch the record was made under.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            UndoRecord::Mem { epoch, .. } | UndoRecord::Local { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// Execution statistics of one thread.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// Instructions executed.
+    pub insts: u64,
+    /// Checkpoint instructions executed (dynamic reexecution points).
+    pub checkpoints: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+}
+
+/// Complete state of one logical thread.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    /// This thread's id.
+    pub id: ThreadId,
+    /// Human-readable name (from the thread spec).
+    pub name: String,
+    /// Call stack; empty once the thread is done.
+    pub frames: Vec<Frame>,
+    /// Scheduling status.
+    pub status: ThreadStatus,
+    /// The single thread-local checkpoint slot.
+    pub checkpoint: Option<Checkpoint>,
+    /// Reexecution-point counter (paper Section 4.1) — incremented at every
+    /// checkpoint execution.
+    pub epoch: u64,
+    /// Resources acquired under recent epochs.
+    pub compensation: Vec<CompensationRecord>,
+    /// Undo log (buffered-writes policy only).
+    pub undo: Vec<UndoRecord>,
+    /// Recovery attempts per failure site (`RetryCnt` of Figure 6).
+    pub retries: HashMap<SiteId, u64>,
+    /// Ring buffer of the most recently executed locations (failure
+    /// diagnostics; empty unless tracing is enabled).
+    pub trace: std::collections::VecDeque<(u64, Loc)>,
+    /// Statistics.
+    pub stats: ThreadStats,
+}
+
+impl ThreadState {
+    /// Creates a thread about to execute `func(args)`.
+    pub fn new(
+        id: ThreadId,
+        name: impl Into<String>,
+        func_id: FuncId,
+        func: &Function,
+        args: &[i64],
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            frames: vec![Frame::new(func_id, func, args, None)],
+            status: ThreadStatus::Runnable,
+            checkpoint: None,
+            epoch: 0,
+            compensation: Vec::new(),
+            undo: Vec::new(),
+            retries: HashMap::new(),
+            trace: std::collections::VecDeque::new(),
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// Records an executed location into the bounded trace ring.
+    pub fn record_trace(&mut self, step: u64, loc: Loc, depth: usize) {
+        if depth == 0 {
+            return;
+        }
+        if self.trace.len() == depth {
+            self.trace.pop_front();
+        }
+        self.trace.push_back((step, loc));
+    }
+
+    /// The active frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is done (no frames).
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("thread has an active frame")
+    }
+
+    /// Mutable active frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is done.
+    pub fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("thread has an active frame")
+    }
+
+    /// Whether the thread finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.status, ThreadStatus::Done)
+    }
+
+    /// Records a compensation entry under the current epoch, applying the
+    /// paper's lazy cleaning: stale entries (older epochs) are dropped when
+    /// a new record arrives under a newer epoch.
+    pub fn record_compensation(&mut self, record: CompensationRecord) {
+        if self
+            .compensation
+            .last()
+            .is_some_and(|last| last.epoch() != self.epoch)
+        {
+            self.compensation.clear();
+        }
+        self.compensation.push(record);
+    }
+
+    /// Takes the compensation records of the current epoch (called during
+    /// rollback).
+    pub fn take_current_epoch_compensation(&mut self) -> Vec<CompensationRecord> {
+        let epoch = self.epoch;
+        let (current, _stale): (Vec<_>, Vec<_>) = self
+            .compensation
+            .drain(..)
+            .partition(|r| r.epoch() == epoch);
+        current
+    }
+
+    /// Saves the checkpoint (the `setjmp`): snapshot the top frame's
+    /// registers and position, bump the epoch.
+    pub fn save_checkpoint(&mut self) {
+        let depth = self.frames.len();
+        let top = self.top();
+        self.checkpoint = Some(Checkpoint {
+            frame_depth: depth,
+            regs: top.regs.clone(),
+            // `inst` has already been advanced past the checkpoint by the
+            // interpreter; resume re-executes the checkpoint instruction.
+            block: top.block,
+            inst: top.inst - 1,
+        });
+        self.epoch += 1;
+        self.stats.checkpoints += 1;
+    }
+
+    /// Restores the checkpoint (the `longjmp`): truncate frames, restore the
+    /// register image, reset the program counter. Returns false when no
+    /// checkpoint exists.
+    pub fn restore_checkpoint(&mut self) -> bool {
+        let Some(cp) = &self.checkpoint else {
+            return false;
+        };
+        assert!(
+            cp.frame_depth <= self.frames.len(),
+            "checkpoint above current stack — stale jmp_buf"
+        );
+        self.frames.truncate(cp.frame_depth);
+        let block = cp.block;
+        let inst = cp.inst;
+        let regs = cp.regs.clone();
+        let top = self.top_mut();
+        top.regs = regs;
+        top.block = block;
+        top.inst = inst;
+        self.stats.rollbacks += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::Function;
+
+    fn mk_thread() -> ThreadState {
+        let mut f = Function::new("main", 2);
+        f.num_regs = 4;
+        f.num_locals = 1;
+        ThreadState::new(ThreadId(0), "main", FuncId(0), &f, &[10, 20])
+    }
+
+    #[test]
+    fn frame_binds_args() {
+        let t = mk_thread();
+        assert_eq!(t.top().regs, vec![10, 20, 0, 0]);
+        assert_eq!(t.top().locals, vec![0]);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_registers_not_locals() {
+        let mut t = mk_thread();
+        // Simulate having just executed a checkpoint at bb0:3.
+        t.top_mut().inst = 4;
+        t.save_checkpoint();
+        assert_eq!(t.epoch, 1);
+
+        // Mutate registers and locals, advance.
+        t.top_mut().regs[2] = 999;
+        t.top_mut().locals[0] = 777;
+        t.top_mut().inst = 9;
+
+        assert!(t.restore_checkpoint());
+        assert_eq!(t.top().regs[2], 0, "registers restored");
+        assert_eq!(t.top().locals[0], 777, "stack slots NOT restored");
+        assert_eq!(t.top().inst, 3, "resumes at the checkpoint instruction");
+        assert_eq!(t.stats.rollbacks, 1);
+    }
+
+    #[test]
+    fn restore_without_checkpoint_fails() {
+        let mut t = mk_thread();
+        assert!(!t.restore_checkpoint());
+    }
+
+    #[test]
+    fn rollback_pops_frames() {
+        let mut t = mk_thread();
+        t.top_mut().inst = 1;
+        t.save_checkpoint();
+        // Push a callee frame.
+        let mut callee = Function::new("callee", 0);
+        callee.num_regs = 1;
+        t.frames
+            .push(Frame::new(FuncId(1), &callee, &[], Some(Reg(3))));
+        assert_eq!(t.frames.len(), 2);
+        assert!(t.restore_checkpoint());
+        assert_eq!(t.frames.len(), 1, "longjmp across the callee frame");
+        assert_eq!(t.top().func, FuncId(0));
+    }
+
+    #[test]
+    fn compensation_epoch_discipline() {
+        let mut t = mk_thread();
+        t.top_mut().inst = 1;
+        t.save_checkpoint(); // epoch 1
+        t.record_compensation(CompensationRecord::Lock {
+            lock: LockId(0),
+            epoch: t.epoch,
+        });
+        t.top_mut().inst = 2;
+        t.save_checkpoint(); // epoch 2 — previous records are stale
+        t.record_compensation(CompensationRecord::Allocation {
+            base: 0x100_0000,
+            epoch: t.epoch,
+        });
+        // The stale lock record was cleaned lazily on the new record.
+        assert_eq!(t.compensation.len(), 1);
+        let current = t.take_current_epoch_compensation();
+        assert_eq!(current.len(), 1);
+        assert!(matches!(
+            current[0],
+            CompensationRecord::Allocation { base: 0x100_0000, .. }
+        ));
+        assert!(t.compensation.is_empty());
+    }
+
+    #[test]
+    fn stale_compensation_dropped_at_rollback_too() {
+        let mut t = mk_thread();
+        t.top_mut().inst = 1;
+        t.save_checkpoint(); // epoch 1
+        t.record_compensation(CompensationRecord::Lock {
+            lock: LockId(0),
+            epoch: 0, // simulated stale record
+        });
+        let current = t.take_current_epoch_compensation();
+        assert!(current.is_empty(), "stale records are not compensated");
+    }
+}

@@ -1,0 +1,76 @@
+//! Record types for the Section-2 empirical bug studies.
+//!
+//! The paper derives its two key observations from three studies of
+//! previously-published real-world concurrency bugs:
+//!
+//! 1. 51 atomicity-violation bugs (from the "Learning from Mistakes"
+//!    characteristics study): does the failure manifest in a thread
+//!    involved in the unserializable interleaving?
+//! 2. 21 order-violation bugs: does the failure manifest in the thread of
+//!    the too-early operation `B`?
+//! 3. 26 bugs reproduced by six prior tools: is single-threaded
+//!    reexecution sufficient, and what does the reexecution region contain?
+//!
+//! The paper publishes only aggregates; each catalog here is a synthetic
+//! per-bug record set constructed to reproduce every published aggregate
+//! exactly (see DESIGN.md, substitution table).
+
+/// Sub-pattern of an atomicity violation (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicitySubtype {
+    /// Write-after-write interleaved with a read (Figure 2a).
+    Waw,
+    /// Read-after-write (Figure 2b).
+    Raw,
+    /// Read-after-read (Figure 2c).
+    Rar,
+    /// Write-after-read (Figure 2d).
+    War,
+}
+
+/// One studied atomicity-violation bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicityBug {
+    /// Catalog id.
+    pub id: u32,
+    /// Interleaving sub-pattern.
+    pub subtype: AtomicitySubtype,
+    /// Whether the failure manifests in a thread involved in the
+    /// unserializable interleaving — the single-threaded-recovery
+    /// precondition (Section 2.1).
+    pub fails_in_involved_thread: bool,
+}
+
+/// One studied order-violation bug: operation `A` should precede `B`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBug {
+    /// Catalog id.
+    pub id: u32,
+    /// Whether the failure manifests in the thread of the too-early `B` —
+    /// rolling that thread back delays `B`, recovering the failure.
+    pub fails_in_thread_of_b: bool,
+}
+
+/// What the reexecution region of a reproduced bug contains (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionCharacter {
+    /// Fully idempotent — recoverable by ConAir's design point.
+    Idempotent,
+    /// Contains I/O operations.
+    ContainsIo,
+    /// Contains non-idempotent memory writes but no I/O.
+    NonIdempotentWrites,
+}
+
+/// One of the 26 bugs reproduced by prior tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReproducedBug {
+    /// Catalog id.
+    pub id: u32,
+    /// Which prior tool's evaluation reproduced it.
+    pub source_tool: &'static str,
+    /// Whether single-threaded reexecution can survive it.
+    pub single_thread_recoverable: bool,
+    /// Region character (meaningful when single-thread recoverable).
+    pub region: Option<RegionCharacter>,
+}

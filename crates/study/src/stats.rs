@@ -1,0 +1,118 @@
+//! Aggregate computations over the catalogs — the numbers Section 2 quotes.
+
+use crate::catalogs::{atomicity_bugs, order_bugs, reproduced_bugs};
+use crate::records::RegionCharacter;
+
+/// The Section 2.1 single-threaded-recovery aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleThreadStudy {
+    /// Atomicity bugs studied.
+    pub atomicity_total: usize,
+    /// Atomicity bugs failing in an involved thread (recoverable by
+    /// single-threaded rollback).
+    pub atomicity_recoverable: usize,
+    /// Order bugs studied.
+    pub order_total: usize,
+    /// Order bugs failing in the thread of `B`.
+    pub order_recoverable: usize,
+}
+
+impl SingleThreadStudy {
+    /// Fraction of atomicity bugs amenable to single-threaded recovery.
+    pub fn atomicity_fraction(&self) -> f64 {
+        self.atomicity_recoverable as f64 / self.atomicity_total as f64
+    }
+
+    /// Fraction of order bugs amenable to single-threaded recovery.
+    pub fn order_fraction(&self) -> f64 {
+        self.order_recoverable as f64 / self.order_total as f64
+    }
+}
+
+/// Computes the Section 2.1 aggregates from the catalogs.
+pub fn single_thread_study() -> SingleThreadStudy {
+    let atomicity = atomicity_bugs();
+    let order = order_bugs();
+    SingleThreadStudy {
+        atomicity_total: atomicity.len(),
+        atomicity_recoverable: atomicity
+            .iter()
+            .filter(|b| b.fails_in_involved_thread)
+            .count(),
+        order_total: order.len(),
+        order_recoverable: order.iter().filter(|b| b.fails_in_thread_of_b).count(),
+    }
+}
+
+/// The Section 2.2 reexecution-region aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionStudy {
+    /// Bugs studied (reproduced by prior tools).
+    pub total: usize,
+    /// Survivable via single-threaded reexecution.
+    pub single_thread: usize,
+    /// Of those, regions that are fully idempotent.
+    pub idempotent: usize,
+    /// Regions containing I/O.
+    pub with_io: usize,
+    /// Regions with non-idempotent writes (no I/O).
+    pub with_writes: usize,
+}
+
+/// Computes the Section 2.2 aggregates from the catalog.
+pub fn region_study() -> RegionStudy {
+    let bugs = reproduced_bugs();
+    let mut s = RegionStudy {
+        total: bugs.len(),
+        single_thread: 0,
+        idempotent: 0,
+        with_io: 0,
+        with_writes: 0,
+    };
+    for b in &bugs {
+        if b.single_thread_recoverable {
+            s.single_thread += 1;
+            match b.region {
+                Some(RegionCharacter::Idempotent) => s.idempotent += 1,
+                Some(RegionCharacter::ContainsIo) => s.with_io += 1,
+                Some(RegionCharacter::NonIdempotentWrites) => s.with_writes += 1,
+                None => unreachable!("recoverable bugs carry a region"),
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Section 2.1: "About 92% of them cause failures in a thread that is
+    /// involved in the unserializable interleaving" (47/51) and "about 50%
+    /// of order-violation bugs lead to failures in the thread of B"
+    /// (11/21).
+    #[test]
+    fn section_2_1_aggregates() {
+        let s = single_thread_study();
+        assert_eq!(s.atomicity_total, 51);
+        assert_eq!(s.atomicity_recoverable, 47);
+        assert!((s.atomicity_fraction() - 0.92).abs() < 0.01);
+        assert_eq!(s.order_total, 21);
+        assert_eq!(s.order_recoverable, 11);
+        assert!((s.order_fraction() - 0.52).abs() < 0.01);
+    }
+
+    /// Section 2.2: "Among these 26 bugs, 20 can be survived through
+    /// single-threaded reexecution... 16 are idempotent, 2 contain I/O
+    /// operations, and 2 contain non-idempotent memory writes".
+    #[test]
+    fn section_2_2_aggregates() {
+        let s = region_study();
+        assert_eq!(s.total, 26);
+        assert_eq!(s.single_thread, 20);
+        assert_eq!(s.idempotent, 16);
+        assert_eq!(s.with_io, 2);
+        assert_eq!(s.with_writes, 2);
+        assert_eq!(s.idempotent + s.with_io + s.with_writes, s.single_thread);
+    }
+}

@@ -1,0 +1,145 @@
+//! FFT (SPLASH-2 style scientific kernel): wrong-output failure from a
+//! combined atomicity/order violation (paper Figure 9).
+//!
+//! The reporting thread reads the shared `End` timestamp before the timer
+//! thread has written it, so the printed "Total" is wrong. The
+//! developer-supplied output oracle (`End > 0`) lets ConAir detect the
+//! failure; the checkpoint right before the read lets rollback re-read
+//! until the timer thread catches up.
+//!
+//! The compute side is a real (fixed-point, iterative Cooley–Tukey style)
+//! butterfly loop so the workload has genuine FFT-shaped dynamic work.
+
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_delay, emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+const INIT_TICKS: i64 = 1;
+const END_TICKS: i64 = 42;
+/// log2 of the transform size (8-point FFT: 3 stages).
+const LOG2_N: i64 = 3;
+
+/// Builds the FFT workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("fft");
+    let sites = SiteProfile {
+        asserts: 4,
+        const_asserts: 1,
+        outputs: 30,
+        derefs: 14,
+        lock_pairs: 0,
+        lone_locks: 0,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 1_200,
+            ..WorkProfile::default()
+        },
+    );
+
+    let init_g = mb.global("Init", INIT_TICKS);
+    let end_g = mb.global("End", 0); // 0 until the timer thread writes it
+    let signal = mb.global_array("signal", 8, 0);
+
+    // The butterfly kernel: an in-place pass over the signal array for each
+    // of the LOG2_N stages (integer add/sub butterflies — enough to model
+    // the memory/arithmetic shape without complex arithmetic).
+    let butterfly = {
+        let mut fb = FuncBuilder::new("fft_butterfly", 0);
+        let base = fb.addr_of_global(signal);
+        // Seed the signal deterministically.
+        for i in 0..8 {
+            let p = fb.add(base, i);
+            fb.store_ptr(p, (i * 3 + 1) as i64);
+        }
+        fb.counted_loop(LOG2_N, |b, stage| {
+            let one = b.copy(1);
+            let half = b.binop(conair_ir::BinOpKind::Shl, one, stage);
+            b.counted_loop(4, move |b2, k| {
+                // Butterfly between k and k+half (indices wrapped to stay
+                // in range — the shape, not bit-exactness, is the point).
+                let i0 = b2.binop(conair_ir::BinOpKind::And, k, 7);
+                let i1r = b2.add(k, half);
+                let i1 = b2.binop(conair_ir::BinOpKind::And, i1r, 7);
+                let base2 = b2.addr_of_global(signal);
+                let p0 = b2.add(base2, i0);
+                let p1 = b2.add(base2, i1);
+                let a = b2.load_ptr(p0);
+                let bb = b2.load_ptr(p1);
+                let sum = b2.add(a, bb);
+                let diff = b2.sub(a, bb);
+                b2.store_ptr(p0, sum);
+                b2.store_ptr(p1, diff);
+            });
+        });
+        fb.ret();
+        mb.function(fb.finish())
+    };
+
+    // Thread 1 (Figure 9 thread 1): compute, then report timing.
+    let mut t1 = FuncBuilder::new("fft_main", 0);
+    t1.call_void(filler.init, vec![]);
+    t1.call_void(butterfly, vec![]);
+    t1.call_void(filler.driver, vec![]);
+    let init_v = t1.load_global(init_g);
+    t1.output("start", init_v);
+    t1.marker("fft_before_read");
+    let tmp = t1.load_global(end_g);
+    t1.marker("fft_read_done");
+    // The developer-specified output-correctness condition (Figure 9).
+    let ok = t1.cmp(CmpKind::Gt, tmp, 0);
+    t1.marker("fft_failure");
+    t1.output_assert(ok, "End must be set before reporting");
+    t1.output("stop", tmp);
+    let total = t1.sub(tmp, init_v);
+    t1.output("total", total);
+    t1.ret();
+    mb.function(t1.finish());
+
+    // Thread 2 (Figure 9 thread 2): the timer write `End = time(NULL)`.
+    let mut t2 = FuncBuilder::new("fft_timer", 0);
+    t2.call_void(filler.init, vec![]);
+    t2.marker("fft_before_end_write");
+    // The timer tick lands shortly after the gate releases; the reporter
+    // retries meanwhile (the paper observed ~97 retries for FFT).
+    emit_delay(&mut t2, 180);
+    t2.store_global(end_g, END_TICKS);
+    t2.marker("fft_end_written");
+    t2.ret();
+    mb.function(t2.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["fft_main", "fft_timer"]);
+    // Force the bug: hold the timer write until the reporter has reached
+    // its read.
+    // Hold the timer write until the reporter has already read the stale
+    // End, so the wrong-output failure manifests deterministically.
+    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "fft_before_end_write",
+        "fft_read_done",
+    )]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        0,
+        "fft_before_read",
+        "fft_end_written",
+    )]);
+
+    Workload {
+        meta: meta_by_name("FFT").expect("FFT in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["fft_failure".into()],
+        expected: vec![
+            ("start".into(), vec![INIT_TICKS]),
+            ("stop".into(), vec![END_TICKS]),
+            ("total".into(), vec![END_TICKS - INIT_TICKS]),
+        ],
+    }
+}

@@ -1,0 +1,125 @@
+//! HawkNL (network library): hang from an AB/BA lock-order deadlock
+//! (paper Figure 11).
+//!
+//! `Close()` takes `nlock`, calls into the driver (a destroying operation),
+//! then takes `slock`. `Shutdown()` takes `slock`, inspects the socket
+//! table, then takes `nlock`. The driver call truncates `Close`'s
+//! reexecution region, so its `slock` site is statically unrecoverable and
+//! ConAir reverts it to a plain lock (Section 4.2); `Shutdown`'s `nlock`
+//! site keeps a region reaching back before its `slock` acquisition, so a
+//! timed lock + rollback releases `slock` and breaks the cycle — exactly
+//! the paper's account of this bug.
+
+use conair_ir::{FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+/// Builds the HawkNL workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("hawknl");
+    let sites = SiteProfile {
+        asserts: 0,
+        const_asserts: 0,
+        outputs: 0,
+        derefs: 5,
+        lock_pairs: 1, // second recoverable deadlock site (Table 4: 2)
+        lone_locks: 1,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 4_000,
+            ..WorkProfile::default()
+        },
+    );
+
+    let nlock = mb.lock("nlock");
+    let slock = mb.lock("slock");
+    let driver_state = mb.global("driver_state", 1);
+    let n_sockets = mb.global("nSockets", 3);
+    let closed = mb.global("closed_count", 0);
+
+    // driver->Close(): mutates driver state — the idempotency-destroying
+    // call between Close()'s two acquisitions.
+    let driver_close = {
+        let mut fb = FuncBuilder::new("driver_close", 0);
+        fb.store_global(driver_state, 0);
+        fb.ret();
+        mb.function(fb.finish())
+    };
+
+    // Thread 1: Close() (Figure 11 left).
+    let mut t1 = FuncBuilder::new("hawknl_close", 0);
+    t1.call_void(filler.init, vec![]);
+    t1.call_void(filler.driver, vec![]);
+    t1.lock(nlock);
+    t1.marker("close_has_nlock");
+    t1.marker("close_gate");
+    t1.call_void(driver_close, vec![]);
+    t1.marker("close_slock_site");
+    t1.lock(slock); // unrecoverable deadlock site
+    let c = t1.load_global(closed);
+    let c1 = t1.add(c, 1);
+    t1.store_global(closed, c1);
+    t1.unlock(slock);
+    t1.unlock(nlock);
+    t1.output("closed", c1);
+    t1.marker("close_done");
+    t1.ret();
+    mb.function(t1.finish());
+
+    // Thread 2: Shutdown() (Figure 11 right).
+    let mut t2 = FuncBuilder::new("hawknl_shutdown", 0);
+    t2.call_void(filler.init, vec![]);
+    t2.marker("shutdown_entry");
+    t2.lock(slock);
+    t2.marker("shutdown_has_slock");
+    t2.marker("shutdown_gate");
+    let ns = t2.load_global(n_sockets);
+    let nonzero = t2.cmp(conair_ir::CmpKind::Ne, ns, 0);
+    let locked_bb = t2.new_block();
+    let done_bb = t2.new_block();
+    t2.branch(nonzero, locked_bb, done_bb);
+    t2.switch_to(locked_bb);
+    t2.marker("shutdown_nlock_site");
+    t2.lock(nlock); // recoverable deadlock site (region reaches the slock)
+    t2.store_global(n_sockets, 0);
+    t2.unlock(nlock);
+    t2.jump(done_bb);
+    t2.switch_to(done_bb);
+    t2.unlock(slock);
+    t2.output("shutdown_done", 1);
+    t2.ret();
+    mb.function(t2.finish());
+
+    let program =
+        Program::from_entry_names(mb.finish(), &["hawknl_close", "hawknl_shutdown"]);
+    // Force the AB/BA interleaving: each thread announces its first
+    // acquisition, then waits until the other has announced.
+    let bug_script = ScheduleScript::with_gates(vec![
+        Gate::new(0, "close_gate", "shutdown_has_slock"),
+        Gate::new(1, "shutdown_gate", "close_has_nlock"),
+    ]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "shutdown_entry",
+        "close_done",
+    )]);
+
+    Workload {
+        meta: meta_by_name("HawkNL").expect("HawkNL in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["shutdown_nlock_site".into()],
+        expected: vec![
+            ("closed".into(), vec![1]),
+            ("shutdown_done".into(), vec![1]),
+        ],
+    }
+}

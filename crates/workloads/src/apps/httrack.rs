@@ -1,0 +1,101 @@
+//! HTTrack (web crawler): segmentation fault from an order violation.
+//!
+//! A worker thread dereferences the shared `opt` options pointer before the
+//! main thread has allocated and published it (the real bug: a background
+//! thread used `global_opt` before `httrack_main` initialized it). The
+//! pointer load sits in an idempotent region, so the hardened worker spins
+//! on the pointer guard until the publication lands.
+
+use conair_ir::{FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_delay, emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+/// Builds the HTTrack workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("httrack");
+    // Table 4 row (×1/10): many developer assertions, outputs, and a large
+    // dereference population.
+    let sites = SiteProfile {
+        asserts: 40,
+        const_asserts: 26,
+        outputs: 50,
+        derefs: 314, // kernel adds 1 → 315
+        lock_pairs: 0,
+        lone_locks: 0,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 24_000,
+            hot_funcs: 8,
+            hot_iters: 40,
+            ..WorkProfile::default()
+        },
+    );
+
+    let opt_g = mb.global("global_opt", 0); // NULL until published
+    let depth_field = 2i64; // opt->depth lives at word 2
+
+    // Worker: reads opt->depth to decide crawling depth.
+    let mut worker = FuncBuilder::new("httrack_worker", 0);
+    worker.call_void(filler.init, vec![]);
+    // The worker carries the crawl work: a restart must redo all of it.
+    worker.call_void(filler.driver, vec![]);
+    worker.marker("worker_started");
+    let p = worker.load_global(opt_g);
+    let field = worker.add(p, depth_field);
+    worker.marker("httrack_deref");
+    let depth = worker.load_ptr(field); // the segfault site
+    worker.output("crawl_depth", depth);
+    worker.ret();
+    mb.function(worker.finish());
+
+    // Main: allocates the options block, fills it, publishes it.
+    let mut main = FuncBuilder::new("httrack_main", 0);
+    main.call_void(filler.init, vec![]);
+    main.marker("before_publish");
+    // Option parsing runs after the gate releases: its duration sets the
+    // number of guard retries the hardened worker performs.
+    emit_delay(&mut main, 600);
+    let block = main.alloc(4);
+    let f = main.add(block, depth_field);
+    main.store_ptr(f, 5); // opt->depth = 5
+    main.store_global(opt_g, block);
+    main.marker("opt_published");
+    main.output("published", 1);
+    main.ret();
+    mb.function(main.finish());
+
+    let program =
+        Program::from_entry_names(mb.finish(), &["httrack_worker", "httrack_main"]);
+    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "before_publish",
+        "worker_started",
+    )]);
+
+    // The benign gate holds the worker *before* it reads the shared
+    // pointer — holding at the dereference would be too late, the stale
+    // NULL would already be in a register.
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        0,
+        "worker_started",
+        "opt_published",
+    )]);
+
+    Workload {
+        meta: meta_by_name("HTTrack").expect("HTTrack in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["httrack_deref".into()],
+        expected: vec![
+            ("crawl_depth".into(), vec![5]),
+            ("published".into(), vec![1]),
+        ],
+    }
+}

@@ -1,0 +1,17 @@
+//! The ten Table-2 benchmark applications.
+//!
+//! Each module reproduces one real-world bug kernel — the code shape the
+//! paper documents (root cause, failure symptom, recoverability) — embedded
+//! in application-scale filler whose site profile follows the app's Table-4
+//! row (scaled ~10×; see EXPERIMENTS.md).
+
+pub mod fft;
+pub mod hawknl;
+pub mod httrack;
+pub mod mozilla_js;
+pub mod mozilla_xp;
+pub mod mysql1;
+pub mod mysql2;
+pub mod sqlite;
+pub mod transmission;
+pub mod zsnes;

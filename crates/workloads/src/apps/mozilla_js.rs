@@ -1,0 +1,103 @@
+//! Mozilla JavaScript engine: hang from a deadlock between the garbage
+//! collector lock and an object-table lock.
+//!
+//! Both threads nest their second acquisition inside the first with no
+//! destroying operation in between, so *both* deadlock sites are
+//! statically recoverable: whichever timed lock times out first releases
+//! its outer lock and the other thread proceeds — the paper reports this
+//! among the fast recoveries (one retry, tens of microseconds).
+
+use conair_ir::{FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+/// Builds the MozillaJS workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("mozilla_js");
+    let sites = SiteProfile {
+        asserts: 0,
+        const_asserts: 0,
+        outputs: 5,
+        derefs: 13,
+        lock_pairs: 2, // + the kernel's 2 recoverable sites → Table 4's 6
+        lone_locks: 6,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 9_000,
+            ..WorkProfile::default()
+        },
+    );
+
+    let gc_lock = mb.lock("gc_lock");
+    let obj_lock = mb.lock("obj_lock");
+    let gc_runs = mb.global("gc_runs", 0);
+    let obj_count = mb.global("obj_count", 7);
+
+    // Thread 1: the GC thread — gc_lock, then obj_lock to scan objects.
+    let mut gc = FuncBuilder::new("js_gc", 0);
+    gc.call_void(filler.init, vec![]);
+    gc.call_void(filler.driver, vec![]);
+    gc.lock(gc_lock);
+    gc.marker("gc_has_gclock");
+    gc.marker("gc_gate");
+    gc.marker("js_gc_site");
+    gc.lock(obj_lock);
+    let n = gc.load_global(gc_runs);
+    let n1 = gc.add(n, 1);
+    gc.store_global(gc_runs, n1);
+    gc.unlock(obj_lock);
+    gc.unlock(gc_lock);
+    gc.output("gc_runs", n1);
+    gc.marker("gc_done");
+    gc.ret();
+    mb.function(gc.finish());
+
+    // Thread 2: a mutator allocating an object — obj_lock, then gc_lock to
+    // check whether a collection is pending.
+    let mut mutator = FuncBuilder::new("js_mutator", 0);
+    mutator.call_void(filler.init, vec![]);
+    mutator.marker("mut_entry");
+    mutator.lock(obj_lock);
+    mutator.marker("mut_has_objlock");
+    mutator.marker("mut_gate");
+    mutator.marker("js_mut_site");
+    mutator.lock(gc_lock);
+    let c = mutator.load_global(obj_count);
+    let c1 = mutator.add(c, 1);
+    mutator.store_global(obj_count, c1);
+    mutator.unlock(gc_lock);
+    mutator.unlock(obj_lock);
+    mutator.output("objects", c1);
+    mutator.ret();
+    mb.function(mutator.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["js_gc", "js_mutator"]);
+    let bug_script = ScheduleScript::with_gates(vec![
+        Gate::new(0, "gc_gate", "mut_has_objlock"),
+        Gate::new(1, "mut_gate", "gc_has_gclock"),
+    ]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "mut_entry",
+        "gc_done",
+    )]);
+
+    Workload {
+        meta: meta_by_name("MozillaJS").expect("MozillaJS in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["js_gc_site".into(), "js_mut_site".into()],
+        expected: vec![
+            ("gc_runs".into(), vec![1]),
+            ("objects".into(), vec![8]),
+        ],
+    }
+}

@@ -1,0 +1,121 @@
+//! Mozilla XPCOM: segmentation fault from an order violation, requiring
+//! **inter-procedural** recovery (paper Figure 10).
+//!
+//! `GetState(thd)` dereferences its parameter inside a leaf function; the
+//! invalid pointer arrives from the caller `Get()`, which loads the shared
+//! `mThd` before `InitThd()` has created the thread object. The reexecution
+//! point must therefore sit in `Get` (before the `mThd` load) — the callee
+//! region alone can never change the parameter. This is one of the two
+//! benchmarks the paper reports as needing Section 4.3, and its recovery is
+//! the slowest (thousands of retries while thread 2 catches up).
+
+use conair_ir::{FuncBuilder, ModuleBuilder, Operand};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_delay, emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+const THREAD_DETACHED: i64 = 0xff;
+
+/// Builds the MozillaXP workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("mozilla_xp");
+    let sites = SiteProfile {
+        asserts: 1,
+        const_asserts: 0,
+        outputs: 12,
+        derefs: 678, // kernel adds 1 → 679
+        lock_pairs: 0,
+        lone_locks: 0,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 50_000,
+            hot_funcs: 6,
+            hot_iters: 30,
+            ..WorkProfile::default()
+        },
+    );
+
+    let mthd = mb.global("mThd", 0); // NULL before InitThd
+    let stat = mb.global("xp_call_count", 0);
+
+    // GetState(thd): return thd->state & THREAD_DETACHED (Figure 10).
+    let get_state = {
+        let mut fb = FuncBuilder::new("GetState", 1);
+        let thd = fb.param(0);
+        fb.marker("xp_deref");
+        let state = fb.load_ptr(thd); // the segfault site
+        let masked = fb.binop(conair_ir::BinOpKind::And, state, THREAD_DETACHED);
+        fb.ret_value(masked);
+        mb.function(fb.finish())
+    };
+
+    // Get(): tmp = GetState(mThd). The call-count bump before the load is
+    // the destroying op that anchors the caller-side reexecution point
+    // inside Get (matching the paper's "reexecution point inside Get").
+    let get = {
+        let mut fb = FuncBuilder::new("Get", 0);
+        let n = fb.load_global(stat);
+        let n1 = fb.add(n, 1);
+        fb.store_global(stat, n1);
+        let ptr = fb.load_global(mthd);
+        let tmp = fb.call(get_state, vec![Operand::Reg(ptr)]);
+        fb.ret_value(tmp);
+        mb.function(fb.finish())
+    };
+
+    // Thread 1: the XPCOM client calling Get().
+    let mut t1 = FuncBuilder::new("xp_client", 0);
+    t1.call_void(filler.init, vec![]);
+    // The client carries the XPCOM session work (redone on restart).
+    t1.call_void(filler.driver, vec![]);
+    t1.marker("client_started");
+    let state = t1.call(get, vec![]);
+    t1.output("thread_state", state);
+    t1.ret();
+    mb.function(t1.finish());
+
+    // Thread 2: InitThd() — CreateThd allocates the thread object, then the
+    // publication makes it visible (Figure 10 right).
+    let mut t2 = FuncBuilder::new("xp_init_thd", 0);
+    t2.call_void(filler.init, vec![]);
+    t2.marker("before_create");
+    // Thread creation takes a while after the gate releases: the client's
+    // guard rolls back throughout (the paper observed >8000 retries here).
+    emit_delay(&mut t2, 10_000);
+    let obj = t2.alloc(2);
+    t2.store_ptr(obj, 0x1ff); // thd->state
+    t2.store_global(mthd, obj);
+    t2.marker("mthd_published");
+    t2.ret();
+    mb.function(t2.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["xp_client", "xp_init_thd"]);
+    // The initializer runs the big filler driver behind a gate released
+    // only once the client is already running — so the client's guard
+    // rolls back for a long time (the paper observed >8000 retries here).
+    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "before_create",
+        "client_started",
+    )]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        0,
+        "client_started",
+        "mthd_published",
+    )]);
+
+    Workload {
+        meta: meta_by_name("MozillaXP").expect("MozillaXP in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["xp_deref".into()],
+        expected: vec![("thread_state".into(), vec![0x1ff & THREAD_DETACHED])],
+    }
+}

@@ -1,0 +1,102 @@
+//! MySQL bug 1: wrong output from a WAW atomicity violation (paper
+//! Figure 2a).
+//!
+//! The logging thread flips the shared `log` state CLOSE→OPEN in two
+//! writes that should be atomic with respect to readers; a query thread
+//! observing the transient CLOSE emits a wrong "log disabled" result. With
+//! an output oracle (`log == OPEN`) the reader's rollback re-reads the
+//! state until the writer's second store lands — recovery by serializing
+//! the reader after the writer pair.
+
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+const CLOSE: i64 = 0;
+const OPEN: i64 = 1;
+
+/// Builds the MySQL1 workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("mysql1");
+    // Table 4 row ×1/10: the largest site population of the suite.
+    let sites = SiteProfile {
+        asserts: 10,
+        const_asserts: 2,
+        outputs: 324,
+        derefs: 1_579,
+        lock_pairs: 2,
+        lone_locks: 15,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 120_000,
+            hot_funcs: 10,
+            hot_iters: 60,
+            ..WorkProfile::default()
+        },
+    );
+
+    let log_state = mb.global("log_state", OPEN);
+    let queries = mb.global("queries_served", 0);
+
+    // Thread 1: log rotation — the WAW pair that must look atomic.
+    let mut rotator = FuncBuilder::new("mysql_log_rotate", 0);
+    rotator.call_void(filler.init, vec![]);
+    rotator.store_global(log_state, CLOSE);
+    rotator.marker("rotate_start");
+    rotator.marker("between_waw");
+    rotator.store_global(log_state, OPEN);
+    rotator.marker("rotate_finished");
+    rotator.output("rotated", 1);
+    rotator.ret();
+    mb.function(rotator.finish());
+
+    // Thread 2: a query observing the log state.
+    let mut query = FuncBuilder::new("mysql_query", 0);
+    query.call_void(filler.init, vec![]);
+    query.call_void(filler.driver, vec![]);
+    query.marker("query_reads_log");
+    let state = query.load_global(log_state);
+    query.marker("query_read_done");
+    let is_open = query.cmp(CmpKind::Eq, state, OPEN);
+    query.marker("mysql1_failure");
+    query.output_assert(is_open, "query must observe an open log");
+    query.output("log_state_seen", state);
+    let q = query.load_global(queries);
+    let q1 = query.add(q, 1);
+    query.store_global(queries, q1);
+    query.ret();
+    mb.function(query.finish());
+
+    let program =
+        Program::from_entry_names(mb.finish(), &["mysql_log_rotate", "mysql_query"]);
+    // Force the unserializable interleaving: the rotator closes the log,
+    // then stalls between its two writes until the query has read.
+    let bug_script = ScheduleScript::with_gates(vec![
+        Gate::new(0, "between_waw", "query_read_done"),
+        Gate::new(1, "query_reads_log", "rotate_start"),
+    ]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "query_reads_log",
+        "rotate_finished",
+    )]);
+
+    Workload {
+        meta: meta_by_name("MySQL1").expect("MySQL1 in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["mysql1_failure".into()],
+        expected: vec![
+            ("rotated".into(), vec![1]),
+            ("log_state_seen".into(), vec![OPEN]),
+        ],
+    }
+}

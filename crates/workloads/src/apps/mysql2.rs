@@ -1,0 +1,98 @@
+//! MySQL bug 2: assertion violation from a RAR atomicity violation
+//! (paper Figure 2c shape).
+//!
+//! A query thread reads the shared table-cache state twice — once to decide
+//! it can proceed and once inside a consistency assertion. A concurrent
+//! flush thread invalidates the cache between the two reads, so the
+//! assertion observes a state that contradicts the earlier read. Rollback
+//! re-executes both reads; they now agree, so this is the paper's fastest
+//! recovery (one retry, ~8 µs).
+
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+/// Builds the MySQL2 workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("mysql2");
+    let sites = SiteProfile {
+        asserts: 51, // kernel adds 1 → 52
+        const_asserts: 1,
+        outputs: 285,
+        derefs: 1_550,
+        lock_pairs: 2,
+        lone_locks: 20,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 110_000,
+            hot_funcs: 10,
+            hot_iters: 60,
+            ..WorkProfile::default()
+        },
+    );
+
+    let cache_state = mb.global("table_cache_state", 1); // 1 = valid
+    let served = mb.global("served", 0);
+
+    // Thread 1: the query path with the RAR pair.
+    let mut query = FuncBuilder::new("mysql_cached_query", 0);
+    query.call_void(filler.init, vec![]);
+    query.call_void(filler.driver, vec![]);
+    let first = query.load_global(cache_state); // read 1
+    query.marker("between_rar");
+    query.marker("query_gate");
+    let second = query.load_global(cache_state); // read 2
+    let consistent = query.cmp(CmpKind::Eq, first, second);
+    query.marker("mysql2_failure");
+    query.assert(consistent, "cache state must not change mid-query");
+    let s = query.load_global(served);
+    let s1 = query.add(s, 1);
+    query.store_global(served, s1);
+    query.marker("query_done");
+    query.output("served", s1);
+    query.ret();
+    mb.function(query.finish());
+
+    // Thread 2: the cache flush that sneaks between the two reads.
+    let mut flush = FuncBuilder::new("mysql_flush_tables", 0);
+    flush.call_void(filler.init, vec![]);
+    flush.marker("flush_point");
+    flush.store_global(cache_state, 0);
+    flush.marker("flush_done");
+    flush.output("flushed", 1);
+    flush.ret();
+    mb.function(flush.finish());
+
+    let program = Program::from_entry_names(
+        mb.finish(),
+        &["mysql_cached_query", "mysql_flush_tables"],
+    );
+    // Hold the flush until the query sits between its two reads, and hold
+    // the query's second read until the flush has landed — the violation
+    // then manifests in every schedule.
+    let bug_script = ScheduleScript::with_gates(vec![
+        Gate::new(1, "flush_point", "between_rar"),
+        Gate::new(0, "query_gate", "flush_done"),
+    ]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "flush_point",
+        "query_done",
+    )]);
+
+    Workload {
+        meta: meta_by_name("MySQL2").expect("MySQL2 in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["mysql2_failure".into()],
+        expected: vec![("served".into(), vec![1]), ("flushed".into(), vec![1])],
+    }
+}

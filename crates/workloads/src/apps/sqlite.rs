@@ -1,0 +1,106 @@
+//! SQLite: hang from a deadlock between the database handle mutex and the
+//! shared b-tree mutex.
+//!
+//! As in HawkNL, only one side is statically recoverable: the checkpointing
+//! thread performs a page flush (a shared write) between its two
+//! acquisitions, so its inner site is reverted to a plain lock; the reader
+//! thread's nested acquisition keeps a clean region and a timed lock, and
+//! its rollback releases the b-tree mutex to break the cycle (Table 4
+//! reports exactly one recoverable deadlock site for SQLite).
+
+use conair_ir::{FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+/// Builds the SQLite workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("sqlite");
+    let sites = SiteProfile {
+        asserts: 0,
+        const_asserts: 1,
+        outputs: 25,
+        derefs: 47,
+        lock_pairs: 0, // the kernel provides the single recoverable site
+        lone_locks: 2,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 7_000,
+            ..WorkProfile::default()
+        },
+    );
+
+    let db_mutex = mb.lock("db_mutex");
+    let btree_mutex = mb.lock("btree_mutex");
+    let page_cache = mb.global("page_cache", 0);
+    let rows = mb.global("rows_read", 0);
+
+    // Thread 1: checkpointer — db_mutex, page flush (destroying), then
+    // btree_mutex: its inner site is unrecoverable.
+    let mut ckpt = FuncBuilder::new("sqlite_checkpointer", 0);
+    ckpt.call_void(filler.init, vec![]);
+    ckpt.call_void(filler.driver, vec![]);
+    ckpt.lock(db_mutex);
+    ckpt.marker("ckpt_has_db");
+    ckpt.marker("ckpt_gate");
+    ckpt.store_global(page_cache, 1); // flush: destroys the region
+    ckpt.lock(btree_mutex);
+    ckpt.store_global(page_cache, 2);
+    ckpt.unlock(btree_mutex);
+    ckpt.unlock(db_mutex);
+    ckpt.output("checkpointed", 1);
+    ckpt.marker("ckpt_done");
+    ckpt.ret();
+    mb.function(ckpt.finish());
+
+    // Thread 2: reader — btree_mutex, then db_mutex with a clean region:
+    // the recoverable site.
+    let mut reader = FuncBuilder::new("sqlite_reader", 0);
+    reader.call_void(filler.init, vec![]);
+    reader.marker("reader_entry");
+    reader.lock(btree_mutex);
+    reader.marker("reader_has_btree");
+    reader.marker("reader_gate");
+    reader.marker("sqlite_site");
+    reader.lock(db_mutex);
+    let r = reader.load_global(rows);
+    let r1 = reader.add(r, 1);
+    reader.store_global(rows, r1);
+    reader.unlock(db_mutex);
+    reader.unlock(btree_mutex);
+    reader.output("rows", r1);
+    reader.ret();
+    mb.function(reader.finish());
+
+    let program = Program::from_entry_names(
+        mb.finish(),
+        &["sqlite_checkpointer", "sqlite_reader"],
+    );
+    let bug_script = ScheduleScript::with_gates(vec![
+        Gate::new(0, "ckpt_gate", "reader_has_btree"),
+        Gate::new(1, "reader_gate", "ckpt_has_db"),
+    ]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "reader_entry",
+        "ckpt_done",
+    )]);
+
+    Workload {
+        meta: meta_by_name("SQLite").expect("SQLite in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["sqlite_site".into()],
+        expected: vec![
+            ("checkpointed".into(), vec![1]),
+            ("rows".into(), vec![1]),
+        ],
+    }
+}

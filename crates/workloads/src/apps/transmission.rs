@@ -1,0 +1,112 @@
+//! Transmission (BitTorrent client): assertion violation from an order
+//! violation, requiring **inter-procedural** recovery.
+//!
+//! The event loop asserts inside a helper (`checkBandwidth`) that the
+//! bandwidth allocator field it received is initialized; the session thread
+//! publishes the allocator late. The assert's condition derives only from
+//! the helper's parameter, so the reexecution point must climb to the
+//! caller (which re-reads the shared session pointer) — the second of the
+//! paper's two inter-procedural benchmarks.
+
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder, Operand};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_delay, emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+/// Builds the Transmission workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("transmission");
+    let sites = SiteProfile {
+        asserts: 42, // kernel adds 1 → 43
+        const_asserts: 2,
+        outputs: 19,
+        derefs: 215,
+        lock_pairs: 0,
+        lone_locks: 0,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 16_000,
+            hot_funcs: 6,
+            hot_iters: 30,
+            ..WorkProfile::default()
+        },
+    );
+
+    let session_band = mb.global("session_bandwidth", 0); // 0 until published
+    let events = mb.global("events_handled", 0);
+
+    // checkBandwidth(band): assert(band != NULL) — the Transmission
+    // `assert(tr_isBandwidth(b))` shape.
+    let check_bandwidth = {
+        let mut fb = FuncBuilder::new("checkBandwidth", 1);
+        let band = fb.param(0);
+        let ok = fb.cmp(CmpKind::Ne, band, 0);
+        fb.marker("transmission_assert");
+        fb.assert(ok, "bandwidth allocator must be initialized");
+        fb.ret_value(band);
+        mb.function(fb.finish())
+    };
+
+    // Event loop: bumps its event counter (destroying — anchors the
+    // caller-side reexecution point), re-reads the session field and calls
+    // the helper.
+    let event_step = {
+        let mut fb = FuncBuilder::new("event_step", 0);
+        let e = fb.load_global(events);
+        let e1 = fb.add(e, 1);
+        fb.store_global(events, e1);
+        let band = fb.load_global(session_band);
+        let checked = fb.call(check_bandwidth, vec![Operand::Reg(band)]);
+        fb.ret_value(checked);
+        mb.function(fb.finish())
+    };
+
+    let mut t1 = FuncBuilder::new("tr_event_loop", 0);
+    t1.call_void(filler.init, vec![]);
+    // The event loop carries the client's work (redone on restart).
+    t1.call_void(filler.driver, vec![]);
+    t1.marker("loop_started");
+    let band = t1.call(event_step, vec![]);
+    t1.output("bandwidth", band);
+    t1.ret();
+    mb.function(t1.finish());
+
+    // Session thread: publishes the allocator after its init work.
+    let mut t2 = FuncBuilder::new("tr_session_init", 0);
+    t2.call_void(filler.init, vec![]);
+    t2.marker("before_session_publish");
+    // Session construction time after the gate sets the retry count.
+    emit_delay(&mut t2, 1_500);
+    t2.store_global(session_band, 9_000);
+    t2.marker("session_published");
+    t2.ret();
+    mb.function(t2.finish());
+
+    let program =
+        Program::from_entry_names(mb.finish(), &["tr_event_loop", "tr_session_init"]);
+    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "before_session_publish",
+        "loop_started",
+    )]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        0,
+        "loop_started",
+        "session_published",
+    )]);
+
+    Workload {
+        meta: meta_by_name("Transmission").expect("Transmission in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["transmission_assert".into()],
+        expected: vec![("bandwidth".into(), vec![9_000])],
+    }
+}

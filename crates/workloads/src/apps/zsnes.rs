@@ -1,0 +1,94 @@
+//! ZSNES (game console emulator): assertion violation from an order
+//! violation.
+//!
+//! The render thread asserts that the video buffer has been configured
+//! before it draws a frame; the initialization thread sets the depth late.
+//! Intra-procedural recovery suffices: the assertion's condition comes
+//! straight from a shared read inside an idempotent region, so the render
+//! thread simply re-reads until initialization lands.
+
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+use crate::filler::{emit_filler, SiteProfile, WorkProfile};
+use crate::meta::meta_by_name;
+use crate::spec::Workload;
+
+const DEPTH: i64 = 16;
+
+/// Builds the ZSNES workload.
+pub fn build() -> Workload {
+    let mut mb = ModuleBuilder::new("zsnes");
+    let sites = SiteProfile {
+        asserts: 0, // the kernel's assert is the 1 of Table 4
+        const_asserts: 2,
+        outputs: 50,
+        derefs: 33,
+        lock_pairs: 0,
+        lone_locks: 0,
+    };
+    let filler = emit_filler(
+        &mut mb,
+        sites,
+        WorkProfile {
+            compute_iters: 5_000,
+            ..WorkProfile::default()
+        },
+    );
+
+    let vid_depth = mb.global("vid_depth", 0); // 0 until init
+    let frame_buf = mb.global_array("frame_buf", 16, 0);
+
+    // Render thread: asserts the configured depth, then draws a frame.
+    let mut render = FuncBuilder::new("zsnes_render", 0);
+    render.call_void(filler.init, vec![]);
+    render.call_void(filler.driver, vec![]);
+    render.marker("render_started");
+    let depth = render.load_global(vid_depth);
+    render.marker("depth_read_done");
+    let ok = render.cmp(CmpKind::Ne, depth, 0);
+    render.marker("zsnes_assert");
+    render.assert(ok, "video depth must be configured before drawing");
+    // Draw: fill the frame buffer with a depth-derived pattern.
+    let base = render.addr_of_global(frame_buf);
+    render.counted_loop(16, |b, i| {
+        let p = b.add(base, i);
+        let v = b.mul(i, DEPTH);
+        b.store_ptr(p, v);
+    });
+    render.output("frame_drawn", depth);
+    render.ret();
+    mb.function(render.finish());
+
+    // Init thread: configures the video depth.
+    let mut init = FuncBuilder::new("zsnes_init", 0);
+    init.call_void(filler.init, vec![]);
+    init.marker("before_depth_set");
+    init.store_global(vid_depth, DEPTH);
+    init.marker("depth_set");
+    init.ret();
+    mb.function(init.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["zsnes_render", "zsnes_init"]);
+    // Hold the configuration until the renderer has read the zero depth.
+    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "before_depth_set",
+        "depth_read_done",
+    )]);
+
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
+        0,
+        "render_started",
+        "depth_set",
+    )]);
+
+    Workload {
+        meta: meta_by_name("ZSNES").expect("ZSNES in Table 2"),
+        program,
+        bug_script,
+        benign_script,
+        fix_markers: vec!["zsnes_assert".into()],
+        expected: vec![("frame_drawn".into(), vec![DEPTH])],
+    }
+}

@@ -1,0 +1,211 @@
+//! Workload metadata mirroring paper Table 2.
+
+use std::fmt;
+
+/// Root-cause classes of the evaluated bugs (Table 2 "Causes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RootCause {
+    /// Unserializable interleaving of two code regions (Figure 2).
+    AtomicityViolation,
+    /// Operation executes after another it should precede.
+    OrderViolation,
+    /// Both an atomicity and an order violation (FFT).
+    AtomicityAndOrder,
+    /// Circular lock wait.
+    Deadlock,
+}
+
+impl fmt::Display for RootCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RootCause::AtomicityViolation => "A Vio.",
+            RootCause::OrderViolation => "O Vio.",
+            RootCause::AtomicityAndOrder => "A/O Vio.",
+            RootCause::Deadlock => "deadlock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Failure symptoms (Table 2 "Failures").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symptom {
+    /// Incorrect or missing output.
+    WrongOutput,
+    /// The program stops making progress.
+    Hang,
+    /// Invalid memory access.
+    SegFault,
+    /// `assert` fires.
+    Assertion,
+}
+
+impl fmt::Display for Symptom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symptom::WrongOutput => "w. output",
+            Symptom::Hang => "hang",
+            Symptom::SegFault => "seg. fault",
+            Symptom::Assertion => "assertion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static metadata of one benchmark application (one Table 2 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMeta {
+    /// Application name.
+    pub name: &'static str,
+    /// Application type (Table 2 column 2).
+    pub app_type: &'static str,
+    /// Lines of code of the real application (Table 2 column 3, e.g.
+    /// "1.2K", "681K") — reported for reference; the synthetic module's own
+    /// size is measured separately.
+    pub paper_loc: &'static str,
+    /// Failure symptom.
+    pub symptom: Symptom,
+    /// Root cause.
+    pub cause: RootCause,
+    /// Whether recovery requires a developer-provided output oracle
+    /// (the ✓c entries of Table 3: FFT and MySQL1).
+    pub needs_oracle: bool,
+    /// Whether recovery requires inter-procedural reexecution
+    /// (Section 6.1.1: Transmission and MozillaXP).
+    pub needs_interproc: bool,
+}
+
+/// Table 2, as data.
+pub const TABLE2: [WorkloadMeta; 10] = [
+    WorkloadMeta {
+        name: "FFT",
+        app_type: "Scientific computing",
+        paper_loc: "1.2K",
+        symptom: Symptom::WrongOutput,
+        cause: RootCause::AtomicityAndOrder,
+        needs_oracle: true,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "HawkNL",
+        app_type: "Network library",
+        paper_loc: "10K",
+        symptom: Symptom::Hang,
+        cause: RootCause::Deadlock,
+        needs_oracle: false,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "HTTrack",
+        app_type: "Web crawler",
+        paper_loc: "55K",
+        symptom: Symptom::SegFault,
+        cause: RootCause::OrderViolation,
+        needs_oracle: false,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "MozillaXP",
+        app_type: "XPCOM: cross platform component object model",
+        paper_loc: "112K",
+        symptom: Symptom::SegFault,
+        cause: RootCause::OrderViolation,
+        needs_oracle: false,
+        needs_interproc: true,
+    },
+    WorkloadMeta {
+        name: "MozillaJS",
+        app_type: "JavaScript engine",
+        paper_loc: "120K",
+        symptom: Symptom::Hang,
+        cause: RootCause::Deadlock,
+        needs_oracle: false,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "MySQL1",
+        app_type: "Database server",
+        paper_loc: "681K",
+        symptom: Symptom::WrongOutput,
+        cause: RootCause::AtomicityViolation,
+        needs_oracle: true,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "MySQL2",
+        app_type: "Database server",
+        paper_loc: "693K",
+        symptom: Symptom::Assertion,
+        cause: RootCause::AtomicityViolation,
+        needs_oracle: false,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "Transmission",
+        app_type: "BitTorrent client",
+        paper_loc: "95K",
+        symptom: Symptom::Assertion,
+        cause: RootCause::OrderViolation,
+        needs_oracle: false,
+        needs_interproc: true,
+    },
+    WorkloadMeta {
+        name: "SQLite",
+        app_type: "Database engine",
+        paper_loc: "67K",
+        symptom: Symptom::Hang,
+        cause: RootCause::Deadlock,
+        needs_oracle: false,
+        needs_interproc: false,
+    },
+    WorkloadMeta {
+        name: "ZSNES",
+        app_type: "Game simulator",
+        paper_loc: "37K",
+        symptom: Symptom::Assertion,
+        cause: RootCause::OrderViolation,
+        needs_oracle: false,
+        needs_interproc: false,
+    },
+];
+
+/// Looks up a Table-2 row by name.
+pub fn meta_by_name(name: &str) -> Option<&'static WorkloadMeta> {
+    TABLE2.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_ten_apps() {
+        assert_eq!(TABLE2.len(), 10);
+        let deadlocks = TABLE2
+            .iter()
+            .filter(|m| m.cause == RootCause::Deadlock)
+            .count();
+        assert_eq!(deadlocks, 3, "HawkNL, MozillaJS, SQLite");
+        let oracles = TABLE2.iter().filter(|m| m.needs_oracle).count();
+        assert_eq!(oracles, 2, "FFT and MySQL1 (Table 3's conditional ticks)");
+        let interproc = TABLE2.iter().filter(|m| m.needs_interproc).count();
+        assert_eq!(interproc, 2, "MozillaXP and Transmission");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(meta_by_name("FFT").unwrap().paper_loc, "1.2K");
+        assert!(meta_by_name("nope").is_none());
+        assert_eq!(
+            meta_by_name("HawkNL").unwrap().symptom,
+            Symptom::Hang
+        );
+    }
+
+    #[test]
+    fn symptoms_cover_all_four_kinds() {
+        use std::collections::HashSet;
+        let kinds: HashSet<_> = TABLE2.iter().map(|m| m.symptom).collect();
+        assert_eq!(kinds.len(), 4);
+    }
+}

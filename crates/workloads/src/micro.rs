@@ -1,0 +1,272 @@
+//! The four atomicity-violation microbenchmarks of paper Figure 2.
+//!
+//! Each pattern names the dependence whose atomicity is violated:
+//!
+//! * **WAW** (2a): a writer pair CLOSE→OPEN interleaved with a reader —
+//!   recoverable by rolling back the reader (idempotent region).
+//! * **RAW** (2b): a thread writes a shared pointer then dereferences it;
+//!   another thread nulls it in between — recovery would need to reexecute
+//!   the *write*, which idempotent regions exclude; only the
+//!   buffered-writes policy (or whole-program restart) recovers it.
+//! * **RAR** (2c): two reads expected consistent — recoverable.
+//! * **WAR** (2d): read-modify-write losing a concurrent update —
+//!   like RAW, needs shared-write reexecution.
+//!
+//! These four power the Figure-4 design-space ablation: the further right
+//! the region policy, the more of them recover.
+
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{Gate, Program, ScheduleScript};
+
+/// Which Figure-2 pattern a micro workload exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicityPattern {
+    /// Figure 2a — write-after-write interleaved with a read.
+    Waw,
+    /// Figure 2b — read-after-write with an intervening write.
+    Raw,
+    /// Figure 2c — read-after-read with an intervening write.
+    Rar,
+    /// Figure 2d — write-after-read losing an update.
+    War,
+}
+
+impl AtomicityPattern {
+    /// All four patterns in Figure-2 order.
+    pub const ALL: [AtomicityPattern; 4] = [
+        AtomicityPattern::Waw,
+        AtomicityPattern::Raw,
+        AtomicityPattern::Rar,
+        AtomicityPattern::War,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicityPattern::Waw => "WAW",
+            AtomicityPattern::Raw => "RAW",
+            AtomicityPattern::Rar => "RAR",
+            AtomicityPattern::War => "WAR",
+        }
+    }
+
+    /// Whether idempotent-region recovery (the paper's design point) can
+    /// recover this pattern (Section 2.2: "only RAW and WAR atomicity
+    /// violations require reexecuting shared-variable writes").
+    pub fn idempotent_recoverable(self) -> bool {
+        matches!(self, AtomicityPattern::Waw | AtomicityPattern::Rar)
+    }
+}
+
+/// A Figure-2 microbenchmark: program + bug-forcing script + the expected
+/// output on a correct run.
+#[derive(Debug, Clone)]
+pub struct MicroWorkload {
+    /// The pattern.
+    pub pattern: AtomicityPattern,
+    /// The program (unhardened).
+    pub program: Program,
+    /// Script forcing the violation.
+    pub bug_script: ScheduleScript,
+    /// Label and expected values of the checked output.
+    pub expected: (String, Vec<i64>),
+}
+
+/// Builds the microbenchmark for `pattern`.
+pub fn build_micro(pattern: AtomicityPattern) -> MicroWorkload {
+    match pattern {
+        AtomicityPattern::Waw => waw(),
+        AtomicityPattern::Raw => raw(),
+        AtomicityPattern::Rar => rar(),
+        AtomicityPattern::War => war(),
+    }
+}
+
+/// Figure 2a: thread 1 `log=CLOSE; log=OPEN`, thread 2 asserts `log==OPEN`.
+fn waw() -> MicroWorkload {
+    let mut mb = ModuleBuilder::new("micro_waw");
+    let log = mb.global("log", 1);
+
+    let mut t1 = FuncBuilder::new("writer", 0);
+    t1.store_global(log, 0); // CLOSE
+    t1.marker("closed");
+    t1.marker("writer_gate");
+    t1.store_global(log, 1); // OPEN
+    t1.ret();
+    mb.function(t1.finish());
+
+    let mut t2 = FuncBuilder::new("reader", 0);
+    t2.nop(); // keeps the region boundary off the function entrance
+    t2.marker("read_point");
+    let v = t2.load_global(log);
+    t2.marker("read_done");
+    let ok = t2.cmp(CmpKind::Eq, v, 1);
+    t2.output_assert(ok, "log must be OPEN");
+    t2.output("observed", v);
+    t2.ret();
+    mb.function(t2.finish());
+
+    MicroWorkload {
+        pattern: AtomicityPattern::Waw,
+        program: Program::from_entry_names(mb.finish(), &["writer", "reader"]),
+        bug_script: ScheduleScript::with_gates(vec![
+            Gate::new(0, "writer_gate", "read_done"),
+            Gate::new(1, "read_point", "closed"),
+        ]),
+        expected: ("observed".into(), vec![1]),
+    }
+}
+
+/// Figure 2b: thread 1 `ptr=aptr; tmp=*ptr`, thread 2 `ptr=NULL`.
+fn raw() -> MicroWorkload {
+    let mut mb = ModuleBuilder::new("micro_raw");
+    let ptr = mb.global("ptr", 0);
+    let aobj = mb.global_array("aobj", 2, 77);
+
+    let mut t1 = FuncBuilder::new("user", 0);
+    let a = t1.addr_of_global(aobj);
+    t1.store_global(ptr, a); // the write the recovery would need to redo
+    t1.marker("wrote_ptr");
+    t1.marker("user_gate");
+    let p = t1.load_global(ptr);
+    let tmp = t1.load_ptr(p); // segfault site when p == NULL
+    t1.output("observed", tmp);
+    t1.ret();
+    mb.function(t1.finish());
+
+    let mut t2 = FuncBuilder::new("nuller", 0);
+    t2.marker("null_point");
+    t2.store_global(ptr, 0);
+    t2.marker("null_point_done");
+    t2.ret();
+    mb.function(t2.finish());
+
+    MicroWorkload {
+        pattern: AtomicityPattern::Raw,
+        program: Program::from_entry_names(mb.finish(), &["user", "nuller"]),
+        bug_script: ScheduleScript::with_gates(vec![
+            Gate::new(0, "user_gate", "null_point_done"),
+            Gate::new(1, "null_point", "wrote_ptr"),
+        ]),
+        expected: ("observed".into(), vec![77]),
+    }
+}
+
+/// Figure 2c: thread 1 `if(ptr) fputs(ptr)`, thread 2 `ptr=NULL` — modelled
+/// as two reads expected consistent, with the use guarded by the first.
+fn rar() -> MicroWorkload {
+    let mut mb = ModuleBuilder::new("micro_rar");
+    let ptr = mb.global("ptr", 0);
+    let obj = mb.global_array("obj", 2, 33);
+
+    // Publisher initializes ptr to a valid object up front.
+    let mut init = FuncBuilder::new("publisher", 0);
+    let a = init.addr_of_global(obj);
+    init.store_global(ptr, a);
+    init.marker("published");
+    init.ret();
+    mb.function(init.finish());
+
+    let mut t1 = FuncBuilder::new("printer", 0);
+    t1.marker("printer_wait"); // gated until published
+    t1.nop();
+    let first = t1.load_global(ptr);
+    let nonnull = t1.cmp(CmpKind::Ne, first, 0);
+    let use_bb = t1.new_block();
+    let done_bb = t1.new_block();
+    t1.marker("checked");
+    t1.marker("printer_gate");
+    t1.branch(nonnull, use_bb, done_bb);
+    t1.switch_to(use_bb);
+    let second = t1.load_global(ptr); // the racing second read
+    let v = t1.load_ptr(second); // faults if nulled in between
+    t1.output("observed", v);
+    t1.jump(done_bb);
+    t1.switch_to(done_bb);
+    t1.ret();
+    mb.function(t1.finish());
+
+    let mut t2 = FuncBuilder::new("nuller", 0);
+    t2.marker("null_point");
+    t2.store_global(ptr, 0);
+    t2.marker("nulled");
+    t2.ret();
+    mb.function(t2.finish());
+
+    MicroWorkload {
+        pattern: AtomicityPattern::Rar,
+        program: Program::from_entry_names(mb.finish(), &["publisher", "printer", "nuller"]),
+        bug_script: ScheduleScript::with_gates(vec![
+            Gate::new(1, "printer_wait", "published"),
+            Gate::new(1, "printer_gate", "nulled"),
+            Gate::new(2, "null_point", "checked"),
+        ]),
+        // On recovery the printer re-reads NULL and takes the safe branch:
+        // no output — matching the original `if (ptr)` semantics.
+        expected: ("observed".into(), vec![]),
+    }
+}
+
+/// Figure 2d: thread 1 `cnt+=d1; print(cnt)`, thread 2 `cnt+=d2`.
+fn war() -> MicroWorkload {
+    let mut mb = ModuleBuilder::new("micro_war");
+    let cnt = mb.global("cnt", 0);
+    const D1: i64 = 10;
+    const D2: i64 = 32;
+
+    let mut t1 = FuncBuilder::new("depositor1", 0);
+    let read = t1.load_global(cnt);
+    t1.marker("read_balance");
+    t1.marker("depositor_gate");
+    let sum = t1.add(read, D1);
+    t1.store_global(cnt, sum); // the lost-update write
+    let bal = t1.load_global(cnt);
+    let ok = t1.cmp(CmpKind::Eq, bal, D1 + D2);
+    t1.output_assert(ok, "balance must include both deposits");
+    t1.output("balance", bal);
+    t1.ret();
+    mb.function(t1.finish());
+
+    let mut t2 = FuncBuilder::new("depositor2", 0);
+    t2.marker("deposit2_point");
+    let r = t2.load_global(cnt);
+    let s = t2.add(r, D2);
+    t2.store_global(cnt, s);
+    t2.marker("deposit2_done");
+    t2.ret();
+    mb.function(t2.finish());
+
+    MicroWorkload {
+        pattern: AtomicityPattern::War,
+        program: Program::from_entry_names(mb.finish(), &["depositor1", "depositor2"]),
+        bug_script: ScheduleScript::with_gates(vec![
+            Gate::new(0, "depositor_gate", "deposit2_done"),
+            Gate::new(1, "deposit2_point", "read_balance"),
+        ]),
+        expected: ("balance".into(), vec![D1 + D2]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::validate;
+
+    #[test]
+    fn all_four_patterns_build_and_validate() {
+        for p in AtomicityPattern::ALL {
+            let m = build_micro(p);
+            validate(&m.program.module)
+                .unwrap_or_else(|e| panic!("{}: {:?}", p.name(), e));
+            assert_eq!(m.pattern, p);
+        }
+    }
+
+    #[test]
+    fn recoverability_matches_section_2_2() {
+        assert!(AtomicityPattern::Waw.idempotent_recoverable());
+        assert!(AtomicityPattern::Rar.idempotent_recoverable());
+        assert!(!AtomicityPattern::Raw.idempotent_recoverable());
+        assert!(!AtomicityPattern::War.idempotent_recoverable());
+    }
+}

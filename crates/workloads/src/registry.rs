@@ -1,0 +1,116 @@
+//! The workload registry: one constructor per Table-2 application.
+
+use crate::apps;
+use crate::spec::Workload;
+
+/// Builds every Table-2 workload, in Table-2 row order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        apps::fft::build(),
+        apps::hawknl::build(),
+        apps::httrack::build(),
+        apps::mozilla_xp::build(),
+        apps::mozilla_js::build(),
+        apps::mysql1::build(),
+        apps::mysql2::build(),
+        apps::transmission::build(),
+        apps::sqlite::build(),
+        apps::zsnes::build(),
+    ]
+}
+
+/// Builds one workload by its Table-2 name.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    match name {
+        "FFT" => Some(apps::fft::build()),
+        "HawkNL" => Some(apps::hawknl::build()),
+        "HTTrack" => Some(apps::httrack::build()),
+        "MozillaXP" => Some(apps::mozilla_xp::build()),
+        "MozillaJS" => Some(apps::mozilla_js::build()),
+        "MySQL1" => Some(apps::mysql1::build()),
+        "MySQL2" => Some(apps::mysql2::build()),
+        "Transmission" => Some(apps::transmission::build()),
+        "SQLite" => Some(apps::sqlite::build()),
+        "ZSNES" => Some(apps::zsnes::build()),
+        _ => None,
+    }
+}
+
+/// The Table-2 names, in order.
+pub const WORKLOAD_NAMES: [&str; 10] = [
+    "FFT",
+    "HawkNL",
+    "HTTrack",
+    "MozillaXP",
+    "MozillaJS",
+    "MySQL1",
+    "MySQL2",
+    "Transmission",
+    "SQLite",
+    "ZSNES",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::validate;
+
+    #[test]
+    fn all_ten_build_and_validate() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 10);
+        for w in &ws {
+            validate(&w.program.module)
+                .unwrap_or_else(|e| panic!("{}: {:?}", w.meta.name, e));
+            assert!(w.program.threads.len() >= 2, "{} is multithreaded", w.meta.name);
+            assert!(!w.fix_markers.is_empty(), "{} names its failure", w.meta.name);
+        }
+    }
+
+    #[test]
+    fn names_resolve() {
+        for name in WORKLOAD_NAMES {
+            let w = workload_by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(w.meta.name, name);
+        }
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fix_markers_exist_in_modules() {
+        for w in all_workloads() {
+            for m in &w.fix_markers {
+                assert!(
+                    w.program.module.marker(m).is_some(),
+                    "{}: fix marker `{m}` missing",
+                    w.meta.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bug_scripts_reference_existing_markers() {
+        for w in all_workloads() {
+            for gate in &w.bug_script.gates {
+                assert!(
+                    w.program.module.marker(&gate.at_marker).is_some(),
+                    "{}: gate at-marker `{}` missing",
+                    w.meta.name,
+                    gate.at_marker
+                );
+                assert!(
+                    w.program.module.marker(&gate.until_marker).is_some(),
+                    "{}: gate until-marker `{}` missing",
+                    w.meta.name,
+                    gate.until_marker
+                );
+                assert!(
+                    gate.thread < w.program.threads.len(),
+                    "{}: gate thread out of range",
+                    w.meta.name
+                );
+            }
+        }
+    }
+}

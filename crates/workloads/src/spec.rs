@@ -1,0 +1,50 @@
+//! The [`Workload`] type: one benchmark application ready to run.
+
+use conair_runtime::{Program, RunResult, ScheduleScript};
+
+use crate::meta::WorkloadMeta;
+
+/// A complete benchmark: program, bug-forcing script and correctness
+/// criteria.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Table-2 metadata.
+    pub meta: &'static WorkloadMeta,
+    /// The (unhardened) program.
+    pub program: Program,
+    /// Gates forcing the failure-inducing interleaving — the analog of the
+    /// sleeps the paper injects into buggy code regions (Section 5).
+    pub bug_script: ScheduleScript,
+    /// Gates forcing a *correct* interleaving, used for overhead
+    /// measurement (the paper's "no sleep is inserted and software never
+    /// fails during the run-time overhead measurement").
+    pub benign_script: ScheduleScript,
+    /// Marker names identifying the observed failure, for fix mode.
+    pub fix_markers: Vec<String>,
+    /// Expected output values per label on a correct run (labels absent
+    /// here — e.g. the filler's "trace" — are not checked).
+    pub expected: Vec<(String, Vec<i64>)>,
+}
+
+impl Workload {
+    /// Verifies a run's outputs against [`Workload::expected`].
+    ///
+    /// Returns `Err` with a description of the first mismatch.
+    pub fn verify_outputs(&self, result: &RunResult) -> Result<(), String> {
+        for (label, want) in &self.expected {
+            let got = result.outputs_for(label);
+            if &got != want {
+                return Err(format!(
+                    "output `{label}`: expected {want:?}, got {got:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a run both completed and produced correct outputs — the
+    /// paper's recovery-success criterion.
+    pub fn run_is_correct(&self, result: &RunResult) -> bool {
+        result.outcome.is_completed() && self.verify_outputs(result).is_ok()
+    }
+}

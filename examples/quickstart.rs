@@ -1,0 +1,70 @@
+//! Quickstart: build a tiny racy program, watch it fail, harden it with
+//! ConAir, and watch it recover.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use conair::Conair;
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{run_scripted, Gate, MachineConfig, Program, ScheduleScript};
+
+fn main() {
+    // 1. A classic order violation: the consumer asserts on a flag the
+    //    producer sets late.
+    let mut mb = ModuleBuilder::new("quickstart");
+    let ready = mb.global("ready", 0);
+    let payload = mb.global("payload", 0);
+
+    let mut consumer = FuncBuilder::new("consumer", 0);
+    let flag = consumer.load_global(ready);
+    consumer.marker("consumer_read_ready");
+    let ok = consumer.cmp(CmpKind::Ne, flag, 0);
+    consumer.assert(ok, "producer must have published");
+    let v = consumer.load_global(payload);
+    consumer.output("consumed", v);
+    consumer.ret();
+    mb.function(consumer.finish());
+
+    let mut producer = FuncBuilder::new("producer", 0);
+    producer.marker("producer_about_to_publish");
+    producer.store_global(payload, 42);
+    producer.store_global(ready, 1);
+    producer.ret();
+    mb.function(producer.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["consumer", "producer"]);
+
+    // 2. Force the failure-inducing interleaving (the analog of the sleeps
+    //    the ConAir paper injects): hold the producer until the consumer
+    //    has already read the unset flag.
+    let bug = ScheduleScript::with_gates(vec![Gate::new(
+        1,
+        "producer_about_to_publish",
+        "consumer_read_ready",
+    )]);
+
+    let original = run_scripted(&program, MachineConfig::default(), bug.clone(), 0);
+    println!("original program under the buggy interleaving: {:?}", original.outcome);
+    assert!(original.outcome.is_failure());
+
+    // 3. Harden with survival-mode ConAir: no bug knowledge needed.
+    let hardened = Conair::survival().harden(&program);
+    println!(
+        "ConAir identified {} potential failure sites and inserted {} checkpoints",
+        hardened.plan.sites.len(),
+        hardened.plan.stats.static_points,
+    );
+
+    // 4. The hardened program survives the exact same interleaving.
+    let recovered = run_scripted(&hardened.program, MachineConfig::default(), bug, 0);
+    println!("hardened program under the same interleaving: {:?}", recovered.outcome);
+    println!(
+        "output: consumed = {:?} (rollbacks performed: {})",
+        recovered.outputs_for("consumed"),
+        recovered.stats.rollbacks,
+    );
+    assert!(recovered.outcome.is_completed());
+    assert_eq!(recovered.outputs_for("consumed"), vec![42]);
+    println!("recovered successfully — same semantics, no failure.");
+}

@@ -1,0 +1,4 @@
+//! Umbrella crate for the ConAir reproduction: hosts workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//! The actual functionality lives in the `conair-*` crates.
+pub use conair as pipeline;

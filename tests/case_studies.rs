@@ -1,0 +1,201 @@
+//! Case studies from the paper's Section 6.1: the FFT (Figure 9),
+//! MozillaXP (Figure 10) and HawkNL (Figure 11) recoveries, checked
+//! mechanism-by-mechanism, not just end-to-end.
+
+use conair::Conair;
+use conair_ir::{FailureKind, Inst};
+use conair_runtime::{run_scripted, MachineConfig};
+use conair_workloads::workload_by_name;
+
+fn machine() -> MachineConfig {
+    MachineConfig {
+        lock_timeout: 200,
+        ..MachineConfig::default()
+    }
+}
+
+/// Figure 9: the FFT recovery "only rolls back a few instructions" — the
+/// checkpoint sits right before the End read, and the oracle guard
+/// eventually observes the timer write.
+#[test]
+fn fft_checkpoint_is_near_the_oracle() {
+    let w = workload_by_name("FFT").unwrap();
+    let hardened = Conair::survival().harden(&w.program);
+    let module = &hardened.program.module;
+    let main = module.func_by_name("fft_main").unwrap();
+    let func = module.func(main);
+
+    // Locate the oracle guard and the nearest preceding checkpoint.
+    let insts: Vec<&Inst> = func.blocks.iter().flat_map(|b| &b.insts).collect();
+    let guard_idx = insts
+        .iter()
+        .position(|i| {
+            matches!(
+                i,
+                Inst::FailGuard {
+                    kind: conair_ir::GuardKind::WrongOutput,
+                    ..
+                }
+            )
+        })
+        .expect("oracle hardened");
+    let ckpt_idx = insts[..guard_idx]
+        .iter()
+        .rposition(|i| matches!(i, Inst::Checkpoint { .. }))
+        .expect("checkpoint before the oracle");
+    assert!(
+        guard_idx - ckpt_idx <= 8,
+        "reexecution region is a handful of instructions, got {}",
+        guard_idx - ckpt_idx
+    );
+
+    // At runtime: recovery in a modest number of retries with correct
+    // output.
+    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
+    assert!(r.outcome.is_completed());
+    w.verify_outputs(&r).expect("outputs correct after recovery");
+    let retries = r.stats.total_retries();
+    assert!(
+        retries >= 1,
+        "the forced interleaving requires at least one rollback"
+    );
+}
+
+/// Figure 10: MozillaXP requires inter-procedural recovery — the
+/// reexecution point lives in `Get`, not in `GetState`.
+#[test]
+fn mozilla_xp_point_is_in_the_caller() {
+    let w = workload_by_name("MozillaXP").unwrap();
+    let hardened = Conair::survival().harden(&w.program);
+    let module = &hardened.program.module;
+
+    let get = module.func_by_name("Get").unwrap();
+    let get_state = module.func_by_name("GetState").unwrap();
+
+    let has_checkpoint = |f: conair_ir::FuncId| {
+        module
+            .func(f)
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Checkpoint { .. }))
+    };
+    assert!(has_checkpoint(get), "setjmp inserted inside Get");
+    assert!(
+        !has_checkpoint(get_state),
+        "REintra removed from GetState (Section 4.3)"
+    );
+    // The dereference in GetState is still guarded.
+    assert!(module
+        .func(get_state)
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .any(|i| matches!(i, Inst::PtrGuard { .. })));
+
+    // The site was recorded as promoted in the plan.
+    let seg_site = hardened
+        .plan
+        .sites
+        .iter()
+        .find(|s| s.site.kind == FailureKind::SegFault && s.site.loc.func == get_state)
+        .expect("the kernel dereference site");
+    assert_eq!(seg_site.promoted_depth, Some(1));
+
+    // Runtime: long recovery with thousands of retries (paper: >8000).
+    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
+    assert!(r.outcome.is_completed());
+    let retries = r.stats.total_retries();
+    assert!(
+        retries > 1_000,
+        "MozillaXP recovery takes many retries (got {retries})"
+    );
+}
+
+/// Figure 11: HawkNL — one side's acquisition is statically unrecoverable
+/// (the driver call destroys its region) and stays a plain lock; the other
+/// side gets the timed lock and recovers the deadlock by releasing `slock`.
+#[test]
+fn hawknl_asymmetric_hardening() {
+    let w = workload_by_name("HawkNL").unwrap();
+    let hardened = Conair::survival().harden(&w.program);
+    let module = &hardened.program.module;
+
+    let close = module.func_by_name("hawknl_close").unwrap();
+    let shutdown = module.func_by_name("hawknl_shutdown").unwrap();
+
+    let count = |f: conair_ir::FuncId, timed: bool| {
+        module
+            .func(f)
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| {
+                if timed {
+                    matches!(i, Inst::TimedLock { .. })
+                } else {
+                    matches!(i, Inst::Lock { .. })
+                }
+            })
+            .count()
+    };
+    assert_eq!(
+        count(close, true),
+        0,
+        "Close()'s acquisitions stay plain (unrecoverable, Figure 7a)"
+    );
+    assert_eq!(
+        count(shutdown, true),
+        1,
+        "Shutdown()'s nested acquisition becomes a timed lock"
+    );
+
+    // Runtime: the deadlock resolves and both threads complete correctly.
+    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 4);
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    w.verify_outputs(&r).expect("both outputs correct");
+    assert!(r.stats.rollbacks >= 1, "recovery used rollback");
+}
+
+/// Transmission is the second inter-procedural benchmark: its assert sits
+/// in a helper whose parameter is the critical value.
+#[test]
+fn transmission_interprocedural_promotion() {
+    let w = workload_by_name("Transmission").unwrap();
+    let hardened = Conair::survival().harden(&w.program);
+    assert!(
+        hardened.plan.stats.promoted_sites >= 1,
+        "the checkBandwidth assert is promoted"
+    );
+    let helper = hardened
+        .program
+        .module
+        .func_by_name("checkBandwidth")
+        .unwrap();
+    let promoted = hardened
+        .plan
+        .sites
+        .iter()
+        .find(|s| s.site.loc.func == helper && s.promoted_depth.is_some())
+        .expect("helper site promoted");
+    let event_step = hardened.program.module.func_by_name("event_step").unwrap();
+    assert!(
+        promoted.points.iter().all(|p| p.func == event_step),
+        "reexecution point lands in the caller event_step"
+    );
+}
+
+/// MySQL2 is the paper's fastest recovery: a single retry.
+#[test]
+fn mysql2_recovers_in_one_retry() {
+    let w = workload_by_name("MySQL2").unwrap();
+    let hardened = Conair::survival().harden(&w.program);
+    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
+    assert!(r.outcome.is_completed());
+    assert_eq!(
+        r.stats.total_retries(),
+        1,
+        "RAR violations vanish after a single reexecution (Section 6.3)"
+    );
+    w.verify_outputs(&r).expect("served exactly one query");
+}

@@ -1,0 +1,176 @@
+//! Shape assertions over the evaluation experiments — the claims
+//! EXPERIMENTS.md records, checked mechanically at reduced trial counts.
+
+use conair_bench::{experiments, BenchConfig};
+use conair_workloads::WORKLOAD_NAMES;
+
+fn tiny() -> BenchConfig {
+    BenchConfig {
+        trials: 3,
+        overhead_trials: 2,
+        seed0: 1,
+    }
+}
+
+#[test]
+fn table2_covers_all_apps() {
+    let rows = experiments::table2();
+    assert_eq!(rows.len(), 10);
+    for (row, name) in rows.iter().zip(WORKLOAD_NAMES) {
+        assert_eq!(row.app, name);
+        assert!(row.module_insts > 0);
+    }
+}
+
+#[test]
+fn table3_all_recover_under_one_percent() {
+    let rows = experiments::table3(&tiny());
+    for r in &rows {
+        assert!(r.fix_recovered, "{} fix-mode recovery", r.app);
+        assert!(r.survival_recovered, "{} survival-mode recovery", r.app);
+        assert!(
+            r.fix_overhead < 0.001,
+            "{}: fix overhead {:.4}",
+            r.app,
+            r.fix_overhead
+        );
+        assert!(
+            r.survival_overhead < 0.01,
+            "{}: survival overhead {:.4} exceeds the paper's <1%",
+            r.app,
+            r.survival_overhead
+        );
+    }
+    // The two oracle-conditional apps are flagged.
+    let conditional: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.conditional)
+        .map(|r| r.app)
+        .collect();
+    assert_eq!(conditional, vec!["FFT", "MySQL1"]);
+}
+
+#[test]
+fn table4_segfaults_dominate_large_apps() {
+    let rows = experiments::table4();
+    for r in rows.iter().filter(|r| r.total() >= 100) {
+        assert!(
+            r.seg_fault > r.assertion && r.seg_fault > r.deadlock,
+            "{}: segfault sites should dominate",
+            r.app
+        );
+    }
+    // MySQL rows are the largest; HawkNL the smallest.
+    let total = |name: &str| rows.iter().find(|r| r.app == name).unwrap().total();
+    assert!(total("MySQL1") > total("HTTrack"));
+    assert!(total("HawkNL") < total("FFT"));
+    // Deadlock sites only in the three deadlock apps (plus MySQL filler).
+    for name in ["HawkNL", "MozillaJS", "SQLite"] {
+        assert!(total(name) > 0);
+        assert!(
+            rows.iter().find(|r| r.app == name).unwrap().deadlock > 0,
+            "{name} has recoverable deadlock sites"
+        );
+    }
+}
+
+#[test]
+fn table5_fix_mode_is_tiny() {
+    let rows = experiments::table5(&tiny());
+    for r in &rows {
+        assert!(
+            r.fix_static <= 3,
+            "{}: fix mode inserts a handful of points, got {}",
+            r.app,
+            r.fix_static
+        );
+        assert!(r.fix_static <= r.survival_static);
+        assert!(r.fix_dynamic <= r.survival_dynamic.max(1));
+        assert!(r.survival_static > 0);
+    }
+}
+
+#[test]
+fn table6_deadlock_optimization_strong() {
+    let rows = experiments::table6(&tiny());
+    for r in &rows {
+        if let Some(dl) = r.deadlock_static {
+            assert!(
+                (0.3..=1.0).contains(&dl),
+                "{}: deadlock optimization {:.2} outside the paper's 30-100% band",
+                r.app,
+                dl
+            );
+        }
+        if let Some(nd) = r.non_deadlock_static {
+            assert!(nd < 0.6, "{}: non-deadlock optimization {:.2}", r.app, nd);
+        }
+    }
+    // MySQL deadlock optimization ~88-91%.
+    let mysql = rows.iter().find(|r| r.app == "MySQL2").unwrap();
+    assert!(mysql.deadlock_static.unwrap() > 0.85);
+}
+
+#[test]
+fn table7_recovery_beats_restart() {
+    let rows = experiments::table7(&tiny());
+    for r in &rows {
+        assert!(
+            r.recovery_steps < r.restart_steps,
+            "{}: recovery ({} steps) must beat restart ({} steps)",
+            r.app,
+            r.recovery_steps,
+            r.restart_steps
+        );
+        assert!(r.retries >= 1, "{}: the forced bug requires retries", r.app);
+    }
+    // MySQL2 is the fastest recovery (RAR, one retry); MozillaXP the
+    // slowest with thousands of retries.
+    let by = |name: &str| rows.iter().find(|r| r.app == name).unwrap();
+    assert_eq!(by("MySQL2").retries, 1);
+    assert!(by("MozillaXP").retries > 1_000);
+    assert!(by("MozillaXP").recovery_steps > by("MySQL2").recovery_steps);
+}
+
+#[test]
+fn figure2_matches_section_2_2() {
+    use conair::RegionPolicy;
+    let cells = experiments::figure2(&tiny());
+    for c in &cells {
+        assert!(c.original_fails, "{}: forced bug must fail", c.pattern.name());
+        let expected = match c.policy {
+            RegionPolicy::BufferedWrites => true,
+            _ => c.pattern.idempotent_recoverable(),
+        };
+        assert_eq!(
+            c.recovered,
+            expected,
+            "{} under {}",
+            c.pattern.name(),
+            c.policy.name()
+        );
+    }
+}
+
+#[test]
+fn figure4_coverage_monotone_along_spectrum() {
+    let points = experiments::figure4(&tiny());
+    assert_eq!(points.len(), 4);
+    // Coverage never decreases moving right along the spectrum.
+    for pair in points.windows(2) {
+        assert!(
+            pair[0].patterns_recovered <= pair[1].patterns_recovered,
+            "{} -> {}",
+            pair[0].label,
+            pair[1].label
+        );
+    }
+    // The buffered-writes point pays measurably more overhead than the
+    // idempotent points.
+    assert!(points[2].mean_overhead > points[1].mean_overhead * 2.0);
+    // Restart recovers everything but more slowly than in-place recovery.
+    assert_eq!(points[3].patterns_recovered, 4);
+    assert!(
+        points[3].mean_recovery_steps.unwrap() > points[1].mean_recovery_steps.unwrap()
+    );
+}

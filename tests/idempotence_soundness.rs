@@ -1,0 +1,196 @@
+//! Soundness tests: the properties that make ConAir's recovery *correct*,
+//! demonstrated at runtime — program semantics are never changed.
+
+use conair::Conair;
+use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+use conair_runtime::{run_scripted, Gate, MachineConfig, Program, ScheduleScript};
+
+/// ConAir-hardened recovery produces outputs identical to a failure-free
+/// run: the recovered execution is one the original program could have
+/// produced (the paper's correctness property).
+#[test]
+fn recovered_outputs_equal_failure_free_outputs() {
+    for w in conair_workloads::all_workloads() {
+        let hardened = Conair::survival().harden(&w.program);
+        let machine = MachineConfig {
+            lock_timeout: 200,
+            ..MachineConfig::default()
+        };
+        // Failure-free run of the ORIGINAL program (benign schedule).
+        let clean = run_scripted(
+            &w.program,
+            machine.clone(),
+            w.benign_script.clone(),
+            500,
+        );
+        assert!(clean.outcome.is_completed());
+
+        // Recovered run of the hardened program (bug-forcing schedule).
+        let recovered = run_scripted(
+            &hardened.program,
+            machine,
+            w.bug_script.clone(),
+            500,
+        );
+        assert!(
+            recovered.outcome.is_completed(),
+            "{}: {:?}",
+            w.meta.name,
+            recovered.outcome
+        );
+
+        // Compare the *checked* outputs (the filler's unordered "trace"
+        // outputs interleave differently by schedule, which the original
+        // program also allows).
+        for (label, _) in &w.expected {
+            assert_eq!(
+                clean.outputs_for(label),
+                recovered.outputs_for(label),
+                "{}: output `{label}` diverged",
+                w.meta.name
+            );
+        }
+    }
+}
+
+/// Rollback restores registers but never memory: a region that (wrongly)
+/// contained a shared-memory increment would double-apply it. The analysis
+/// prevents this by ending regions at shared writes — verified by
+/// construction here: harden a program whose failure site follows a shared
+/// write and check the write is NOT inside any region.
+#[test]
+fn regions_never_contain_shared_writes() {
+    let mut mb = ModuleBuilder::new("m");
+    let counter = mb.global("counter", 0);
+    let flag = mb.global("flag", 0);
+    let mut f = FuncBuilder::new("main", 0);
+    // counter += 1 (a shared write), then an assert on flag.
+    let c = f.load_global(counter);
+    let c1 = f.add(c, 1);
+    f.store_global(counter, c1);
+    let v = f.load_global(flag);
+    let ok = f.cmp(CmpKind::Ne, v, 0);
+    f.assert(ok, "flag");
+    f.ret();
+    mb.function(f.finish());
+    let module = mb.finish();
+
+    let plan = Conair::survival().analyze(&module);
+    let assert_site = plan
+        .sites
+        .iter()
+        .find(|s| s.site.kind == conair_ir::FailureKind::AssertionViolation)
+        .unwrap();
+    // The checkpoint must sit AFTER the store (index 2), i.e. at inst 3.
+    assert_eq!(assert_site.points.len(), 1);
+    assert_eq!(assert_site.points[0].inst, 3);
+}
+
+/// The increment is applied exactly once even across many rollbacks —
+/// because the region excludes it.
+#[test]
+fn shared_increment_applied_exactly_once_across_rollbacks() {
+    let mut mb = ModuleBuilder::new("m");
+    let counter = mb.global("counter", 0);
+    let flag = mb.global("flag", 0);
+
+    let mut f = FuncBuilder::new("worker", 0);
+    f.marker("worker_started");
+    let c = f.load_global(counter);
+    let c1 = f.add(c, 1);
+    f.store_global(counter, c1);
+    let v = f.load_global(flag);
+    let ok = f.cmp(CmpKind::Ne, v, 0);
+    f.assert(ok, "flag");
+    let fin = f.load_global(counter);
+    f.output("counter", fin);
+    f.ret();
+    mb.function(f.finish());
+
+    let mut setter = FuncBuilder::new("setter", 0);
+    setter.marker("before_set");
+    setter.store_global(flag, 1);
+    setter.ret();
+    mb.function(setter.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["worker", "setter"]);
+    let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_set", "worker_started")]);
+    let hardened = Conair::survival().harden(&program);
+
+    for seed in 0..30 {
+        let r = run_scripted(
+            &hardened.program,
+            MachineConfig::default(),
+            script.clone(),
+            seed,
+        );
+        assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
+        assert_eq!(
+            r.outputs_for("counter"),
+            vec![1],
+            "seed {seed}: increment must be applied exactly once \
+             (rollbacks: {})",
+            r.stats.rollbacks
+        );
+    }
+}
+
+/// Compensation releases only resources acquired in the current epoch —
+/// a lock taken before the checkpoint survives rollback.
+#[test]
+fn compensation_spares_pre_region_locks() {
+    use conair_ir::{GuardKind, Inst, Operand, PointId, SiteId};
+    let mut mb = ModuleBuilder::new("m");
+    let flag = mb.global("flag", 0);
+    let outer = mb.lock("outer");
+
+    // Hand-hardened: lock(outer); checkpoint; guard-until-flag; unlock.
+    let mut f = FuncBuilder::new("worker", 0);
+    f.marker("worker_started");
+    f.lock(outer);
+    f.push(Inst::Checkpoint { point: PointId(0) });
+    let v = f.load_global(flag);
+    let ok = f.cmp(CmpKind::Ne, v, 0);
+    f.push(Inst::FailGuard {
+        kind: GuardKind::Assert,
+        cond: Operand::Reg(ok),
+        site: SiteId(0),
+        msg: "flag".into(),
+    });
+    f.unlock(outer);
+    f.output("done", 1);
+    f.ret();
+    mb.function(f.finish());
+
+    let mut setter = FuncBuilder::new("setter", 0);
+    setter.marker("before_set");
+    setter.store_global(flag, 1);
+    setter.ret();
+    mb.function(setter.finish());
+
+    let program = Program::from_entry_names(mb.finish(), &["worker", "setter"]);
+    let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_set", "worker_started")]);
+    let r = run_scripted(&program, MachineConfig::default(), script, 5);
+    // If compensation wrongly released `outer` (acquired before the
+    // checkpoint), the final unlock would be an unlock-not-held usage
+    // error and the run would fail.
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    assert_eq!(r.outputs_for("done"), vec![1]);
+}
+
+/// Fix mode changes nothing outside the named site: hardening one marker
+/// leaves every other instruction byte-identical.
+#[test]
+fn fix_mode_is_minimal() {
+    let w = conair_workloads::workload_by_name("ZSNES").unwrap();
+    let fixed = Conair::fix(w.fix_markers.clone()).harden(&w.program);
+    // Exactly one guard and its checkpoints were added.
+    assert_eq!(fixed.transform.fail_guards, 1);
+    assert_eq!(fixed.transform.ptr_guards, 0);
+    assert_eq!(fixed.transform.timed_locks, 0);
+    let delta = fixed.program.module.num_insts() - w.program.module.num_insts();
+    assert!(
+        delta <= fixed.plan.stats.static_points,
+        "only checkpoints were inserted (guard is an in-place rewrite)"
+    );
+}

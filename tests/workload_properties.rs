@@ -1,0 +1,144 @@
+//! Static properties of each benchmark workload: the analysis must see in
+//! each app exactly the structure its real-world counterpart is documented
+//! to have (Sections 6.1.1–6.1.2).
+
+use conair::Conair;
+use conair_ir::FailureKind;
+use conair_workloads::{all_workloads, workload_by_name, RootCause, Symptom, TABLE2};
+
+#[test]
+fn every_app_is_analyzable_and_hardenable() {
+    for w in all_workloads() {
+        let hardened = Conair::survival().harden(&w.program);
+        assert!(
+            conair_ir::validate_hardened(&hardened.program.module).is_ok(),
+            "{}",
+            w.meta.name
+        );
+        assert!(hardened.plan.stats.static_points > 0, "{}", w.meta.name);
+        assert!(
+            hardened.plan.stats.recoverable_sites > 0,
+            "{}",
+            w.meta.name
+        );
+    }
+}
+
+#[test]
+fn deadlock_apps_have_recoverable_deadlock_sites() {
+    for name in ["HawkNL", "MozillaJS", "SQLite"] {
+        let w = workload_by_name(name).unwrap();
+        let plan = Conair::survival().analyze(&w.program.module);
+        let recoverable_deadlocks = plan
+            .sites
+            .iter()
+            .filter(|s| s.site.kind == FailureKind::Deadlock && s.is_recoverable())
+            .count();
+        assert!(recoverable_deadlocks > 0, "{name}");
+        // Time-out conversion happened for exactly those sites.
+        let hardened = Conair::survival().harden(&w.program);
+        assert_eq!(hardened.transform.timed_locks, recoverable_deadlocks, "{name}");
+    }
+}
+
+#[test]
+fn only_the_interproc_apps_promote_kernel_sites() {
+    for w in all_workloads() {
+        let plan = Conair::survival().analyze(&w.program.module);
+        let promoted = plan.stats.promoted_sites;
+        if w.meta.needs_interproc {
+            assert!(promoted >= 1, "{} needs inter-procedural recovery", w.meta.name);
+        } else {
+            assert_eq!(
+                promoted, 0,
+                "{} should not need inter-procedural recovery",
+                w.meta.name
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_apps_use_output_oracles() {
+    for w in all_workloads() {
+        let has_oracle = w
+            .program
+            .module
+            .iter_insts()
+            .any(|(_, i)| matches!(i, conair_ir::Inst::OutputAssert { .. }));
+        assert_eq!(
+            has_oracle, w.meta.needs_oracle,
+            "{}: oracle presence must match Table 3's conditional marker",
+            w.meta.name
+        );
+    }
+}
+
+#[test]
+fn symptom_causes_match_table_2() {
+    // The registry metadata is the Table-2 row (no drift).
+    for (w, row) in all_workloads().iter().zip(TABLE2.iter()) {
+        assert_eq!(w.meta.name, row.name);
+        assert_eq!(w.meta.symptom, row.symptom);
+        assert_eq!(w.meta.cause, row.cause);
+    }
+    // Spot checks against the paper.
+    assert_eq!(workload_by_name("FFT").unwrap().meta.cause, RootCause::AtomicityAndOrder);
+    assert_eq!(workload_by_name("SQLite").unwrap().meta.symptom, Symptom::Hang);
+    assert_eq!(
+        workload_by_name("MySQL2").unwrap().meta.cause,
+        RootCause::AtomicityViolation
+    );
+}
+
+#[test]
+fn fix_mode_hardens_exactly_the_kernel_site() {
+    for w in all_workloads() {
+        let fix = Conair::fix(w.fix_markers.clone()).harden(&w.program);
+        let touched = fix.transform.fail_guards
+            + fix.transform.ptr_guards
+            + fix.transform.timed_locks;
+        assert_eq!(
+            touched,
+            w.fix_markers.len(),
+            "{}: fix mode hardens one site per reported marker",
+            w.meta.name
+        );
+        assert!(
+            fix.plan.stats.static_points <= 3,
+            "{}: fix mode inserts a handful of points, got {}",
+            w.meta.name,
+            fix.plan.stats.static_points
+        );
+    }
+}
+
+#[test]
+fn site_populations_scale_with_app_size() {
+    // Order by total sites must roughly track the paper's ordering:
+    // MySQL* largest, HawkNL smallest.
+    let totals: Vec<(String, usize)> = all_workloads()
+        .iter()
+        .map(|w| {
+            let plan = Conair::survival().analyze(&w.program.module);
+            (w.meta.name.to_string(), plan.sites.len())
+        })
+        .collect();
+    let get = |n: &str| totals.iter().find(|(name, _)| name == n).unwrap().1;
+    assert!(get("MySQL1") > get("HTTrack"));
+    assert!(get("MySQL2") > get("HTTrack"));
+    assert!(get("HTTrack") > get("SQLite"));
+    assert!(get("HawkNL") < get("FFT"));
+    assert!(get("MozillaXP") > get("MozillaJS"));
+}
+
+#[test]
+fn workload_builds_are_deterministic() {
+    for name in ["FFT", "MySQL1", "HawkNL"] {
+        let a = workload_by_name(name).unwrap();
+        let b = workload_by_name(name).unwrap();
+        assert_eq!(a.program.module, b.program.module, "{name}");
+        assert_eq!(a.bug_script, b.bug_script, "{name}");
+        assert_eq!(a.benign_script, b.benign_script, "{name}");
+    }
+}
