@@ -221,7 +221,10 @@ mod tests {
             classify(&stl, RegionPolicy::Compensated),
             InstClass::Destroying(DestroyReason::StackWrite)
         );
-        assert_eq!(classify(&stl, RegionPolicy::BufferedWrites), InstClass::Safe);
+        assert_eq!(
+            classify(&stl, RegionPolicy::BufferedWrites),
+            InstClass::Safe
+        );
     }
 
     #[test]
@@ -288,7 +291,10 @@ mod tests {
             dst: Reg(0),
             global: GlobalId(0),
         };
-        assert_eq!(classify(&ld, RegionPolicy::Compensated), InstClass::SharedRead);
+        assert_eq!(
+            classify(&ld, RegionPolicy::Compensated),
+            InstClass::SharedRead
+        );
         assert!(is_shared_read(&ld));
         assert!(classify(&ld, RegionPolicy::Compensated).is_region_member());
         assert!(!classify(&store_global(), RegionPolicy::Compensated).is_region_member());

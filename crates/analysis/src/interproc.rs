@@ -216,7 +216,12 @@ pub fn promote_site(
 /// Convenience: the reexecution points a promoted site abandons (its
 /// intra-procedural entry points).
 pub fn abandoned_entry_points(region: &SiteRegion) -> Vec<ReexecPoint> {
-    region.points.iter().copied().filter(|p| p.at_entry).collect()
+    region
+        .points
+        .iter()
+        .copied()
+        .filter(|p| p.at_entry)
+        .collect()
 }
 
 #[cfg(test)]
@@ -314,13 +319,7 @@ mod tests {
         let region = find_reexec_points(func, &cfg, site_pos, RegionPolicy::Compensated);
         let slice = slice_in_region(func, &region, site_pos);
         assert!(!should_promote(
-            func,
-            &cfg,
-            site_pos,
-            &region,
-            &slice,
-            false,
-            0
+            func, &cfg, site_pos, &region, &slice, false, 0
         ));
     }
 
@@ -339,13 +338,7 @@ mod tests {
         let slice = slice_in_region(&func, &region, site_pos);
         assert!(!region.all_paths_clean);
         assert!(!should_promote(
-            &func,
-            &cfg,
-            site_pos,
-            &region,
-            &slice,
-            false,
-            1
+            &func, &cfg, site_pos, &region, &slice, false, 1
         ));
     }
 
@@ -362,13 +355,7 @@ mod tests {
         };
         // No caller exists.
         module.name = "m".into();
-        assert!(promote_site(
-            &module,
-            SiteId(0),
-            get_state,
-            &InterprocConfig::default()
-        )
-        .is_none());
+        assert!(promote_site(&module, SiteId(0), get_state, &InterprocConfig::default()).is_none());
     }
 
     #[test]
@@ -397,8 +384,8 @@ mod tests {
         mb.function(fb.finish());
 
         let module = mb.finish();
-        let promo = promote_site(&module, SiteId(0), leaf, &InterprocConfig::default())
-            .expect("promotes");
+        let promo =
+            promote_site(&module, SiteId(0), leaf, &InterprocConfig::default()).expect("promotes");
         assert_eq!(promo.depth, 2);
         let top = module.func_by_name("top").unwrap();
         assert!(promo.caller_points.iter().any(|l| l.func == top));

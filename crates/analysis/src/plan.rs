@@ -7,6 +7,7 @@
 //! optimization — applied only to sites that recover intra-procedurally.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
 
 use conair_ir::{Cfg, FailureKind, InstPos, Loc, Module, PointId, SiteId};
 
@@ -93,6 +94,10 @@ pub struct PlanStats {
     pub promoted_sites: usize,
     /// Final static reexecution points (deduplicated checkpoints).
     pub static_points: usize,
+    /// Wall time spent in the Section 4.2 recoverability judgments (the
+    /// "optimize" phase of the pipeline's phase timing; zero when
+    /// [`AnalysisConfig::optimize`] is off).
+    pub optimize_wall: Duration,
 }
 
 /// The full analysis result.
@@ -155,6 +160,7 @@ pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
     });
 
     let mut site_plans: Vec<SitePlan> = Vec::with_capacity(table.len());
+    let mut optimize_wall = Duration::ZERO;
 
     for site in &table.sites {
         let func = module.func(site.loc.func);
@@ -197,10 +203,15 @@ pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
                 .collect();
             verdict = if !config.optimize {
                 RecoverabilityVerdict::Recoverable
-            } else if is_deadlock {
-                judge_deadlock_site(func, &region, site_pos)
             } else {
-                judge_non_deadlock_site(&slice)
+                let judge_start = Instant::now();
+                let v = if is_deadlock {
+                    judge_deadlock_site(func, &region, site_pos)
+                } else {
+                    judge_non_deadlock_site(&slice)
+                };
+                optimize_wall += judge_start.elapsed();
+                v
             };
         }
 
@@ -227,6 +238,7 @@ pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
     // --- aggregates ---------------------------------------------------------
     let mut stats = PlanStats {
         static_points: checkpoints.len(),
+        optimize_wall,
         ..PlanStats::default()
     };
     for sp in &site_plans {
@@ -294,7 +306,10 @@ mod tests {
     fn plan_counts_and_verdicts() {
         let m = mixed_module();
         let plan = analyze(&m, &AnalysisConfig::survival_defaults());
-        assert_eq!(plan.stats.sites_by_kind[&FailureKind::AssertionViolation], 2);
+        assert_eq!(
+            plan.stats.sites_by_kind[&FailureKind::AssertionViolation],
+            2
+        );
         assert_eq!(plan.stats.sites_by_kind[&FailureKind::SegFault], 1);
         assert_eq!(plan.stats.sites_by_kind[&FailureKind::Deadlock], 3);
         assert_eq!(plan.stats.sites_by_kind[&FailureKind::WrongOutput], 1);

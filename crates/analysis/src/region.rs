@@ -294,7 +294,10 @@ mod tests {
         let site = InstPos::new(BlockId(0), 3);
 
         let comp = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
-        assert!(comp.points[0].at_entry, "lock admitted, region reaches entry");
+        assert!(
+            comp.points[0].at_entry,
+            "lock admitted, region reaches entry"
+        );
         assert!(comp.region.contains(&InstPos::new(BlockId(0), 0)));
 
         let strict = find_reexec_points(&f, &cfg, site, RegionPolicy::Strict);
@@ -332,8 +335,18 @@ mod tests {
         fb.ret();
         let f = fb.finish();
         let cfg = Cfg::build(&f);
-        let ra = find_reexec_points(&f, &cfg, InstPos::new(BlockId(0), 4), RegionPolicy::Compensated);
-        let rb = find_reexec_points(&f, &cfg, InstPos::new(BlockId(0), 7), RegionPolicy::Compensated);
+        let ra = find_reexec_points(
+            &f,
+            &cfg,
+            InstPos::new(BlockId(0), 4),
+            RegionPolicy::Compensated,
+        );
+        let rb = find_reexec_points(
+            &f,
+            &cfg,
+            InstPos::new(BlockId(0), 7),
+            RegionPolicy::Compensated,
+        );
         // Both sites share the point right after the store; site B's region
         // strictly contains site A's region.
         assert_eq!(ra.points, rb.points);

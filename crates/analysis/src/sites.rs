@@ -190,10 +190,7 @@ mod tests {
     #[test]
     fn fix_mode_resolves_marker_to_next_site() {
         let m = sample_module();
-        let table = identify_sites(
-            &m,
-            &SiteSelection::Fix(vec!["before_deref".into()]),
-        );
+        let table = identify_sites(&m, &SiteSelection::Fix(vec!["before_deref".into()]));
         assert_eq!(table.len(), 1);
         assert_eq!(table.sites[0].kind, FailureKind::SegFault);
         // The marker resolves to the LoadPtr (the AddrOfGlobal in between

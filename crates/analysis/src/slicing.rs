@@ -127,9 +127,10 @@ mod tests {
             for (i, inst) in block.insts.iter().enumerate() {
                 if (!criterion_regs(inst).is_empty()
                     || matches!(inst, Inst::Assert { .. } | Inst::LoadPtr { .. }))
-                    && crate::sites::potential_failure_kind(inst).is_some() {
-                        site = Some(InstPos::new(bid, i));
-                    }
+                    && crate::sites::potential_failure_kind(inst).is_some()
+                {
+                    site = Some(InstPos::new(bid, i));
+                }
             }
         }
         let site = site.expect("test function has a failure site");

@@ -6,7 +6,9 @@ use conair_bench::{experiments, pct, BenchConfig, TextTable};
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    eprintln!("figure4: running the design-space ablation (this hardens every app under every policy)...");
+    eprintln!(
+        "figure4: running the design-space ablation (this hardens every app under every policy)..."
+    );
     let points = experiments::figure4(&cfg);
     let mut t = TextTable::new(vec![
         "Design point",

@@ -30,13 +30,22 @@ fn main() {
 
     let r = region_study();
     let mut t = TextTable::new(vec!["Reexecution-region study", "Count"]);
-    t.row(vec!["Bugs reproduced by prior tools".to_string(), r.total.to_string()]);
+    t.row(vec![
+        "Bugs reproduced by prior tools".to_string(),
+        r.total.to_string(),
+    ]);
     t.row(vec![
         "Survivable by single-threaded reexecution".to_string(),
         r.single_thread.to_string(),
     ]);
-    t.row(vec!["  of which idempotent regions".to_string(), r.idempotent.to_string()]);
-    t.row(vec!["  of which contain I/O".to_string(), r.with_io.to_string()]);
+    t.row(vec![
+        "  of which idempotent regions".to_string(),
+        r.idempotent.to_string(),
+    ]);
+    t.row(vec![
+        "  of which contain I/O".to_string(),
+        r.with_io.to_string(),
+    ]);
     t.row(vec![
         "  of which contain non-idempotent writes".to_string(),
         r.with_writes.to_string(),

@@ -26,10 +26,7 @@ fn main() {
             .count(),
         if all_recover { " -- all" } else { "" }
     );
-    println!(
-        "Worst survival-mode overhead (paper: <1%): {}",
-        pct(worst)
-    );
+    println!("Worst survival-mode overhead (paper: <1%): {}", pct(worst));
 
     // Table 4 shape: segfault sites dominate.
     let t4 = experiments::table4();
@@ -49,9 +46,7 @@ fn main() {
         .filter(|r| r.recovery_steps > 0)
         .map(|r| r.restart_steps as f64 / r.recovery_steps.max(1) as f64)
         .fold(f64::INFINITY, f64::min);
-    println!(
-        "Minimum recovery-vs-restart speedup (paper: 8x .. >100000x): {min_speedup:.0}x"
-    );
+    println!("Minimum recovery-vs-restart speedup (paper: 8x .. >100000x): {min_speedup:.0}x");
 
     // Figure 2 claim.
     let f2 = experiments::figure2(&cfg);

@@ -26,9 +26,7 @@ fn main() {
     println!("{}", t.render());
     // The headline shape: survival mode inserts far more points than fix
     // mode, yet (Table 3) still costs <1%.
-    let ratio_ok = rows
-        .iter()
-        .all(|r| r.fix_static <= r.survival_static);
+    let ratio_ok = rows.iter().all(|r| r.fix_static <= r.survival_static);
     println!(
         "fix-mode points <= survival-mode points for every app: {}",
         if ratio_ok { "YES" } else { "NO" }

@@ -1,7 +1,12 @@
 //! Regenerates Table 7: failure recovery time under ConAir versus
-//! whole-program restart.
+//! whole-program restart, with retry/latency percentiles over the
+//! configured number of seeded trials.
 
 use conair_bench::{experiments, micros, BenchConfig, TextTable};
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -10,6 +15,8 @@ fn main() {
         "Application",
         "ConAir Time",
         "# Retries",
+        "Retries p50/p90",
+        "Latency p50/p90",
         "Restart Time",
         "Speedup",
     ]);
@@ -23,12 +30,16 @@ fn main() {
             r.app.to_string(),
             format!("{} ({} steps)", micros(r.recovery_us), r.recovery_steps),
             r.retries.to_string(),
+            format!("{}/{}", opt(r.retries_p50), opt(r.retries_p90)),
+            format!("{}/{}", opt(r.recovery_p50), opt(r.recovery_p90)),
             format!("{} ({} steps)", micros(r.restart_us), r.restart_steps),
             speedup,
         ]);
     }
     println!("Table 7. Failure recovery time (forced failure-inducing interleavings)\n");
     println!("{}", t.render());
+    let trials = rows.first().map_or(0, |r| r.trials);
+    println!("percentiles over {trials} seeded trials per application");
     let all_faster = rows.iter().all(|r| r.recovery_steps < r.restart_steps);
     println!(
         "ConAir recovery faster than restart for every app: {}",

@@ -6,7 +6,7 @@ use conair::{Conair, ConairConfig, Mode};
 use conair_analysis::RegionPolicy;
 use conair_ir::FailureKind;
 use conair_runtime::{
-    measure_restart, run_scripted, MachineConfig, RunOutcome, RunResult,
+    measure_restart, run_scripted, run_trials, MachineConfig, RunOutcome, RunResult,
 };
 use conair_workloads::{all_workloads, build_micro, AtomicityPattern, Workload};
 
@@ -37,10 +37,7 @@ pub struct Table3Row {
 
 /// Runs the Table-3 experiment.
 pub fn table3(cfg: &BenchConfig) -> Vec<Table3Row> {
-    all_workloads()
-        .iter()
-        .map(|w| table3_row(w, cfg))
-        .collect()
+    all_workloads().iter().map(|w| table3_row(w, cfg)).collect()
 }
 
 fn all_trials_recover(
@@ -237,8 +234,7 @@ pub fn table6(cfg: &BenchConfig) -> Vec<Table6Row> {
         .iter()
         .map(|w| {
             let optimized = Conair::survival();
-            let unoptimized =
-                Conair::with_config(Conair::builder().optimize(false).build());
+            let unoptimized = Conair::with_config(Conair::builder().optimize(false).build());
             let plan_opt = optimized.analyze(&w.program.module);
             let plan_unopt = unoptimized.analyze(&w.program.module);
 
@@ -312,6 +308,17 @@ pub struct Table7Row {
     pub restart_steps: u64,
     /// Restart recovery time in microseconds.
     pub restart_us: f64,
+    /// Seeded bug-forcing trials behind the percentile columns.
+    pub trials: usize,
+    /// Median per-trial retry count.
+    pub retries_p50: Option<u64>,
+    /// 90th-percentile per-trial retry count.
+    pub retries_p90: Option<u64>,
+    /// Median recovery latency in steps, pooled over every recovered site
+    /// in every trial (`None` when nothing recovered).
+    pub recovery_p50: Option<u64>,
+    /// 90th-percentile recovery latency in steps.
+    pub recovery_p90: Option<u64>,
 }
 
 /// Runs the Table-7 experiment.
@@ -337,6 +344,16 @@ pub fn table7(cfg: &BenchConfig) -> Vec<Table7Row> {
             let recovery_steps = r.stats.max_recovery_steps().unwrap_or(0);
             let retries = r.stats.total_retries();
 
+            // Percentiles over repeated seeded trials (the single run above
+            // pins the headline numbers to seed0, matching older reports).
+            let summary = run_trials(
+                &hardened.program,
+                &machine,
+                &w.bug_script,
+                cfg.seed0,
+                cfg.trials,
+            );
+
             let restart = measure_restart(
                 &w.program,
                 &machine,
@@ -352,6 +369,11 @@ pub fn table7(cfg: &BenchConfig) -> Vec<Table7Row> {
                 retries,
                 restart_steps: restart.total_steps,
                 restart_us: restart.total_steps as f64 * ns_per_step / 1000.0,
+                trials: cfg.trials,
+                retries_p50: summary.retries_percentile(0.50),
+                retries_p90: summary.retries_percentile(0.90),
+                recovery_p50: summary.recovery_percentile(0.50),
+                recovery_p90: summary.recovery_percentile(0.90),
             }
         })
         .collect()
@@ -389,12 +411,7 @@ pub fn figure2(cfg: &BenchConfig) -> Vec<Figure2Cell> {
     for pattern in AtomicityPattern::ALL {
         for policy in RegionPolicy::ALL {
             let m = build_micro(pattern);
-            let orig = run_scripted(
-                &m.program,
-                machine.clone(),
-                m.bug_script.clone(),
-                cfg.seed0,
-            );
+            let orig = run_scripted(&m.program, machine.clone(), m.bug_script.clone(), cfg.seed0);
             let pipeline = Conair::with_config(ConairConfig {
                 mode: Mode::Survival,
                 policy,
@@ -412,8 +429,8 @@ pub fn figure2(cfg: &BenchConfig) -> Vec<Figure2Cell> {
                 m.bug_script.clone(),
                 cfg.seed0,
             );
-            let recovered = hard.outcome.is_completed()
-                && hard.outputs_for(&m.expected.0) == m.expected.1;
+            let recovered =
+                hard.outcome.is_completed() && hard.outputs_for(&m.expected.0) == m.expected.1;
             out.push(Figure2Cell {
                 pattern,
                 policy,
@@ -485,8 +502,7 @@ pub fn figure4(cfg: &BenchConfig) -> Vec<Figure4Point> {
             label: policy.name(),
             patterns_recovered: recovered,
             mean_overhead: mean(&overheads),
-            mean_recovery_steps: (!recovery_steps.is_empty())
-                .then(|| mean(&recovery_steps)),
+            mean_recovery_steps: (!recovery_steps.is_empty()).then(|| mean(&recovery_steps)),
         });
     }
 
@@ -568,9 +584,7 @@ pub fn outcome_matches_symptom(w: &Workload, outcome: &RunOutcome) -> bool {
     use conair_workloads::Symptom;
     match (w.meta.symptom, outcome) {
         (Symptom::Hang, RunOutcome::Hang { .. }) => true,
-        (Symptom::Assertion, RunOutcome::Failed(f)) => {
-            f.kind == FailureKind::AssertionViolation
-        }
+        (Symptom::Assertion, RunOutcome::Failed(f)) => f.kind == FailureKind::AssertionViolation,
         (Symptom::SegFault, RunOutcome::Failed(f)) => f.kind == FailureKind::SegFault,
         (Symptom::WrongOutput, RunOutcome::Failed(f)) => f.kind == FailureKind::WrongOutput,
         _ => false,

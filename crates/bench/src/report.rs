@@ -56,6 +56,14 @@ pub struct Table7Json {
     pub restart_steps: u64,
     /// restart / recovery speedup.
     pub speedup: f64,
+    /// Median per-trial retry count over the seeded trials.
+    pub retries_p50: Option<u64>,
+    /// 90th-percentile per-trial retry count.
+    pub retries_p90: Option<u64>,
+    /// Median recovery latency (steps) over every recovered site.
+    pub recovery_p50: Option<u64>,
+    /// 90th-percentile recovery latency (steps).
+    pub recovery_p90: Option<u64>,
 }
 
 /// The complete machine-readable evaluation report.
@@ -107,6 +115,10 @@ pub fn evaluation_report(cfg: &BenchConfig) -> EvaluationReport {
             } else {
                 f64::INFINITY
             },
+            retries_p50: r.retries_p50,
+            retries_p90: r.retries_p90,
+            recovery_p50: r.recovery_p50,
+            recovery_p90: r.recovery_p90,
         })
         .collect();
     EvaluationReport {

@@ -6,8 +6,15 @@
 //! conair-cli print   <file.cir>
 //! conair-cli analyze <file.cir> [--fix <marker>]... [--no-optimize] [--no-interproc]
 //! conair-cli harden  <file.cir> [--fix <marker>]... [-o <out.cir>]
-//! conair-cli run     <file.cir> --threads <f1,f2,...> [--seed <n>] [--steps <n>]
+//! conair-cli run     <file.cir> [--harden] [--threads <f1,f2,...>] [--seed <n>]
+//!                    [--steps <n>] [--trace <out.jsonl>] [--trace-depth <n>]
+//! conair-cli report  <trace.jsonl> [--limit <n>] [--chrome <out.json>]
 //! ```
+//!
+//! `run --trace` records the structured [`conair_runtime::TraceEvent`]
+//! stream of the run as JSON Lines; `report` renders such a trace as a
+//! human-readable timeline plus a metrics summary, and can convert it to
+//! Chrome trace-event JSON (`chrome://tracing` / Perfetto) via `--chrome`.
 //!
 //! The library half holds the (easily testable) command implementations;
 //! the binary is a thin argument parser around them.
@@ -19,7 +26,10 @@ use std::fmt::Write as _;
 
 use conair::{Conair, ConairConfig, Mode};
 use conair_ir::{parse_module, validate, validate_hardened, FailureKind, Module};
-use conair_runtime::{run_once, MachineConfig, Program, RunOutcome};
+use conair_runtime::{
+    from_jsonl, run_once, run_traced, summarize_events, to_chrome_trace, to_jsonl, EventBuffer,
+    MachineConfig, Program, RunOutcome, RunResult, ScheduleScript, TraceEvent,
+};
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -46,6 +56,50 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// Default `--trace-depth`: the failing thread's last 16 executed
+/// locations are attached to failure reports. The runtime's own default
+/// ([`MachineConfig::trace_depth`]) is 0 — location tracing off — so a
+/// bare `FailureRecord.trace` stays empty there; the CLI turns it on so
+/// `run` failures are diagnosable out of the box.
+pub const DEFAULT_TRACE_DEPTH: usize = 16;
+
+/// Default number of timeline lines `report` prints before eliding.
+pub const DEFAULT_REPORT_LIMIT: usize = 200;
+
+/// Options of the `run` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Thread entry function names. Empty = every zero-parameter function
+    /// of the module, in module order.
+    pub threads: Vec<String>,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Step limit.
+    pub steps: u64,
+    /// Harden the module (analysis + transform) before running.
+    pub harden: bool,
+    /// Fix-mode markers for `--harden` (empty = survival mode).
+    pub fix_markers: Vec<String>,
+    /// Write a JSONL event trace to this path.
+    pub trace: Option<String>,
+    /// Per-thread location ring-buffer depth for failure reports.
+    pub trace_depth: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            threads: Vec::new(),
+            seed: 0,
+            steps: 50_000_000,
+            harden: false,
+            fix_markers: Vec::new(),
+            trace: None,
+            trace_depth: DEFAULT_TRACE_DEPTH,
+        }
+    }
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,12 +133,17 @@ pub enum Command {
     Run {
         /// Input path.
         input: String,
-        /// Thread entry function names.
-        threads: Vec<String>,
-        /// Scheduler seed.
-        seed: u64,
-        /// Step limit.
-        steps: u64,
+        /// Execution options.
+        opts: RunOptions,
+    },
+    /// Render a JSONL trace as a timeline + metrics summary.
+    Report {
+        /// Trace path (JSONL, as written by `run --trace`).
+        input: String,
+        /// Timeline lines to print (0 = all).
+        limit: usize,
+        /// Also write Chrome trace-event JSON here.
+        chrome: Option<String>,
     },
 }
 
@@ -95,10 +154,7 @@ pub enum Command {
 /// Returns a usage error on unknown commands or malformed flags.
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter();
-    let cmd = it
-        .next()
-        .ok_or_else(|| CliError::new(USAGE))?
-        .as_str();
+    let cmd = it.next().ok_or_else(|| CliError::new(USAGE))?.as_str();
     let mut input: Option<String> = None;
     let mut fix_markers = Vec::new();
     let mut no_optimize = false;
@@ -107,6 +163,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut threads = Vec::new();
     let mut seed = 0u64;
     let mut steps = 50_000_000u64;
+    let mut harden = false;
+    let mut trace: Option<String> = None;
+    let mut trace_depth = DEFAULT_TRACE_DEPTH;
+    let mut limit = DEFAULT_REPORT_LIMIT;
+    let mut chrome: Option<String> = None;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -117,6 +178,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             ),
             "--no-optimize" => no_optimize = true,
             "--no-interproc" => no_interproc = true,
+            "--harden" => harden = true,
             "-o" | "--output" => {
                 output = Some(
                     it.next()
@@ -141,6 +203,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| CliError::new("--steps needs a number"))?
+            }
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--trace needs a path"))?
+                        .clone(),
+                )
+            }
+            "--trace-depth" => {
+                trace_depth = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::new("--trace-depth needs a number"))?
+            }
+            "--limit" => {
+                limit = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::new("--limit needs a number"))?
+            }
+            "--chrome" => {
+                chrome = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--chrome needs a path"))?
+                        .clone(),
+                )
             }
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown flag `{other}`\n{USAGE}")))
@@ -169,24 +257,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         },
         "run" => Command::Run {
             input,
-            threads,
-            seed,
-            steps,
+            opts: RunOptions {
+                threads,
+                seed,
+                steps,
+                harden,
+                fix_markers,
+                trace,
+                trace_depth,
+            },
+        },
+        "report" => Command::Report {
+            input,
+            limit,
+            chrome,
         },
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
     })
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: conair-cli <print|analyze|harden|run> <file.cir> [options]
+pub const USAGE: &str = "usage: conair-cli <print|analyze|harden|run|report> <file> [options]
   print   <file.cir>                     parse, validate, pretty-print
   analyze <file.cir> [--fix M]... [--no-optimize] [--no-interproc]
   harden  <file.cir> [--fix M]... [-o out.cir]
-  run     <file.cir> --threads f1,f2 [--seed N] [--steps N]";
+  run     <file.cir> [--harden [--fix M]...] [--threads f1,f2] [--seed N]
+          [--steps N] [--trace out.jsonl] [--trace-depth N]
+          --threads defaults to every zero-parameter function;
+          --trace-depth defaults to 16 (0 disables failure location traces)
+  report  <trace.jsonl> [--limit N] [--chrome out.json]";
 
 fn load(text: &str) -> Result<Module, CliError> {
-    let module =
-        parse_module(text).map_err(|e| CliError::new(format!("parse error: {e}")))?;
+    let module = parse_module(text).map_err(|e| CliError::new(format!("parse error: {e}")))?;
     if let Err(errs) = validate(&module) {
         // A hardened module is also acceptable input.
         if validate_hardened(&module).is_err() {
@@ -241,7 +343,11 @@ pub fn cmd_analyze(
     let _ = writeln!(
         out,
         "mode: {}",
-        if fix_markers.is_empty() { "survival" } else { "fix" }
+        if fix_markers.is_empty() {
+            "survival"
+        } else {
+            "fix"
+        }
     );
     for kind in FailureKind::ALL {
         let n = plan.stats.sites_by_kind.get(&kind).copied().unwrap_or(0);
@@ -253,7 +359,11 @@ pub fn cmd_analyze(
         "removed by optimization: {} non-deadlock, {} deadlock",
         plan.stats.removed_non_deadlock_sites, plan.stats.removed_deadlock_sites
     );
-    let _ = writeln!(out, "inter-procedural promotions: {}", plan.stats.promoted_sites);
+    let _ = writeln!(
+        out,
+        "inter-procedural promotions: {}",
+        plan.stats.promoted_sites
+    );
     let _ = writeln!(out, "reexecution points: {}", plan.stats.static_points);
     for (i, loc) in plan.checkpoints.iter().enumerate() {
         let func = &module.func(loc.func).name;
@@ -271,18 +381,24 @@ pub fn cmd_harden(text: &str, fix_markers: &[String]) -> Result<String, CliError
     Ok(hardened.module.to_string())
 }
 
-/// Executes `run` on module text with the named thread entries.
-pub fn cmd_run(
-    text: &str,
-    threads: &[String],
-    seed: u64,
-    steps: u64,
-) -> Result<String, CliError> {
-    let module = load(text)?;
-    if threads.is_empty() {
-        return Err(CliError::new("run: --threads is required"));
+/// Resolves the thread entry names for `run`: the requested names, or
+/// every zero-parameter function in module order when none were given.
+fn resolve_entries(module: &Module, requested: &[String]) -> Result<Vec<String>, CliError> {
+    if requested.is_empty() {
+        let defaults: Vec<String> = module
+            .functions
+            .iter()
+            .filter(|f| f.num_params == 0)
+            .map(|f| f.name.clone())
+            .collect();
+        if defaults.is_empty() {
+            return Err(CliError::new(
+                "run: module has no zero-parameter functions; pass --threads",
+            ));
+        }
+        return Ok(defaults);
     }
-    for t in threads {
+    for t in requested {
         let func = module
             .func_by_name(t)
             .ok_or_else(|| CliError::new(format!("run: unknown thread entry `{t}`")))?;
@@ -292,15 +408,75 @@ pub fn cmd_run(
             )));
         }
     }
-    let names: Vec<&str> = threads.iter().map(String::as_str).collect();
-    let program = Program::from_entry_names(module, &names);
+    Ok(requested.to_vec())
+}
+
+/// Checks the event-count identities between a trace and the run's stats
+/// (see the invariants in [`conair_runtime`]'s trace module docs).
+fn verify_trace_consistency(events: &[TraceEvent], r: &RunResult) -> Result<(), CliError> {
+    let count = |kind: &str| events.iter().filter(|e| e.kind_name() == kind).count() as u64;
+    let recovered_sites = r
+        .stats
+        .site_recovery
+        .values()
+        .filter(|s| s.recovered_step.is_some())
+        .count() as u64;
+    let checks = [
+        ("checkpoint", r.stats.checkpoints),
+        ("rollback", r.stats.rollbacks),
+        ("failure-detected", r.stats.total_retries()),
+        ("recovery-completed", recovered_sites),
+    ];
+    for (kind, expected) in checks {
+        let got = count(kind);
+        if got != expected {
+            return Err(CliError::new(format!(
+                "trace inconsistency: {got} `{kind}` events but run stats say {expected}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Executes `run` on module text. Returns the report and, when
+/// [`RunOptions::trace`] is set, the JSONL trace text for the caller to
+/// write out.
+pub fn cmd_run(text: &str, opts: &RunOptions) -> Result<(String, Option<String>), CliError> {
+    let module = load(text)?;
+    let entries = resolve_entries(&module, &opts.threads)?;
+    let names: Vec<&str> = entries.iter().map(String::as_str).collect();
+    let mut program = Program::from_entry_names(module, &names);
+    let mut out = String::new();
+
+    if opts.harden {
+        let (hardened, spans) = pipeline(&opts.fix_markers, false, false).harden_timed(&program);
+        let _ = writeln!(
+            out,
+            "hardened: {} recoverable sites, {} reexecution points",
+            hardened.plan.stats.recoverable_sites, hardened.plan.stats.static_points
+        );
+        let _ = writeln!(out, "phases: {}", spans.render());
+        program = hardened.program;
+    }
+
     let config = MachineConfig {
-        step_limit: steps,
-        trace_depth: 16,
+        step_limit: opts.steps,
+        trace_depth: opts.trace_depth,
         ..MachineConfig::default()
     };
-    let r = run_once(&program, config, seed);
-    let mut out = String::new();
+    let buffer = EventBuffer::new();
+    let r = if opts.trace.is_some() {
+        run_traced(
+            &program,
+            config,
+            ScheduleScript::none(),
+            opts.seed,
+            Box::new(buffer.clone()),
+        )
+    } else {
+        run_once(&program, config, opts.seed)
+    };
+
     match &r.outcome {
         RunOutcome::Completed => {
             let _ = writeln!(out, "completed in {} steps", r.stats.steps);
@@ -323,7 +499,7 @@ pub fn cmd_run(
             }
         }
         RunOutcome::StepLimit => {
-            let _ = writeln!(out, "step limit ({steps}) reached");
+            let _ = writeln!(out, "step limit ({}) reached", opts.steps);
         }
     }
     for o in &r.outputs {
@@ -336,8 +512,196 @@ pub fn cmd_run(
             r.stats.rollbacks,
             r.stats.total_retries()
         );
+        let _ = writeln!(
+            out,
+            "recovery latency (steps): {}",
+            r.metrics.rollback_latency.summary()
+        );
     }
-    Ok(out)
+    if !r.metrics.lock_waits.is_empty() {
+        let _ = writeln!(
+            out,
+            "lock waits (steps): {}",
+            r.metrics.lock_waits.summary()
+        );
+    }
+
+    let trace_text = if opts.trace.is_some() {
+        let events = buffer.take();
+        verify_trace_consistency(&events, &r)?;
+        let _ = writeln!(
+            out,
+            "trace: {} events (checkpoint/rollback/recovery counts match run stats)",
+            events.len()
+        );
+        Some(to_jsonl(&events))
+    } else {
+        None
+    };
+    Ok((out, trace_text))
+}
+
+/// One timeline line for an event.
+fn render_event(e: &TraceEvent) -> String {
+    use TraceEvent::*;
+    let body = match e {
+        ThreadStarted { thread, name, .. } => format!("{thread} started ({name})"),
+        ThreadFinished { thread, .. } => format!("{thread} finished"),
+        ContextSwitch {
+            from: Some(f),
+            to,
+            eligible,
+            ..
+        } => format!("switch {f} -> {to} ({eligible} eligible)"),
+        ContextSwitch { to, eligible, .. } => format!("schedule {to} ({eligible} eligible)"),
+        LockWait {
+            thread,
+            lock,
+            owner,
+            ..
+        } => match owner {
+            Some(o) => format!("{thread} waits on {lock} (held by {o})"),
+            None => format!("{thread} waits on {lock}"),
+        },
+        LockAcquired {
+            thread,
+            lock,
+            timed,
+            waited,
+            ..
+        } => {
+            let kind = if *timed { "timed lock" } else { "lock" };
+            if *waited > 0 {
+                format!("{thread} acquired {lock} ({kind}, waited {waited} steps)")
+            } else {
+                format!("{thread} acquired {lock} ({kind})")
+            }
+        }
+        LockReleased { thread, lock, .. } => format!("{thread} released {lock}"),
+        LockTimeout {
+            thread,
+            lock,
+            site,
+            waited,
+            ..
+        } => format!("{thread} TIMED OUT on {lock} after {waited} steps ({site})"),
+        CheckpointSaved {
+            thread,
+            epoch,
+            reexecution,
+            ..
+        } => {
+            if *reexecution {
+                format!("{thread} checkpoint (epoch {epoch}, reexecution)")
+            } else {
+                format!("{thread} checkpoint (epoch {epoch})")
+            }
+        }
+        FailureDetected {
+            thread, site, kind, ..
+        } => format!("{thread} FAILURE at {site}: {kind}"),
+        CompensationFree { thread, base, .. } => {
+            format!("{thread} compensation: free {base:#x}")
+        }
+        CompensationUnlock { thread, lock, .. } => {
+            format!("{thread} compensation: unlock {lock}")
+        }
+        RolledBack {
+            thread,
+            site,
+            retry,
+            undo_restored,
+            ..
+        } => {
+            if *undo_restored > 0 {
+                format!(
+                    "{thread} ROLLBACK for {site} (retry {retry}, {undo_restored} undo records)"
+                )
+            } else {
+                format!("{thread} ROLLBACK for {site} (retry {retry})")
+            }
+        }
+        RecoveryExhausted {
+            thread, site, kind, ..
+        } => format!("{thread} recovery EXHAUSTED at {site}: {kind}"),
+        BackoffSleep { thread, until, .. } => {
+            format!("{thread} backoff until step {until}")
+        }
+        RecoveryCompleted {
+            thread,
+            site,
+            retries,
+            latency,
+            ..
+        } => format!("{thread} RECOVERED {site} after {retries} retries ({latency} steps)"),
+        RunEnded { outcome, .. } => format!("run ended: {outcome}"),
+    };
+    format!("  step {:>7}  {body}", e.step())
+}
+
+/// Executes `report` on JSONL trace text. Returns the rendered report and,
+/// when `chrome` is requested, the Chrome trace-event JSON.
+pub fn cmd_report(
+    jsonl: &str,
+    limit: usize,
+    chrome: bool,
+) -> Result<(String, Option<String>), CliError> {
+    let events = from_jsonl(jsonl).map_err(|e| CliError::new(format!("trace parse error: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "timeline ({} events):", events.len());
+    let shown = if limit == 0 {
+        events.len()
+    } else {
+        limit.min(events.len())
+    };
+    for e in &events[..shown] {
+        let _ = writeln!(out, "{}", render_event(e));
+    }
+    if shown < events.len() {
+        let _ = writeln!(
+            out,
+            "  ... {} more events (raise --limit, or --limit 0 for all)",
+            events.len() - shown
+        );
+    }
+
+    let m = summarize_events(&events);
+    let _ = writeln!(out, "\nmetrics:");
+    let _ = writeln!(
+        out,
+        "  checkpoints: {} ({} first-time, {} reexecutions)",
+        m.checkpoint_executions,
+        m.checkpoints_taken(),
+        m.checkpoint_reexecutions
+    );
+    if m.per_site_retries.is_empty() {
+        let _ = writeln!(out, "  retries: none");
+    } else {
+        let _ = writeln!(out, "  retries by site:");
+        for (site, n) in &m.per_site_retries {
+            let _ = writeln!(out, "    {site}: {n}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  recovery latency (steps): {}",
+        m.rollback_latency.summary()
+    );
+    let _ = writeln!(out, "  lock waits (steps): {}", m.lock_waits.summary());
+    let _ = writeln!(
+        out,
+        "  compensation: {} frees, {} unlocks",
+        m.compensation_frees, m.compensation_unlocks
+    );
+    let _ = writeln!(out, "  context switches: {}", m.context_switches);
+
+    let chrome_json = if chrome {
+        let value = to_chrome_trace(&events);
+        Some(serde_json::to_string(&value).expect("chrome trace serializes"))
+    } else {
+        None
+    };
+    Ok((out, chrome_json))
 }
 
 /// Dispatches a parsed command, reading/writing files as needed.
@@ -349,6 +713,9 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
     let read = |path: &str| {
         std::fs::read_to_string(path)
             .map_err(|e| CliError::new(format!("cannot read `{path}`: {e}")))
+    };
+    let write = |path: &str, text: &str| {
+        std::fs::write(path, text).map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))
     };
     match command {
         Command::Print { input } => cmd_print(&read(input)?),
@@ -366,19 +733,32 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let hardened = cmd_harden(&read(input)?, fix_markers)?;
             match output {
                 Some(path) => {
-                    std::fs::write(path, &hardened)
-                        .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+                    write(path, &hardened)?;
                     Ok(format!("wrote hardened module to {path}\n"))
                 }
                 None => Ok(hardened),
             }
         }
-        Command::Run {
+        Command::Run { input, opts } => {
+            let (mut report, trace_text) = cmd_run(&read(input)?, opts)?;
+            if let (Some(path), Some(text)) = (&opts.trace, &trace_text) {
+                write(path, text)?;
+                let _ = writeln!(report, "wrote trace to {path}");
+            }
+            Ok(report)
+        }
+        Command::Report {
             input,
-            threads,
-            seed,
-            steps,
-        } => cmd_run(&read(input)?, threads, *seed, *steps),
+            limit,
+            chrome,
+        } => {
+            let (mut report, chrome_json) = cmd_report(&read(input)?, *limit, chrome.is_some())?;
+            if let (Some(path), Some(json)) = (chrome, &chrome_json) {
+                write(path, json)?;
+                let _ = writeln!(report, "wrote Chrome trace to {path}");
+            }
+            Ok(report)
+        }
     }
 }
 
@@ -411,7 +791,9 @@ bb0:
     fn parse_all_commands() {
         assert_eq!(
             parse_args(&args(&["print", "a.cir"])).unwrap(),
-            Command::Print { input: "a.cir".into() }
+            Command::Print {
+                input: "a.cir".into()
+            }
         );
         assert_eq!(
             parse_args(&args(&["analyze", "a.cir", "--fix", "m", "--no-optimize"])).unwrap(),
@@ -432,14 +814,56 @@ bb0:
         );
         assert_eq!(
             parse_args(&args(&[
-                "run", "a.cir", "--threads", "x,y", "--seed", "7", "--steps", "100"
+                "run",
+                "a.cir",
+                "--threads",
+                "x,y",
+                "--seed",
+                "7",
+                "--steps",
+                "100"
             ]))
             .unwrap(),
             Command::Run {
                 input: "a.cir".into(),
-                threads: vec!["x".into(), "y".into()],
-                seed: 7,
-                steps: 100,
+                opts: RunOptions {
+                    threads: vec!["x".into(), "y".into()],
+                    seed: 7,
+                    steps: 100,
+                    ..RunOptions::default()
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "a.cir",
+                "--harden",
+                "--trace",
+                "t.jsonl",
+                "--trace-depth",
+                "4"
+            ]))
+            .unwrap(),
+            Command::Run {
+                input: "a.cir".into(),
+                opts: RunOptions {
+                    harden: true,
+                    trace: Some("t.jsonl".into()),
+                    trace_depth: 4,
+                    ..RunOptions::default()
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "report", "t.jsonl", "--limit", "0", "--chrome", "c.json"
+            ]))
+            .unwrap(),
+            Command::Report {
+                input: "t.jsonl".into(),
+                limit: 0,
+                chrome: Some("c.json".into()),
             }
         );
     }
@@ -452,6 +876,8 @@ bb0:
         assert!(parse_args(&args(&["analyze", "a.cir", "--fix"])).is_err());
         assert!(parse_args(&args(&["run", "a", "b"])).is_err());
         assert!(parse_args(&args(&["run", "a.cir", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["run", "a.cir", "--trace"])).is_err());
+        assert!(parse_args(&args(&["report", "t.jsonl", "--limit", "x"])).is_err());
     }
 
     #[test]
@@ -486,14 +912,103 @@ bb0:
         // The hardened demo recovers the order violation under some seeds;
         // the unhardened one may fail. Run the hardened text.
         let hardened = cmd_harden(DEMO, &[]).unwrap();
-        let out = cmd_run(&hardened, &["reader".into(), "writer".into()], 3, 100_000).unwrap();
+        let opts = RunOptions {
+            threads: vec!["reader".into(), "writer".into()],
+            seed: 3,
+            steps: 100_000,
+            ..RunOptions::default()
+        };
+        let (out, trace) = cmd_run(&hardened, &opts).unwrap();
         assert!(out.contains("completed"), "{out}");
+        assert!(out.contains("seen = 5"), "{out}");
+        assert!(trace.is_none());
+    }
+
+    #[test]
+    fn run_inline_harden_matches_pre_hardened_text() {
+        let opts = RunOptions {
+            harden: true,
+            seed: 3,
+            steps: 100_000,
+            ..RunOptions::default()
+        };
+        let (out, _) = cmd_run(DEMO, &opts).unwrap();
+        assert!(out.contains("hardened: "), "{out}");
+        assert!(out.contains("phases: "), "{out}");
+        assert!(out.contains("analyze"), "{out}");
+        assert!(out.contains("transform"), "{out}");
+        assert!(out.contains("completed"), "{out}");
+    }
+
+    #[test]
+    fn run_defaults_threads_to_zero_param_functions() {
+        // No --threads: reader and writer both have zero parameters.
+        let opts = RunOptions {
+            harden: true,
+            seed: 3,
+            steps: 100_000,
+            ..RunOptions::default()
+        };
+        let (out, _) = cmd_run(DEMO, &opts).unwrap();
         assert!(out.contains("seen = 5"), "{out}");
     }
 
     #[test]
     fn run_rejects_bad_threads() {
-        assert!(cmd_run(DEMO, &[], 0, 1000).is_err());
-        assert!(cmd_run(DEMO, &["ghost".into()], 0, 1000).is_err());
+        assert!(cmd_run(
+            DEMO,
+            &RunOptions {
+                threads: vec!["ghost".into()],
+                ..RunOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn traced_run_roundtrips_through_report() {
+        let opts = RunOptions {
+            harden: true,
+            seed: 3,
+            steps: 100_000,
+            trace: Some("unused-by-cmd_run.jsonl".into()),
+            ..RunOptions::default()
+        };
+        let (out, trace) = cmd_run(DEMO, &opts).unwrap();
+        assert!(
+            out.contains("counts match run stats"),
+            "consistency check must pass: {out}"
+        );
+        let jsonl = trace.expect("trace text produced");
+        assert!(jsonl.lines().count() > 0);
+
+        let (report, chrome) = cmd_report(&jsonl, 0, true).unwrap();
+        assert!(report.contains("timeline ("), "{report}");
+        assert!(report.contains("run ended: completed"), "{report}");
+        assert!(report.contains("metrics:"), "{report}");
+        assert!(report.contains("checkpoints: "), "{report}");
+        let chrome = chrome.expect("chrome json produced");
+        assert!(chrome.contains("traceEvents"), "{chrome}");
+    }
+
+    #[test]
+    fn report_limit_elides_tail() {
+        let opts = RunOptions {
+            harden: true,
+            seed: 3,
+            steps: 100_000,
+            trace: Some("x.jsonl".into()),
+            ..RunOptions::default()
+        };
+        let (_, trace) = cmd_run(DEMO, &opts).unwrap();
+        let jsonl = trace.unwrap();
+        let total = jsonl.lines().count();
+        assert!(total > 2);
+        let (report, _) = cmd_report(&jsonl, 2, false).unwrap();
+        assert!(report.contains("more events"), "{report}");
+        assert!(
+            report.contains(&format!("{} more events", total - 2)),
+            "{report}"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! File-level CLI tests over the shipped `.cir` assets.
 
-use conair_cli::{execute, Command};
+use conair_cli::{execute, Command, RunOptions};
 
 fn asset(name: &str) -> String {
     format!("{}/../../assets/{name}", env!("CARGO_MANIFEST_DIR"))
@@ -34,9 +34,12 @@ fn harden_to_file_then_run() {
     assert!(out.contains("wrote hardened module"));
     let run = execute(&Command::Run {
         input: out_path.to_string_lossy().into_owned(),
-        threads: vec!["reader".into(), "writer".into()],
-        seed: 3,
-        steps: 1_000_000,
+        opts: RunOptions {
+            threads: vec!["reader".into(), "writer".into()],
+            seed: 3,
+            steps: 1_000_000,
+            ..RunOptions::default()
+        },
     })
     .unwrap();
     assert!(run.contains("completed"), "{run}");
@@ -51,9 +54,12 @@ fn deadlock_asset_hangs_with_diagnosis_under_adverse_seed() {
     for seed in 0..60 {
         let run = execute(&Command::Run {
             input: asset("deadlock.cir"),
-            threads: vec!["t1".into(), "t2".into()],
-            seed,
-            steps: 200_000,
+            opts: RunOptions {
+                threads: vec!["t1".into(), "t2".into()],
+                seed,
+                steps: 200_000,
+                ..RunOptions::default()
+            },
         })
         .unwrap();
         if run.contains("HANG") {
@@ -63,6 +69,43 @@ fn deadlock_asset_hangs_with_diagnosis_under_adverse_seed() {
         }
     }
     assert!(saw_hang, "no seed produced the deadlock");
+}
+
+#[test]
+fn hardened_traced_deadlock_run_then_report() {
+    // The acceptance path: harden inline, trace to JSONL, then report.
+    // --threads is omitted on purpose: t1 and t2 are the zero-parameter
+    // functions of the module and become the default entries.
+    let trace_path = std::env::temp_dir().join("conair_cli_deadlock_trace.jsonl");
+    let chrome_path = std::env::temp_dir().join("conair_cli_deadlock_trace.chrome.json");
+    let run = execute(&Command::Run {
+        input: asset("deadlock.cir"),
+        opts: RunOptions {
+            harden: true,
+            seed: 11,
+            steps: 1_000_000,
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        },
+    })
+    .unwrap();
+    assert!(run.contains("hardened: "), "{run}");
+    assert!(run.contains("counts match run stats"), "{run}");
+    assert!(run.contains("wrote trace to "), "{run}");
+
+    let report = execute(&Command::Report {
+        input: trace_path.to_string_lossy().into_owned(),
+        limit: 0,
+        chrome: Some(chrome_path.to_string_lossy().into_owned()),
+    })
+    .unwrap();
+    assert!(report.contains("timeline ("), "{report}");
+    assert!(report.contains("metrics:"), "{report}");
+    assert!(report.contains("wrote Chrome trace to "), "{report}");
+    let chrome = std::fs::read_to_string(&chrome_path).unwrap();
+    assert!(chrome.contains("traceEvents"), "{chrome}");
+    let _ = std::fs::remove_file(trace_path);
+    let _ = std::fs::remove_file(chrome_path);
 }
 
 #[test]

@@ -244,11 +244,8 @@ mod tests {
         // Benign schedule: hold the reporter before its read until the
         // producer has published.
         let benign = ScheduleScript::with_gates(vec![Gate::new(0, "report_start", "produced")]);
-        let bug = ScheduleScript::with_gates(vec![Gate::new(
-            1,
-            "before_produce",
-            "report_read_done",
-        )]);
+        let bug =
+            ScheduleScript::with_gates(vec![Gate::new(1, "before_produce", "report_read_done")]);
 
         // 1. The buggy interleaving silently produces a wrong output.
         let r = run_scripted(&program2, MachineConfig::default(), bug.clone(), 0);
@@ -309,11 +306,7 @@ mod tests {
         let inserted = instrument_oracles(&mut module, &set);
         assert_eq!(inserted, 1);
         validate(&module).expect("range-instrumented module validates");
-        let r = run_once(
-            &program.with_module(module),
-            MachineConfig::default(),
-            0,
-        );
+        let r = run_once(&program.with_module(module), MachineConfig::default(), 0);
         assert!(r.outcome.is_completed(), "3 is inside [2,5]");
     }
 

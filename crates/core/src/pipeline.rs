@@ -1,11 +1,14 @@
 //! The end-to-end ConAir pipeline: analyze → transform → run-ready program.
 
+use std::time::Instant;
+
 use conair_analysis::{analyze, HardeningPlan};
 use conair_ir::{validate_hardened, Module};
 use conair_runtime::Program;
 use conair_transform::{harden, TransformStats};
 
 use crate::config::{ConairConfig, ConairConfigBuilder, Mode};
+use crate::timing::PhaseSpans;
 
 /// The ConAir tool: a configured analysis + transformation pipeline.
 ///
@@ -82,7 +85,10 @@ impl Conair {
     }
 
     /// Hardens a module: analysis + transformation.
-    pub fn harden_module(&self, module: Module) -> (conair_transform::HardenedModule, HardeningPlan) {
+    pub fn harden_module(
+        &self,
+        module: Module,
+    ) -> (conair_transform::HardenedModule, HardeningPlan) {
         let plan = self.analyze(&module);
         let hardened = harden(module, &plan);
         debug_assert!(
@@ -100,6 +106,41 @@ impl Conair {
             plan,
             transform: hardened.stats,
         }
+    }
+
+    /// Runs the static analysis with phase timing: an `analyze` span (region
+    /// analysis, slicing, promotion) and an `optimize` span (the Section 4.2
+    /// recoverability judgments, as accounted by
+    /// [`conair_analysis::PlanStats::optimize_wall`]).
+    pub fn analyze_timed(&self, module: &Module) -> (HardeningPlan, PhaseSpans) {
+        let start = Instant::now();
+        let plan = self.analyze(module);
+        let total = start.elapsed();
+        let optimize = plan.stats.optimize_wall;
+        let mut spans = PhaseSpans::default();
+        spans.push("analyze", total.saturating_sub(optimize));
+        spans.push("optimize", optimize);
+        (plan, spans)
+    }
+
+    /// [`Conair::harden`] with phase timing: analyze → optimize → transform.
+    pub fn harden_timed(&self, program: &Program) -> (HardenedProgram, PhaseSpans) {
+        let (plan, mut spans) = self.analyze_timed(&program.module);
+        let start = Instant::now();
+        let hardened = harden(program.module.clone(), &plan);
+        debug_assert!(
+            validate_hardened(&hardened.module).is_ok(),
+            "transform must produce a valid module"
+        );
+        spans.push("transform", start.elapsed());
+        (
+            HardenedProgram {
+                program: program.with_module(hardened.module),
+                plan,
+                transform: hardened.stats,
+            },
+            spans,
+        )
     }
 }
 
@@ -180,9 +221,7 @@ mod tests {
     #[test]
     fn builder_policy_reaches_analysis() {
         let program = demo_program();
-        let strict = Conair::with_config(
-            Conair::builder().policy(RegionPolicy::Strict).build(),
-        );
+        let strict = Conair::with_config(Conair::builder().policy(RegionPolicy::Strict).build());
         let hardened = strict.harden(&program);
         // Under the strict policy locks terminate regions, so the lock
         // sites are unrecoverable and no timed lock appears.

@@ -193,7 +193,9 @@ mod tests {
             .program
             .module
             .iter_insts()
-            .filter(|(_, i)| matches!(i, conair_ir::Inst::FailGuard { msg, .. } if msg == "cold site"))
+            .filter(
+                |(_, i)| matches!(i, conair_ir::Inst::FailGuard { msg, .. } if msg == "cold site"),
+            )
             .count();
         assert_eq!(cold_guards, 1);
     }
@@ -205,8 +207,7 @@ mod tests {
             min_checks: 1_000_000,
             ..PruneConfig::default()
         };
-        let (_, report) =
-            harden_with_pruning(&pipeline, &program(), &ScheduleScript::none(), &cfg);
+        let (_, report) = harden_with_pruning(&pipeline, &program(), &ScheduleScript::none(), &cfg);
         assert!(report.pruned_sites.is_empty());
         assert_eq!(report.points_before, report.points_after);
     }
@@ -231,18 +232,14 @@ mod tests {
         fb.ret();
         mb.function(fb.finish());
         let program = Program::from_entry_names(mb.finish(), &["reader", "writer"]);
-        let script = ScheduleScript::with_gates(vec![Gate::new(
-            1,
-            "before_write",
-            "reader_started",
-        )]);
+        let script =
+            ScheduleScript::with_gates(vec![Gate::new(1, "before_write", "reader_started")]);
         let cfg = PruneConfig {
             min_checks: 1,
             trials: 10,
             ..PruneConfig::default()
         };
-        let (_, report) =
-            harden_with_pruning(&Conair::survival(), &program, &script, &cfg);
+        let (_, report) = harden_with_pruning(&Conair::survival(), &program, &script, &cfg);
         assert!(
             report.pruned_sites.is_empty(),
             "a site that failed in profiling is kept: {:?}",

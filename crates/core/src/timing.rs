@@ -1,0 +1,87 @@
+//! Phase timing for the hardening pipeline: analyze → optimize →
+//! transform, as wall-clock spans the CLI prints after `--harden`.
+//!
+//! The optimize span is carved out of the analysis by
+//! [`conair_analysis::PlanStats::optimize_wall`] (the Section 4.2
+//! recoverability judgments run interleaved with region analysis, so the
+//! analyzer accounts for them itself); the analyze span is the remainder.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One timed pipeline phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name (`analyze`, `optimize`, `transform`, ...).
+    pub name: String,
+    /// Wall-clock time spent in the phase.
+    pub wall: Duration,
+}
+
+/// The ordered phase spans of one pipeline invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSpans {
+    /// Spans in execution order.
+    pub spans: Vec<PhaseSpan>,
+}
+
+impl PhaseSpans {
+    /// Appends a phase.
+    pub fn push(&mut self, name: impl Into<String>, wall: Duration) {
+        self.spans.push(PhaseSpan {
+            name: name.into(),
+            wall,
+        });
+    }
+
+    /// Total wall time over all phases.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|s| s.wall).sum()
+    }
+
+    /// The span named `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<&PhaseSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// A one-line rendering: `analyze 1.2ms · optimize 0.3ms · ...`.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| format!("{} {:.1?}", s.name, s.wall))
+            .collect();
+        parts.join(" · ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_and_render() {
+        let mut spans = PhaseSpans::default();
+        spans.push("analyze", Duration::from_micros(1500));
+        spans.push("transform", Duration::from_micros(500));
+        assert_eq!(spans.total(), Duration::from_micros(2000));
+        assert_eq!(
+            spans.get("analyze").unwrap().wall,
+            Duration::from_micros(1500)
+        );
+        assert!(spans.get("optimize").is_none());
+        let line = spans.render();
+        assert!(line.contains("analyze"), "{line}");
+        assert!(line.contains(" · "), "{line}");
+    }
+
+    #[test]
+    fn spans_roundtrip_serde() {
+        let mut spans = PhaseSpans::default();
+        spans.push("analyze", Duration::from_nanos(123456789));
+        let json = serde_json::to_string(&spans).unwrap();
+        let back: PhaseSpans = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spans);
+    }
+}

@@ -246,11 +246,7 @@ impl FuncBuilder {
     }
 
     /// Output-correctness oracle (wrong-output failure site).
-    pub fn output_assert(
-        &mut self,
-        cond: impl Into<Operand>,
-        msg: impl Into<String>,
-    ) -> &mut Self {
+    pub fn output_assert(&mut self, cond: impl Into<Operand>, msg: impl Into<String>) -> &mut Self {
         self.push(Inst::OutputAssert {
             cond: cond.into(),
             msg: msg.into(),

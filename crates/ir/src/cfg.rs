@@ -294,7 +294,11 @@ mod tests {
         let idom = immediate_dominators(&cfg);
         assert_eq!(idom[&BlockId(1)], BlockId(0));
         assert_eq!(idom[&BlockId(2)], BlockId(0));
-        assert_eq!(idom[&BlockId(3)], BlockId(0), "merge dominated by entry only");
+        assert_eq!(
+            idom[&BlockId(3)],
+            BlockId(0),
+            "merge dominated by entry only"
+        );
         assert!(dominates(&idom, BlockId(0), BlockId(3)));
         assert!(!dominates(&idom, BlockId(1), BlockId(3)));
         assert!(dominates(&idom, BlockId(3), BlockId(3)));

@@ -318,7 +318,10 @@ impl Inst {
 
     /// The registers this instruction reads.
     pub fn used_regs(&self) -> Vec<Reg> {
-        self.uses().into_iter().filter_map(Operand::as_reg).collect()
+        self.uses()
+            .into_iter()
+            .filter_map(Operand::as_reg)
+            .collect()
     }
 
     /// Whether this instruction only appears in hardened (transformed)

@@ -57,7 +57,7 @@ pub use inst::{GuardKind, Inst};
 pub use module::{GlobalDecl, LockDecl, Module};
 pub use parse::{parse_module, ParseError};
 pub use types::{
-    BlockId, FailureKind, FuncId, GlobalId, LocalId, Loc, LockId, PointId, Reg, SiteId,
+    BlockId, FailureKind, FuncId, GlobalId, Loc, LocalId, LockId, PointId, Reg, SiteId,
 };
 pub use validate::{validate, validate_hardened, validate_with, ValidateError, ValidateOptions};
 pub use value::{BinOpKind, CmpKind, Operand};

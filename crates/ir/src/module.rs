@@ -217,7 +217,9 @@ mod tests {
         let mut f = Function::new("main", 0);
         let r = f.new_reg();
         f.blocks[0].insts.push(Inst::Marker { name: "top".into() });
-        f.blocks[0].insts.push(Inst::LoadGlobal { dst: r, global: g });
+        f.blocks[0]
+            .insts
+            .push(Inst::LoadGlobal { dst: r, global: g });
         f.blocks[0].insts.push(Inst::Return {
             value: Some(Operand::Reg(r)),
         });

@@ -87,8 +87,12 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_line(&mut self, what: &str) -> Result<(usize, &'a str), ParseError> {
-        self.next()
-            .ok_or_else(|| self.err(self.lines.last().map_or(0, |l| l.0), format!("expected {what}, found end of input")))
+        self.next().ok_or_else(|| {
+            self.err(
+                self.lines.last().map_or(0, |l| l.0),
+                format!("expected {what}, found end of input"),
+            )
+        })
     }
 
     fn module(&mut self) -> Result<Module, ParseError> {
@@ -284,8 +288,8 @@ fn parse_inst(line: &str) -> Result<Inst, String> {
                 })
             }
             _ => {
-                let kind = BinOpKind::from_mnemonic(op)
-                    .ok_or_else(|| format!("unknown opcode `{op}`"))?;
+                let kind =
+                    BinOpKind::from_mnemonic(op).ok_or_else(|| format!("unknown opcode `{op}`"))?;
                 let (l, r) = split2(args)?;
                 Ok(Inst::BinOp {
                     dst,

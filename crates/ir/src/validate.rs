@@ -68,10 +68,7 @@ pub fn validate_hardened(module: &Module) -> Result<(), Vec<ValidateError>> {
 /// # Errors
 ///
 /// Returns every violation found.
-pub fn validate_with(
-    module: &Module,
-    options: ValidateOptions,
-) -> Result<(), Vec<ValidateError>> {
+pub fn validate_with(module: &Module, options: ValidateOptions) -> Result<(), Vec<ValidateError>> {
     let mut errors = Vec::new();
     let mut seen_markers: HashSet<&str> = HashSet::new();
     let mut seen_funcs: HashSet<&str> = HashSet::new();
@@ -148,33 +145,35 @@ pub fn validate_with(
                     Inst::LoadGlobal { global, .. }
                     | Inst::StoreGlobal { global, .. }
                     | Inst::AddrOfGlobal { global, .. }
-                        if global.index() >= module.globals.len() => {
-                            errors.push(ValidateError {
-                                loc,
-                                message: format!("global {global} out of range"),
-                            });
-                        }
+                        if global.index() >= module.globals.len() =>
+                    {
+                        errors.push(ValidateError {
+                            loc,
+                            message: format!("global {global} out of range"),
+                        });
+                    }
                     Inst::LoadLocal { local, .. } | Inst::StoreLocal { local, .. }
-                        if local.index() >= func.num_locals => {
-                            errors.push(ValidateError {
-                                loc,
-                                message: format!("local {local} out of range"),
-                            });
-                        }
+                        if local.index() >= func.num_locals =>
+                    {
+                        errors.push(ValidateError {
+                            loc,
+                            message: format!("local {local} out of range"),
+                        });
+                    }
                     Inst::Lock { lock } | Inst::Unlock { lock } | Inst::TimedLock { lock, .. }
-                        if lock.index() >= module.locks.len() => {
-                            errors.push(ValidateError {
-                                loc,
-                                message: format!("lock {lock} out of range"),
-                            });
-                        }
-                    Inst::Jump { target }
-                        if target.index() >= func.blocks.len() => {
-                            errors.push(ValidateError {
-                                loc,
-                                message: format!("jump target {target} out of range"),
-                            });
-                        }
+                        if lock.index() >= module.locks.len() =>
+                    {
+                        errors.push(ValidateError {
+                            loc,
+                            message: format!("lock {lock} out of range"),
+                        });
+                    }
+                    Inst::Jump { target } if target.index() >= func.blocks.len() => {
+                        errors.push(ValidateError {
+                            loc,
+                            message: format!("jump target {target} out of range"),
+                        });
+                    }
                     Inst::Branch {
                         then_bb, else_bb, ..
                     } => {
@@ -208,13 +207,12 @@ pub fn validate_with(
                             }
                         }
                     }
-                    Inst::Marker { name }
-                        if !seen_markers.insert(name.as_str()) => {
-                            errors.push(ValidateError {
-                                loc,
-                                message: format!("duplicate marker `{name}`"),
-                            });
-                        }
+                    Inst::Marker { name } if !seen_markers.insert(name.as_str()) => {
+                        errors.push(ValidateError {
+                            loc,
+                            message: format!("duplicate marker `{name}`"),
+                        });
+                    }
                     _ => {}
                 }
             }

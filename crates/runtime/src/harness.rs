@@ -4,9 +4,11 @@
 use std::time::Duration;
 
 use crate::machine::{Machine, MachineConfig};
+use crate::metrics::Histogram;
 use crate::outcome::{RunOutcome, RunResult};
 use crate::program::Program;
 use crate::sched::{ScheduleScript, Scheduler, SeededRandom};
+use crate::trace::TraceSink;
 
 /// Runs `program` once with a seeded random scheduler.
 pub fn run_once(program: &Program, config: MachineConfig, seed: u64) -> RunResult {
@@ -39,6 +41,22 @@ pub fn run_with(
         .run(scheduler)
 }
 
+/// Runs `program` once with structured tracing: every machine event goes
+/// to `sink`. Pass a clone of a [`crate::EventBuffer`] to keep the events.
+pub fn run_traced(
+    program: &Program,
+    config: MachineConfig,
+    script: ScheduleScript,
+    seed: u64,
+    sink: Box<dyn TraceSink>,
+) -> RunResult {
+    let mut sched = SeededRandom::new(seed);
+    Machine::new(program, config)
+        .with_script(script)
+        .with_sink(sink)
+        .run(&mut sched)
+}
+
 /// Outcome tallies over repeated trials.
 #[derive(Debug, Clone, Default)]
 pub struct TrialSummary {
@@ -60,6 +78,11 @@ pub struct TrialSummary {
     pub max_recovery_steps: Option<u64>,
     /// Total wall time over all trials.
     pub wall: Duration,
+    /// Distribution of per-run total retries (one sample per trial).
+    pub retries_hist: Histogram,
+    /// Distribution of per-site recovery latencies in steps, pooled over
+    /// all trials (one sample per site that recovered).
+    pub recovery_hist: Histogram,
 }
 
 impl TrialSummary {
@@ -67,6 +90,17 @@ impl TrialSummary {
     /// criterion ("1000 runs, all correct").
     pub fn all_completed(&self) -> bool {
         self.completed == self.trials
+    }
+
+    /// Approximate `q`-quantile of per-run retries (`None` with no trials).
+    pub fn retries_percentile(&self, q: f64) -> Option<u64> {
+        self.retries_hist.percentile(q)
+    }
+
+    /// Approximate `q`-quantile of recovery latency in steps (`None` when
+    /// no site ever recovered).
+    pub fn recovery_percentile(&self, q: f64) -> Option<u64> {
+        self.recovery_hist.percentile(q)
     }
 }
 
@@ -93,7 +127,12 @@ pub fn run_trials(
             RunOutcome::StepLimit => summary.step_limited += 1,
         }
         insts_total += result.stats.insts;
-        retries_total += result.stats.total_retries();
+        let run_retries = result.stats.total_retries();
+        retries_total += run_retries;
+        summary.retries_hist.record(run_retries);
+        summary
+            .recovery_hist
+            .merge(&result.metrics.rollback_latency);
         summary.max_recovery_steps = summary
             .max_recovery_steps
             .max(result.stats.max_recovery_steps());
@@ -159,7 +198,11 @@ pub fn measure_overhead(
         base_insts: base,
         hardened_insts: hard,
         dynamic_points: points as f64 / t,
-        inst_overhead: if base > 0.0 { (hard - base) / base } else { 0.0 },
+        inst_overhead: if base > 0.0 {
+            (hard - base) / base
+        } else {
+            0.0
+        },
         wall_overhead: if base_wall.as_nanos() > 0 {
             (hard_wall.as_secs_f64() - base_wall.as_secs_f64()) / base_wall.as_secs_f64()
         } else {

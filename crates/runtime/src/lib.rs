@@ -48,22 +48,28 @@ mod harness;
 mod locks;
 mod machine;
 mod memory;
+mod metrics;
 mod outcome;
 mod program;
 mod sched;
 mod thread;
+mod trace;
 
 pub use deadlock::{find_wait_cycle, WaitCycle, WaitEdge};
 pub use harness::{
-    measure_overhead, measure_restart, run_once, run_scripted, run_trials, run_with,
+    measure_overhead, measure_restart, run_once, run_scripted, run_traced, run_trials, run_with,
     OverheadReport, RestartReport, TrialSummary,
 };
 pub use locks::{AcquireResult, LockTable, ThreadId, UnlockError};
 pub use machine::{Machine, MachineConfig};
 pub use memory::{MemFault, Memory, DEFAULT_LOWER_BOUND, GLOBAL_BASE, HEAP_BASE};
+pub use metrics::{Histogram, RunMetrics};
 pub use outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 pub use program::{Program, ThreadSpec};
 pub use sched::{Gate, RoundRobin, SchedContext, ScheduleScript, Scheduler, SeededRandom};
 pub use thread::{
     Checkpoint, CompensationRecord, Frame, ThreadState, ThreadStats, ThreadStatus, UndoRecord,
+};
+pub use trace::{
+    from_jsonl, summarize_events, to_chrome_trace, to_jsonl, EventBuffer, TraceEvent, TraceSink,
 };

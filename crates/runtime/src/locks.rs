@@ -8,7 +8,9 @@
 use conair_ir::LockId;
 
 /// Identifies a logical thread of the interpreted program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ThreadId(pub usize);
 
 impl ThreadId {
@@ -110,7 +112,8 @@ impl LockTable {
         self.owners
             .iter()
             .enumerate()
-            .filter(|&(_i, o)| *o == Some(thread)).map(|(i, _o)| LockId::from_index(i))
+            .filter(|&(_i, o)| *o == Some(thread))
+            .map(|(i, _o)| LockId::from_index(i))
             .collect()
     }
 }
@@ -151,7 +154,10 @@ mod tests {
         let l = LockId(0);
         assert_eq!(
             t.release(l, ThreadId(0)),
-            Err(UnlockError { lock: l, owner: None })
+            Err(UnlockError {
+                lock: l,
+                owner: None
+            })
         );
         t.try_acquire(l, ThreadId(1));
         assert_eq!(

@@ -26,12 +26,12 @@ use std::collections::HashMap;
 use crate::deadlock::WaitEdge;
 use crate::locks::{AcquireResult, LockTable, ThreadId};
 use crate::memory::{Memory, DEFAULT_LOWER_BOUND};
+use crate::metrics::RunMetrics;
 use crate::outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 use crate::program::Program;
 use crate::sched::{SchedContext, ScheduleScript, Scheduler};
-use crate::thread::{
-    CompensationRecord, Frame, ThreadState, ThreadStatus, UndoRecord,
-};
+use crate::thread::{CompensationRecord, Frame, ThreadState, ThreadStatus, UndoRecord};
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Tuning knobs of one run.
 #[derive(Debug, Clone)]
@@ -101,6 +101,16 @@ pub struct Machine<'p> {
     step: u64,
     aux_work: u64,
     backoff_rng: SmallRng,
+    metrics: RunMetrics,
+    /// Thread the scheduler ran last step (context-switch detection).
+    last_picked: Option<ThreadId>,
+    /// Per-thread flag: rolled back since its last checkpoint execution
+    /// (marks the next checkpoint execution as a reexecution).
+    rolled_back: Vec<bool>,
+    /// Wait the currently stepping thread was blocked in, captured before
+    /// its status is reset (lock wait-time accounting).
+    pending_wait: Option<(LockId, u64)>,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<'p> Machine<'p> {
@@ -123,6 +133,7 @@ impl<'p> Machine<'p> {
             })
             .collect();
         let backoff_seed = config.backoff_seed;
+        let thread_count = program.threads.len();
         Self {
             program,
             config,
@@ -138,6 +149,11 @@ impl<'p> Machine<'p> {
             step: 0,
             aux_work: 0,
             backoff_rng: SmallRng::seed_from_u64(backoff_seed),
+            metrics: RunMetrics::default(),
+            last_picked: None,
+            rolled_back: vec![false; thread_count],
+            pending_wait: None,
+            sink: None,
         }
     }
 
@@ -147,6 +163,24 @@ impl<'p> Machine<'p> {
         self
     }
 
+    /// Installs a [`TraceSink`] receiving structured [`TraceEvent`]s.
+    ///
+    /// Without a sink (the default), no event is ever constructed — every
+    /// emission site hands [`Machine::emit`] a closure that only runs when
+    /// a sink is present.
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Emits a trace event, constructing it only when a sink is installed.
+    #[inline]
+    fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(event());
+        }
+    }
+
     fn module(&self) -> &Module {
         &self.program.module
     }
@@ -154,7 +188,32 @@ impl<'p> Machine<'p> {
     /// Runs the program to completion under `scheduler`.
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunResult {
         let start = Instant::now();
+        if self.sink.is_some() {
+            for i in 0..self.threads.len() {
+                let name = self.threads[i].name.clone();
+                self.emit(|| TraceEvent::ThreadStarted {
+                    step: 0,
+                    thread: ThreadId(i),
+                    name,
+                });
+            }
+        }
         let outcome = self.run_loop(scheduler);
+        let step = self.step;
+        let label = outcome.label().to_string();
+        self.emit(|| TraceEvent::RunEnded {
+            step,
+            outcome: label,
+        });
+        self.metrics.per_site_retries = {
+            let mut v: Vec<(SiteId, u64)> = self
+                .site_recovery
+                .iter()
+                .map(|(site, rec)| (*site, rec.retries))
+                .collect();
+            v.sort_unstable();
+            v
+        };
         let mut stats = RunStats {
             steps: self.step,
             insts: self.threads.iter().map(|t| t.stats.insts).sum(),
@@ -171,6 +230,7 @@ impl<'p> Machine<'p> {
             outcome,
             outputs: self.outputs,
             stats,
+            metrics: self.metrics,
         }
     }
 
@@ -201,12 +261,10 @@ impl<'p> Machine<'p> {
                     .threads
                     .iter()
                     .any(|t| matches!(t.status, ThreadStatus::SleepingUntil(_)));
-                let waiting_on_timeout = self.threads.iter().any(|t| {
-                    matches!(
-                        t.status,
-                        ThreadStatus::BlockedOnLock { site: Some(_), .. }
-                    )
-                });
+                let waiting_on_timeout = self
+                    .threads
+                    .iter()
+                    .any(|t| matches!(t.status, ThreadStatus::BlockedOnLock { site: Some(_), .. }));
                 if sleeping || waiting_on_timeout {
                     // Time passes; sleepers wake and timeouts eventually fire.
                     continue;
@@ -235,7 +293,25 @@ impl<'p> Machine<'p> {
                 step: self.step,
             };
             let tid = scheduler.pick(&ctx);
-            debug_assert!(eligible.contains(&tid), "scheduler picked ineligible thread");
+            debug_assert!(
+                eligible.contains(&tid),
+                "scheduler picked ineligible thread"
+            );
+            if self.last_picked != Some(tid) {
+                if self.last_picked.is_some() {
+                    self.metrics.context_switches += 1;
+                }
+                let from = self.last_picked;
+                let step = self.step;
+                let eligible_count = eligible.len();
+                self.emit(|| TraceEvent::ContextSwitch {
+                    step,
+                    from,
+                    to: tid,
+                    eligible: eligible_count,
+                });
+                self.last_picked = Some(tid);
+            }
             if let Some(outcome) = self.step_thread(tid) {
                 return outcome;
             }
@@ -289,20 +365,35 @@ impl<'p> Machine<'p> {
                 } => (lock, since, site),
                 _ => continue,
             };
-            let _ = lock;
-            if self.step.saturating_sub(since) < self.config.lock_timeout {
+            let waited = self.step.saturating_sub(since);
+            if waited < self.config.lock_timeout {
                 continue;
             }
             // Timeout fired: `pthread_mutex_timedlock` returned ETIMEDOUT —
             // a deadlock failure site (Figure 5d).
             self.threads[i].status = ThreadStatus::Runnable;
             let tid = ThreadId(i);
+            self.metrics.lock_waits.record(waited);
+            let step = self.step;
+            self.emit(|| TraceEvent::LockTimeout {
+                step,
+                thread: tid,
+                lock,
+                site,
+                waited,
+            });
             match self.attempt_recovery(tid, site, FailureKind::Deadlock) {
                 RecoveryOutcome::RolledBack => {
                     // Random backoff breaks deadlock-recovery livelock.
                     let pause = self.backoff_rng.gen_range(0..=self.config.backoff_max);
                     if pause > 0 {
-                        self.threads[i].status = ThreadStatus::SleepingUntil(self.step + pause);
+                        let until = self.step + pause;
+                        self.threads[i].status = ThreadStatus::SleepingUntil(until);
+                        self.emit(|| TraceEvent::BackoffSleep {
+                            step,
+                            thread: tid,
+                            until,
+                        });
                     }
                 }
                 RecoveryOutcome::Exhausted => {
@@ -323,6 +414,13 @@ impl<'p> Machine<'p> {
     /// Executes one instruction of `tid`; returns a terminal outcome if the
     /// run ends.
     fn step_thread(&mut self, tid: ThreadId) -> Option<RunOutcome> {
+        // Remember an in-progress lock wait before the status reset below
+        // erases it (wait-time accounting for the acquisition about to
+        // retry).
+        self.pending_wait = match self.threads[tid.index()].status {
+            ThreadStatus::BlockedOnLock { lock, since, .. } => Some((lock, since)),
+            _ => None,
+        };
         // Wake sleepers / unblock on entry.
         match self.threads[tid.index()].status {
             ThreadStatus::SleepingUntil(_) | ThreadStatus::BlockedOnLock { .. } => {
@@ -350,17 +448,27 @@ impl<'p> Machine<'p> {
         match effect {
             StepEffect::Continue => None,
             StepEffect::Blocked(lock, site) => {
+                // Preserve the original wait start across retries of the
+                // same blocked acquisition.
+                let since = match self.pending_wait {
+                    Some((l, since)) if l == lock => since,
+                    _ => self.step,
+                };
+                if since == self.step {
+                    // A fresh wait begins: record the wait edge.
+                    let owner = self.locks.owner(lock);
+                    let step = self.step;
+                    self.emit(|| TraceEvent::LockWait {
+                        step,
+                        thread: tid,
+                        lock,
+                        site,
+                        owner,
+                    });
+                }
                 let t = &mut self.threads[tid.index()];
                 // Stay at the lock instruction.
                 t.top_mut().inst -= 1;
-                // Preserve the original wait start across retries of the
-                // same blocked acquisition.
-                let since = match t.status {
-                    ThreadStatus::BlockedOnLock {
-                        lock: l, since, ..
-                    } if l == lock => since,
-                    _ => self.step,
-                };
                 t.status = ThreadStatus::BlockedOnLock { lock, since, site };
                 None
             }
@@ -521,11 +629,9 @@ impl<'p> Machine<'p> {
                 let addr = self.eval(tid, *ptr);
                 match self.memory.free(addr) {
                     Ok(()) => StepEffect::Continue,
-                    Err(f) => StepEffect::Fail(
-                        FailureKind::SegFault,
-                        None,
-                        format!("invalid free: {f}"),
-                    ),
+                    Err(f) => {
+                        StepEffect::Fail(FailureKind::SegFault, None, format!("invalid free: {f}"))
+                    }
                 }
             }
             Inst::Lock { lock } => match self.locks.try_acquire(*lock, tid) {
@@ -536,6 +642,7 @@ impl<'p> Machine<'p> {
                         t.record_compensation(CompensationRecord::Lock { lock: *lock, epoch });
                         self.aux_work += 1;
                     }
+                    self.note_lock_acquired(tid, *lock, false);
                     StepEffect::Continue
                 }
                 AcquireResult::WouldBlock => StepEffect::Blocked(*lock, None),
@@ -543,25 +650,38 @@ impl<'p> Machine<'p> {
             Inst::TimedLock { lock, site } => {
                 *self.site_checks.entry(*site).or_insert(0) += 1;
                 match self.locks.try_acquire(*lock, tid) {
-                AcquireResult::Acquired => {
-                    self.note_site_success(tid, *site);
-                    let t = &mut self.threads[tid.index()];
-                    if t.checkpoint.is_some() {
-                        let epoch = t.epoch;
-                        t.record_compensation(CompensationRecord::Lock { lock: *lock, epoch });
-                        self.aux_work += 1;
+                    AcquireResult::Acquired => {
+                        self.note_site_success(tid, *site);
+                        let t = &mut self.threads[tid.index()];
+                        if t.checkpoint.is_some() {
+                            let epoch = t.epoch;
+                            t.record_compensation(CompensationRecord::Lock { lock: *lock, epoch });
+                            self.aux_work += 1;
+                        }
+                        self.note_lock_acquired(tid, *lock, true);
+                        StepEffect::Continue
                     }
-                    StepEffect::Continue
-                }
-                AcquireResult::WouldBlock => StepEffect::Blocked(*lock, Some(*site)),
+                    AcquireResult::WouldBlock => StepEffect::Blocked(*lock, Some(*site)),
                 }
             }
             Inst::Unlock { lock } => match self.locks.release(*lock, tid) {
-                Ok(()) => StepEffect::Continue,
+                Ok(()) => {
+                    let step = self.step;
+                    let lock = *lock;
+                    self.emit(|| TraceEvent::LockReleased {
+                        step,
+                        thread: tid,
+                        lock,
+                    });
+                    StepEffect::Continue
+                }
                 Err(e) => StepEffect::Fail(
                     FailureKind::AssertionViolation,
                     None,
-                    format!("unlock of {} not held by {tid} (owner {:?})", e.lock, e.owner),
+                    format!(
+                        "unlock of {} not held by {tid} (owner {:?})",
+                        e.lock, e.owner
+                    ),
                 ),
             },
             Inst::Output { label, value } => {
@@ -626,6 +746,8 @@ impl<'p> Machine<'p> {
                     }
                 } else {
                     t.status = ThreadStatus::Done;
+                    let step = self.step;
+                    self.emit(|| TraceEvent::ThreadFinished { step, thread: tid });
                 }
                 StepEffect::Continue
             }
@@ -642,11 +764,29 @@ impl<'p> Machine<'p> {
             }
             Inst::Nop => StepEffect::Continue,
             Inst::Checkpoint { .. } => {
+                // A checkpoint re-executes (like a re-entered `setjmp`) when
+                // the thread rolled back since its last checkpoint.
+                let reexecution = std::mem::replace(&mut self.rolled_back[tid.index()], false);
+                self.metrics.checkpoint_executions += 1;
+                if reexecution {
+                    self.metrics.checkpoint_reexecutions += 1;
+                }
                 self.threads[tid.index()].save_checkpoint();
+                let epoch = self.threads[tid.index()].epoch;
+                let step = self.step;
+                self.emit(|| TraceEvent::CheckpointSaved {
+                    step,
+                    thread: tid,
+                    epoch,
+                    reexecution,
+                });
                 StepEffect::Continue
             }
             Inst::FailGuard {
-                kind, cond, site, msg,
+                kind,
+                cond,
+                site,
+                msg,
             } => {
                 *self.site_checks.entry(*site).or_insert(0) += 1;
                 if self.eval(tid, *cond) != 0 {
@@ -682,13 +822,46 @@ impl<'p> Machine<'p> {
         self.threads[tid.index()].trace.iter().copied().collect()
     }
 
+    /// Accounts for a successful lock acquisition: records the wait time
+    /// (if the thread had been blocked on this lock) and emits the event.
+    fn note_lock_acquired(&mut self, tid: ThreadId, lock: LockId, timed: bool) {
+        let waited = match self.pending_wait {
+            Some((l, since)) if l == lock => self.step.saturating_sub(since),
+            _ => 0,
+        };
+        if waited > 0 {
+            self.metrics.lock_waits.record(waited);
+        }
+        let step = self.step;
+        self.emit(|| TraceEvent::LockAcquired {
+            step,
+            thread: tid,
+            lock,
+            timed,
+            waited,
+        });
+    }
+
     /// Marks a hardened site as passed; completes its recovery timing if it
     /// had failed earlier.
-    fn note_site_success(&mut self, _tid: ThreadId, site: SiteId) {
-        if let Some(rec) = self.site_recovery.get_mut(&site) {
-            if rec.recovered_step.is_none() && rec.first_failure_step.is_some() {
-                rec.recovered_step = Some(self.step);
+    fn note_site_success(&mut self, tid: ThreadId, site: SiteId) {
+        let step = self.step;
+        let completed = match self.site_recovery.get_mut(&site) {
+            Some(rec) if rec.recovered_step.is_none() && rec.first_failure_step.is_some() => {
+                rec.recovered_step = Some(step);
+                Some((rec.retries, step - rec.first_failure_step.expect("checked")))
             }
+            _ => None,
+        };
+        if let Some((retries, latency)) = completed {
+            self.metrics.rollback_latency.record(latency);
+            self.emit(|| TraceEvent::RecoveryCompleted {
+                step,
+                thread: tid,
+                site,
+                retries,
+                latency,
+            });
         }
     }
 
@@ -699,22 +872,39 @@ impl<'p> Machine<'p> {
         site: SiteId,
         kind: FailureKind,
     ) -> RecoveryOutcome {
+        let step = self.step;
+        self.emit(|| TraceEvent::FailureDetected {
+            step,
+            thread: tid,
+            site,
+            kind,
+        });
         let rec = self.site_recovery.entry(site).or_default();
         if rec.first_failure_step.is_none() {
             rec.first_failure_step = Some(self.step);
         }
         rec.retries += 1;
 
-        let retries = self.threads[tid.index()]
-            .retries
-            .entry(site)
-            .or_insert(0);
-        if *retries >= self.config.max_retries {
+        let prior = *self.threads[tid.index()].retries.entry(site).or_insert(0);
+        if prior >= self.config.max_retries {
+            self.emit(|| TraceEvent::RecoveryExhausted {
+                step,
+                thread: tid,
+                site,
+                kind,
+            });
             return RecoveryOutcome::Exhausted;
         }
-        *retries += 1;
+        let retry = prior + 1;
+        self.threads[tid.index()].retries.insert(site, retry);
 
         if self.threads[tid.index()].checkpoint.is_none() {
+            self.emit(|| TraceEvent::RecoveryExhausted {
+                step,
+                thread: tid,
+                site,
+                kind,
+            });
             return RecoveryOutcome::Exhausted;
         }
 
@@ -727,15 +917,28 @@ impl<'p> Machine<'p> {
                     // The block may already be freed only if the region
                     // contained a free — which regions never do.
                     let _ = self.memory.free(base);
+                    self.metrics.compensation_frees += 1;
+                    self.emit(|| TraceEvent::CompensationFree {
+                        step,
+                        thread: tid,
+                        base,
+                    });
                 }
                 CompensationRecord::Lock { lock, .. } => {
                     self.locks.force_release(lock);
+                    self.metrics.compensation_unlocks += 1;
+                    self.emit(|| TraceEvent::CompensationUnlock {
+                        step,
+                        thread: tid,
+                        lock,
+                    });
                 }
             }
         }
 
         // Undo log (buffered-writes ablation): restore memory of the
         // current epoch in reverse write order.
+        let mut undo_restored = 0u64;
         if self.config.buffered_writes {
             let epoch = self.threads[tid.index()].epoch;
             let undo: Vec<UndoRecord> = {
@@ -743,6 +946,7 @@ impl<'p> Machine<'p> {
                 let all = std::mem::take(&mut t.undo);
                 all.into_iter().filter(|u| u.epoch() == epoch).collect()
             };
+            undo_restored = undo.len() as u64;
             for u in undo.into_iter().rev() {
                 match u {
                     UndoRecord::Mem { addr, old, .. } => {
@@ -757,7 +961,14 @@ impl<'p> Machine<'p> {
 
         let restored = self.threads[tid.index()].restore_checkpoint();
         debug_assert!(restored, "checkpoint checked above");
-        let _ = kind;
+        self.rolled_back[tid.index()] = true;
+        self.emit(|| TraceEvent::RolledBack {
+            step,
+            thread: tid,
+            site,
+            retry,
+            undo_restored,
+        });
         RecoveryOutcome::RolledBack
     }
 }

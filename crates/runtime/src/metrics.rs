@@ -1,0 +1,266 @@
+//! Run metrics: low-cost aggregate distributions collected by the machine
+//! alongside [`crate::RunStats`], and the bucketed [`Histogram`] they are
+//! built from.
+//!
+//! Metrics differ from [`crate::RunStats`] in two ways: they are
+//! distributional (histograms with percentiles, not single counters), and
+//! every field is serde-serializable so the CLI and bench exporters can
+//! embed them in JSON reports without projection glue.
+
+use conair_ir::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `b` holds values whose bit length is `b` (bucket 0 holds only the
+/// value 0), so recording is O(1) and the memory footprint is fixed at 65
+/// counters regardless of sample count. Percentiles are therefore
+/// approximate: [`Histogram::percentile`] returns the *upper bound* of the
+/// bucket containing the requested quantile, an over-estimate by at most 2×.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a value: its bit length.
+fn bucket(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; 65],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the quantile sample, clamped to the observed
+    /// maximum. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based (nearest-rank definition).
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_hi(b).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                (lo, bucket_hi(b), c)
+            })
+    }
+
+    /// A compact `p50/p90/max` rendering for reports.
+    pub fn summary(&self) -> String {
+        match (self.percentile(0.5), self.percentile(0.9), self.max()) {
+            (Some(p50), Some(p90), Some(max)) => {
+                format!("p50≤{p50} p90≤{p90} max={max} (n={})", self.total)
+            }
+            _ => "no samples".to_string(),
+        }
+    }
+}
+
+/// Distributional metrics of one run, collected by the machine at the same
+/// points where [`crate::TraceEvent`]s are emitted — but unconditionally,
+/// since each is a counter bump or an O(1) histogram record.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Rollbacks attempted per site, sorted by site id (the serializable
+    /// projection of [`crate::RunStats::site_recovery`] retries).
+    pub per_site_retries: Vec<(SiteId, u64)>,
+    /// Steps from a site's first failure detection to its recovery
+    /// completion, one sample per site that recovered.
+    pub rollback_latency: Histogram,
+    /// Steps spent blocked per lock acquisition that had to wait (timed-out
+    /// waits included).
+    pub lock_waits: Histogram,
+    /// Checkpoint instructions executed.
+    pub checkpoint_executions: u64,
+    /// Checkpoint executions that were re-executions after a rollback (the
+    /// rest are first-time captures).
+    pub checkpoint_reexecutions: u64,
+    /// Heap blocks freed by compensation during rollbacks.
+    pub compensation_frees: u64,
+    /// Locks force-released by compensation during rollbacks.
+    pub compensation_unlocks: u64,
+    /// Scheduler picks that switched away from the previously running
+    /// thread.
+    pub context_switches: u64,
+}
+
+impl RunMetrics {
+    /// Total retries over all sites (mirrors
+    /// [`crate::RunStats::total_retries`]).
+    pub fn total_retries(&self) -> u64 {
+        self.per_site_retries.iter().map(|(_, r)| r).sum()
+    }
+
+    /// First-time checkpoint captures (executions minus re-executions).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoint_executions - self.checkpoint_reexecutions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.summary(), "no samples");
+    }
+
+    #[test]
+    fn records_and_bounds() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.sum(), 1106);
+        // p100 is clamped to the observed max, not the bucket bound.
+        assert_eq!(h.percentile(1.0), Some(1000));
+        // p50 lands in the bucket of 2..=3.
+        assert_eq!(h.percentile(0.5), Some(3));
+    }
+
+    #[test]
+    fn percentile_is_upper_bound_of_quantile_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(5); // bucket 3: 4..=7
+        }
+        h.record(1_000_000);
+        assert_eq!(h.percentile(0.5), Some(7));
+        assert_eq!(h.percentile(0.99), Some(7));
+        assert_eq!(h.percentile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        a.record(4);
+        let mut b = Histogram::new();
+        b.record(1024);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(1024));
+        assert_eq!(a.buckets().count(), 3);
+    }
+
+    #[test]
+    fn metrics_roundtrip_serde() {
+        let mut m = RunMetrics::default();
+        m.per_site_retries.push((SiteId(2), 7));
+        m.rollback_latency.record(42);
+        m.checkpoint_executions = 3;
+        m.checkpoint_reexecutions = 1;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_retries(), 7);
+        assert_eq!(back.checkpoints_taken(), 2);
+    }
+}

@@ -9,7 +9,7 @@ use crate::deadlock::WaitEdge;
 use crate::locks::ThreadId;
 
 /// One value emitted by an `output` instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct OutputRecord {
     /// The emitting thread.
     pub thread: ThreadId,
@@ -20,7 +20,7 @@ pub struct OutputRecord {
 }
 
 /// A failure that terminated the run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FailureRecord {
     /// The failure type.
     pub kind: FailureKind,
@@ -38,7 +38,7 @@ pub struct FailureRecord {
 }
 
 /// How a run ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RunOutcome {
     /// Every thread finished.
     Completed,
@@ -61,6 +61,17 @@ impl RunOutcome {
         matches!(self, RunOutcome::Completed)
     }
 
+    /// A short stable label for the outcome class, as used in trace
+    /// [`crate::TraceEvent::RunEnded`] events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Failed(_) => "failed",
+            RunOutcome::Hang { .. } => "hang",
+            RunOutcome::StepLimit => "step-limit",
+        }
+    }
+
     /// Whether the run failed or hung.
     pub fn is_failure(&self) -> bool {
         !self.is_completed()
@@ -68,7 +79,7 @@ impl RunOutcome {
 }
 
 /// Recovery timing for one site that failed at least once during a run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SiteRecovery {
     /// Rollbacks attempted for this site (the paper's "# Retries").
     pub retries: u64,
@@ -140,6 +151,9 @@ pub struct RunResult {
     pub outputs: Vec<OutputRecord>,
     /// Statistics.
     pub stats: RunStats,
+    /// Distributional metrics (always collected; see
+    /// [`crate::RunMetrics`]).
+    pub metrics: crate::RunMetrics,
 }
 
 impl RunResult {
@@ -232,6 +246,7 @@ mod tests {
                 },
             ],
             stats: RunStats::default(),
+            metrics: crate::RunMetrics::default(),
         };
         assert_eq!(result.outputs_for("a"), vec![1, 3]);
         assert_eq!(result.outputs_for("b"), vec![2]);

@@ -158,7 +158,9 @@ impl ScheduleScript {
             return false;
         };
         self.gates.iter().any(|g| {
-            g.thread == thread && g.at_marker == marker && marker_count(&g.until_marker) < g.until_count
+            g.thread == thread
+                && g.at_marker == marker
+                && marker_count(&g.until_marker) < g.until_count
         })
     }
 }
@@ -222,8 +224,14 @@ mod tests {
         let mut counts: HashMap<&str, u64> = HashMap::new();
         let count = |m: &str| counts.get(m).copied().unwrap_or(0);
         assert!(script.is_held(1, Some("init_start"), count));
-        assert!(!script.is_held(0, Some("init_start"), count), "other thread unaffected");
-        assert!(!script.is_held(1, Some("other"), count), "other marker unaffected");
+        assert!(
+            !script.is_held(0, Some("init_start"), count),
+            "other thread unaffected"
+        );
+        assert!(
+            !script.is_held(1, Some("other"), count),
+            "other marker unaffected"
+        );
         assert!(!script.is_held(1, None, count));
         counts.insert("read_done", 1);
         let count = |m: &str| counts.get(m).copied().unwrap_or(0);

@@ -387,7 +387,10 @@ mod tests {
         assert_eq!(current.len(), 1);
         assert!(matches!(
             current[0],
-            CompensationRecord::Allocation { base: 0x100_0000, .. }
+            CompensationRecord::Allocation {
+                base: 0x100_0000,
+                ..
+            }
         ));
         assert!(t.compensation.is_empty());
     }

@@ -1,0 +1,554 @@
+//! Structured execution tracing: the [`TraceSink`] interface the machine
+//! emits [`TraceEvent`]s into, an in-memory [`EventBuffer`] sink, and the
+//! JSONL / Chrome-trace exporters.
+//!
+//! Tracing is strictly opt-in. The machine holds an `Option<Box<dyn
+//! TraceSink>>` and every emission site goes through a closure that only
+//! *constructs* the event when a sink is installed, so a run without a sink
+//! performs no event allocation or formatting at all — the hardened-run
+//! instruction counts of the overhead benches are identical with and
+//! without the tracing layer compiled in.
+//!
+//! Event-count invariants (relied on by the CLI's consistency check):
+//!
+//! * `CheckpointSaved` events == [`crate::RunStats::checkpoints`];
+//! * `RolledBack` events == [`crate::RunStats::rollbacks`];
+//! * `FailureDetected` events == [`crate::RunStats::total_retries`] (the
+//!   per-site retry counter is bumped once per detection, whether the
+//!   attempt rolls back or exhausts);
+//! * `RecoveryCompleted` events == sites in
+//!   [`crate::RunStats::site_recovery`] with a `recovered_step`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use conair_ir::{FailureKind, LockId, SiteId};
+use serde::{Deserialize, Serialize};
+
+use crate::locks::ThreadId;
+use crate::metrics::RunMetrics;
+
+/// One structured event emitted by the machine.
+///
+/// Every variant carries the global `step` at emission; steps are the
+/// timeline's clock (the interpreter's deterministic time unit).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A thread exists and is about to start executing.
+    ThreadStarted {
+        /// Emission step.
+        step: u64,
+        /// The thread.
+        thread: ThreadId,
+        /// Its spec name.
+        name: String,
+    },
+    /// A thread executed its final return.
+    ThreadFinished {
+        /// Emission step.
+        step: u64,
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// The scheduler picked a different thread than last step.
+    ContextSwitch {
+        /// Emission step.
+        step: u64,
+        /// Previously running thread (`None` on the first pick).
+        from: Option<ThreadId>,
+        /// Newly running thread.
+        to: ThreadId,
+        /// How many threads were eligible.
+        eligible: usize,
+    },
+    /// A thread failed to acquire a lock and blocked.
+    LockWait {
+        /// Emission step.
+        step: u64,
+        /// The blocked thread.
+        thread: ThreadId,
+        /// The contended lock.
+        lock: LockId,
+        /// The deadlock site for timed (hardened) acquisitions.
+        site: Option<SiteId>,
+        /// Current owner of the lock (the wait edge).
+        owner: Option<ThreadId>,
+    },
+    /// A lock was acquired.
+    LockAcquired {
+        /// Emission step.
+        step: u64,
+        /// The acquiring thread.
+        thread: ThreadId,
+        /// The lock.
+        lock: LockId,
+        /// Whether this was a timed (hardened) acquisition.
+        timed: bool,
+        /// Steps spent blocked before acquiring (0 = uncontended).
+        waited: u64,
+    },
+    /// A lock was released by its owner.
+    LockReleased {
+        /// Emission step.
+        step: u64,
+        /// The releasing thread.
+        thread: ThreadId,
+        /// The lock.
+        lock: LockId,
+    },
+    /// A timed lock's timeout fired (`pthread_mutex_timedlock` returning
+    /// `ETIMEDOUT` — the deadlock detection signal).
+    LockTimeout {
+        /// Emission step.
+        step: u64,
+        /// The timed-out thread.
+        thread: ThreadId,
+        /// The lock it waited for.
+        lock: LockId,
+        /// The deadlock failure site.
+        site: SiteId,
+        /// Steps waited before the timeout.
+        waited: u64,
+    },
+    /// A checkpoint instruction executed (the `setjmp`).
+    CheckpointSaved {
+        /// Emission step.
+        step: u64,
+        /// The thread.
+        thread: ThreadId,
+        /// The thread's reexecution epoch after the save.
+        epoch: u64,
+        /// Whether this execution re-entered the checkpoint after a
+        /// rollback (vs a first-time capture).
+        reexecution: bool,
+    },
+    /// A failure was detected at a hardened site (one event per recovery
+    /// attempt, before the rollback/exhaustion decision).
+    FailureDetected {
+        /// Emission step.
+        step: u64,
+        /// The failing thread.
+        thread: ThreadId,
+        /// The hardened site.
+        site: SiteId,
+        /// The failure class.
+        kind: FailureKind,
+    },
+    /// Compensation freed a heap block allocated in the current epoch.
+    CompensationFree {
+        /// Emission step.
+        step: u64,
+        /// The recovering thread.
+        thread: ThreadId,
+        /// Base address of the freed block.
+        base: i64,
+    },
+    /// Compensation force-released a lock acquired in the current epoch.
+    CompensationUnlock {
+        /// Emission step.
+        step: u64,
+        /// The recovering thread.
+        thread: ThreadId,
+        /// The released lock.
+        lock: LockId,
+    },
+    /// The thread rolled back to its checkpoint (the `longjmp`).
+    RolledBack {
+        /// Emission step.
+        step: u64,
+        /// The thread.
+        thread: ThreadId,
+        /// The site being recovered.
+        site: SiteId,
+        /// This thread's retry count for the site, after this rollback.
+        retry: u64,
+        /// Undo-log records replayed (buffered-writes policy only).
+        undo_restored: u64,
+    },
+    /// A recovery attempt found no budget or no checkpoint; the original
+    /// failure fires.
+    RecoveryExhausted {
+        /// Emission step.
+        step: u64,
+        /// The thread.
+        thread: ThreadId,
+        /// The site.
+        site: SiteId,
+        /// The failure class about to be reported.
+        kind: FailureKind,
+    },
+    /// Random backoff after a deadlock rollback (anti-livelock).
+    BackoffSleep {
+        /// Emission step.
+        step: u64,
+        /// The sleeping thread.
+        thread: ThreadId,
+        /// Step at which the thread wakes.
+        until: u64,
+    },
+    /// A previously failing site finally passed — recovery complete.
+    RecoveryCompleted {
+        /// Emission step.
+        step: u64,
+        /// The thread that passed the site.
+        thread: ThreadId,
+        /// The recovered site.
+        site: SiteId,
+        /// Total rollbacks the site needed.
+        retries: u64,
+        /// Steps from first failure detection to this pass.
+        latency: u64,
+    },
+    /// The run ended.
+    RunEnded {
+        /// Final step.
+        step: u64,
+        /// Outcome label: `completed`, `failed`, `hang` or `step-limit`.
+        outcome: String,
+    },
+}
+
+impl TraceEvent {
+    /// The emission step.
+    pub fn step(&self) -> u64 {
+        use TraceEvent::*;
+        match self {
+            ThreadStarted { step, .. }
+            | ThreadFinished { step, .. }
+            | ContextSwitch { step, .. }
+            | LockWait { step, .. }
+            | LockAcquired { step, .. }
+            | LockReleased { step, .. }
+            | LockTimeout { step, .. }
+            | CheckpointSaved { step, .. }
+            | FailureDetected { step, .. }
+            | CompensationFree { step, .. }
+            | CompensationUnlock { step, .. }
+            | RolledBack { step, .. }
+            | RecoveryExhausted { step, .. }
+            | BackoffSleep { step, .. }
+            | RecoveryCompleted { step, .. }
+            | RunEnded { step, .. } => *step,
+        }
+    }
+
+    /// The subject thread, when the event has one.
+    pub fn thread(&self) -> Option<ThreadId> {
+        use TraceEvent::*;
+        match self {
+            ThreadStarted { thread, .. }
+            | ThreadFinished { thread, .. }
+            | ContextSwitch { to: thread, .. }
+            | LockWait { thread, .. }
+            | LockAcquired { thread, .. }
+            | LockReleased { thread, .. }
+            | LockTimeout { thread, .. }
+            | CheckpointSaved { thread, .. }
+            | FailureDetected { thread, .. }
+            | CompensationFree { thread, .. }
+            | CompensationUnlock { thread, .. }
+            | RolledBack { thread, .. }
+            | RecoveryExhausted { thread, .. }
+            | BackoffSleep { thread, .. }
+            | RecoveryCompleted { thread, .. } => Some(*thread),
+            RunEnded { .. } => None,
+        }
+    }
+
+    /// A stable kebab-case label for the variant.
+    pub fn kind_name(&self) -> &'static str {
+        use TraceEvent::*;
+        match self {
+            ThreadStarted { .. } => "thread-started",
+            ThreadFinished { .. } => "thread-finished",
+            ContextSwitch { .. } => "context-switch",
+            LockWait { .. } => "lock-wait",
+            LockAcquired { .. } => "lock-acquired",
+            LockReleased { .. } => "lock-released",
+            LockTimeout { .. } => "lock-timeout",
+            CheckpointSaved { .. } => "checkpoint",
+            FailureDetected { .. } => "failure-detected",
+            CompensationFree { .. } => "compensation-free",
+            CompensationUnlock { .. } => "compensation-unlock",
+            RolledBack { .. } => "rollback",
+            RecoveryExhausted { .. } => "recovery-exhausted",
+            BackoffSleep { .. } => "backoff",
+            RecoveryCompleted { .. } => "recovery-completed",
+            RunEnded { .. } => "run-ended",
+        }
+    }
+}
+
+/// Receiver of machine trace events.
+///
+/// Implementations should be cheap: the machine calls `record` inline from
+/// the interpreter loop. Heavy sinks (files, sockets) should buffer.
+pub trait TraceSink {
+    /// Accepts one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// An in-memory sink with shared handles: clone it, hand one clone to the
+/// machine, and read the events from another after the run.
+#[derive(Debug, Clone, Default)]
+pub struct EventBuffer {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the recorded events, leaving the buffer empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl TraceSink for EventBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.borrow_mut().push(event);
+    }
+}
+
+/// Serializes events as JSON Lines (one event object per line).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON Lines trace back into events (blank lines skipped).
+///
+/// # Errors
+///
+/// Returns the first line's parse error with its 1-based line number.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str::<TraceEvent>(line).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// Converts events to Chrome trace-event JSON (`chrome://tracing`,
+/// Perfetto). Steps map to microseconds; lock waits become complete (`X`)
+/// events spanning the wait, everything else becomes an instant (`i`)
+/// event on its thread's track.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> serde::Value {
+    use serde::Value;
+    let mut entries: Vec<Value> = Vec::with_capacity(events.len());
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    for e in events {
+        let tid = e.thread().map(|t| t.index() as u64).unwrap_or(0);
+        let common = |name: &str, ph: &str, ts: u64| {
+            vec![
+                ("name", Value::Str(name.to_string())),
+                ("ph", Value::Str(ph.to_string())),
+                ("ts", Value::UInt(ts)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(tid)),
+            ]
+        };
+        match e {
+            TraceEvent::LockAcquired {
+                step, lock, waited, ..
+            } if *waited > 0 => {
+                let mut pairs = common(&format!("wait {lock}"), "X", step - waited);
+                pairs.push(("dur", Value::UInt(*waited)));
+                entries.push(obj(pairs));
+            }
+            TraceEvent::LockTimeout {
+                step, lock, waited, ..
+            } => {
+                let mut pairs = common(&format!("wait-timeout {lock}"), "X", step - waited);
+                pairs.push(("dur", Value::UInt(*waited)));
+                entries.push(obj(pairs));
+            }
+            other => {
+                let mut pairs = common(other.kind_name(), "i", other.step());
+                pairs.push(("s", Value::Str("t".to_string())));
+                entries.push(obj(pairs));
+            }
+        }
+    }
+    Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(entries)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ])
+}
+
+/// Rebuilds [`RunMetrics`] from an event stream — the aggregation `conair
+/// report` performs over a JSONL trace. For a stream produced by a traced
+/// run this matches the machine's own metrics except for
+/// `per_site_retries` ordering (both are sorted, so it matches exactly).
+pub fn summarize_events(events: &[TraceEvent]) -> RunMetrics {
+    let mut m = RunMetrics::default();
+    let mut per_site: std::collections::BTreeMap<SiteId, u64> = std::collections::BTreeMap::new();
+    for e in events {
+        match e {
+            TraceEvent::ContextSwitch { from: Some(_), .. } => m.context_switches += 1,
+            TraceEvent::LockAcquired { waited, .. } if *waited > 0 => {
+                m.lock_waits.record(*waited);
+            }
+            TraceEvent::LockTimeout { waited, .. } => m.lock_waits.record(*waited),
+            TraceEvent::CheckpointSaved { reexecution, .. } => {
+                m.checkpoint_executions += 1;
+                if *reexecution {
+                    m.checkpoint_reexecutions += 1;
+                }
+            }
+            TraceEvent::FailureDetected { site, .. } => {
+                *per_site.entry(*site).or_insert(0) += 1;
+            }
+            TraceEvent::CompensationFree { .. } => m.compensation_frees += 1,
+            TraceEvent::CompensationUnlock { .. } => m.compensation_unlocks += 1,
+            TraceEvent::RecoveryCompleted { latency, .. } => {
+                m.rollback_latency.record(*latency);
+            }
+            _ => {}
+        }
+    }
+    m.per_site_retries = per_site.into_iter().collect();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::ThreadStarted {
+                step: 0,
+                thread: ThreadId(0),
+                name: "t1".into(),
+            },
+            TraceEvent::ContextSwitch {
+                step: 1,
+                from: None,
+                to: ThreadId(0),
+                eligible: 2,
+            },
+            TraceEvent::CheckpointSaved {
+                step: 2,
+                thread: ThreadId(0),
+                epoch: 1,
+                reexecution: false,
+            },
+            TraceEvent::LockAcquired {
+                step: 9,
+                thread: ThreadId(0),
+                lock: LockId(1),
+                timed: true,
+                waited: 5,
+            },
+            TraceEvent::FailureDetected {
+                step: 12,
+                thread: ThreadId(0),
+                site: SiteId(3),
+                kind: FailureKind::Deadlock,
+            },
+            TraceEvent::RolledBack {
+                step: 12,
+                thread: ThreadId(0),
+                site: SiteId(3),
+                retry: 1,
+                undo_restored: 0,
+            },
+            TraceEvent::RecoveryCompleted {
+                step: 30,
+                thread: ThreadId(0),
+                site: SiteId(3),
+                retries: 1,
+                latency: 18,
+            },
+            TraceEvent::RunEnded {
+                step: 31,
+                outcome: "completed".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn jsonl_errors_carry_line_numbers() {
+        let err =
+            from_jsonl("{\"RunEnded\":{\"step\":1,\"outcome\":\"x\"}}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn event_buffer_shares_state_across_clones() {
+        let buf = EventBuffer::new();
+        let mut sink = buf.clone();
+        sink.record(TraceEvent::RunEnded {
+            step: 1,
+            outcome: "completed".into(),
+        });
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.take().len(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn summary_rebuilds_metrics() {
+        let m = summarize_events(&sample_events());
+        assert_eq!(m.checkpoint_executions, 1);
+        assert_eq!(m.checkpoint_reexecutions, 0);
+        assert_eq!(m.per_site_retries, vec![(SiteId(3), 1)]);
+        assert_eq!(m.rollback_latency.max(), Some(18));
+        assert_eq!(m.lock_waits.count(), 1);
+        assert_eq!(m.context_switches, 0, "first pick is not a switch");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let v = to_chrome_trace(&sample_events());
+        let entries = v["traceEvents"].as_array().unwrap();
+        assert_eq!(entries.len(), sample_events().len());
+        // The waited lock acquisition became a complete event.
+        let x = entries
+            .iter()
+            .find(|e| e["ph"] == "X")
+            .expect("one X event");
+        assert_eq!(x["ts"], 4u64); // 9 - 5
+        assert_eq!(x["dur"], 5u64);
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        for e in sample_events() {
+            assert!(!e.kind_name().is_empty());
+            let _ = e.step();
+            let _ = e.thread();
+        }
+    }
+}

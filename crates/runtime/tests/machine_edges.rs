@@ -4,7 +4,7 @@
 use conair_ir::{CmpKind, FuncBuilder, Inst, ModuleBuilder, Operand, PointId, SiteId};
 use conair_runtime::{
     measure_overhead, run_once, run_trials, MachineConfig, Program, RoundRobin, RunOutcome,
-    ScheduleScript, SeededRandom, Scheduler,
+    ScheduleScript, Scheduler, SeededRandom,
 };
 
 fn infinite_loop_program() -> Program {
@@ -201,18 +201,11 @@ fn interprocedural_rollback_pops_frames_correctly() {
     writer.ret();
     mb.function(writer.finish());
     let program = Program::from_entry_names(mb.finish(), &["main", "writer"]);
-    let script = ScheduleScript::with_gates(vec![conair_runtime::Gate::new(
-        1,
-        "w",
-        "main_started",
-    )]);
+    let script =
+        ScheduleScript::with_gates(vec![conair_runtime::Gate::new(1, "w", "main_started")]);
     for seed in 0..30 {
-        let r = conair_runtime::run_scripted(
-            &program,
-            MachineConfig::default(),
-            script.clone(),
-            seed,
-        );
+        let r =
+            conair_runtime::run_scripted(&program, MachineConfig::default(), script.clone(), seed);
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
         assert_eq!(r.outputs_for("result"), vec![11], "seed {seed}");
     }

@@ -1,9 +1,7 @@
 //! End-to-end recovery semantics of the interpreter, on hand-hardened
 //! programs (no analysis/transform involved — those are tested separately).
 
-use conair_ir::{
-    CmpKind, FuncBuilder, GuardKind, Inst, ModuleBuilder, Operand, PointId, SiteId,
-};
+use conair_ir::{CmpKind, FuncBuilder, GuardKind, Inst, ModuleBuilder, Operand, PointId, SiteId};
 use conair_runtime::{
     run_once, run_scripted, run_trials, Gate, MachineConfig, Program, RunOutcome, ScheduleScript,
 };
@@ -123,10 +121,7 @@ fn rollbacks_are_counted_and_timed() {
             let rec = &r.stats.site_recovery[&SiteId(0)];
             assert!(rec.retries > 0);
             assert!(rec.first_failure_step.is_some());
-            assert!(
-                rec.recovered_step.is_some(),
-                "the guard eventually passed"
-            );
+            assert!(rec.recovered_step.is_some(), "the guard eventually passed");
             assert!(rec.recovery_steps().unwrap() > 0);
         }
     }
@@ -304,8 +299,7 @@ fn ptr_guard_recovers_null_dereference() {
     mb.function(writer.finish());
 
     let program = Program::from_entry_names(mb.finish(), &["reader", "writer"]);
-    let script =
-        ScheduleScript::with_gates(vec![Gate::new(1, "before_publish", "reader_started")]);
+    let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_publish", "reader_started")]);
     for seed in 0..50 {
         let r = run_scripted(&program, config(), script.clone(), seed);
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
@@ -408,7 +402,12 @@ fn plain_lock_deadlock_hangs() {
     ]);
     let r = run_scripted(&program, config(), script, 5);
     assert!(
-        matches!(r.outcome, RunOutcome::Hang { blocked_on_locks: 2 }),
+        matches!(
+            r.outcome,
+            RunOutcome::Hang {
+                blocked_on_locks: 2
+            }
+        ),
         "unhardened circular wait hangs: {:?}",
         r.outcome
     );

@@ -1,0 +1,178 @@
+//! TrialSummary aggregation edge cases and the trace/stats event-count
+//! identities on a real hardened run.
+
+use conair_ir::{CmpKind, FuncBuilder, GuardKind, Inst, ModuleBuilder, Operand, PointId, SiteId};
+use conair_runtime::{
+    run_traced, run_trials, EventBuffer, MachineConfig, Program, RunOutcome, ScheduleScript,
+    TraceEvent,
+};
+
+fn config() -> MachineConfig {
+    MachineConfig {
+        max_retries: 10_000,
+        lock_timeout: 100,
+        step_limit: 2_000_000,
+        ..MachineConfig::default()
+    }
+}
+
+/// A hand-hardened order violation: the reader asserts a flag the writer
+/// sets late; `checkpoint; load; failguard` makes the reader spin-recover.
+fn order_violation_program() -> Program {
+    let mut mb = ModuleBuilder::new("order");
+    let flag = mb.global("flag", 0);
+
+    let mut reader = FuncBuilder::new("reader", 0);
+    reader.push(Inst::Checkpoint { point: PointId(0) });
+    let v = reader.load_global(flag);
+    let c = reader.cmp(CmpKind::Ne, v, 0);
+    reader.push(Inst::FailGuard {
+        kind: GuardKind::Assert,
+        cond: Operand::Reg(c),
+        site: SiteId(0),
+        msg: "flag must be initialized".into(),
+    });
+    reader.output("value", v);
+    reader.ret();
+    mb.function(reader.finish());
+
+    let mut writer = FuncBuilder::new("writer", 0);
+    writer.store_global(flag, 7);
+    writer.ret();
+    mb.function(writer.finish());
+
+    Program::from_entry_names(mb.finish(), &["reader", "writer"])
+}
+
+/// A single thread that re-acquires a lock it already holds: hangs under
+/// every seed.
+fn self_deadlock_program() -> Program {
+    let mut mb = ModuleBuilder::new("selfdl");
+    let l = mb.lock("m");
+    let mut f = FuncBuilder::new("main", 0);
+    f.lock(l);
+    f.lock(l);
+    f.unlock(l);
+    f.ret();
+    mb.function(f.finish());
+    Program::from_entry_names(mb.finish(), &["main"])
+}
+
+/// A trivial program that completes with no failure sites at all.
+fn clean_program() -> Program {
+    let mut mb = ModuleBuilder::new("clean");
+    let g = mb.global("g", 1);
+    let mut f = FuncBuilder::new("main", 0);
+    let v = f.load_global(g);
+    f.output("v", v);
+    f.ret();
+    mb.function(f.finish());
+    Program::from_entry_names(mb.finish(), &["main"])
+}
+
+#[test]
+fn zero_trials_yield_empty_summary() {
+    let p = clean_program();
+    let s = run_trials(&p, &config(), &ScheduleScript::none(), 0, 0);
+    assert_eq!(s.trials, 0);
+    assert_eq!(s.completed, 0);
+    assert_eq!(s.failed + s.hung + s.step_limited, 0);
+    assert_eq!(s.mean_insts, 0.0);
+    assert_eq!(s.mean_retries, 0.0);
+    assert_eq!(s.max_recovery_steps, None);
+    // Vacuously true: zero trials, zero non-completions.
+    assert!(s.all_completed());
+    // Empty histograms have no percentiles.
+    assert_eq!(s.retries_percentile(0.5), None);
+    assert_eq!(s.recovery_percentile(0.99), None);
+}
+
+#[test]
+fn all_hang_trials_are_tallied_as_hung() {
+    let p = self_deadlock_program();
+    let cfg = MachineConfig {
+        step_limit: 10_000,
+        ..MachineConfig::default()
+    };
+    let s = run_trials(&p, &cfg, &ScheduleScript::none(), 0, 5);
+    assert_eq!(s.trials, 5);
+    assert_eq!(s.hung, 5, "self-deadlock must hang under every seed");
+    assert_eq!(s.completed, 0);
+    assert!(!s.all_completed());
+    // No recovery machinery fired: retries were zero in every trial.
+    assert_eq!(s.retries_percentile(1.0), Some(0));
+    assert_eq!(s.recovery_percentile(0.5), None);
+    assert_eq!(s.max_recovery_steps, None);
+}
+
+#[test]
+fn completed_trials_without_recoveries_report_none() {
+    let p = clean_program();
+    let s = run_trials(&p, &config(), &ScheduleScript::none(), 0, 3);
+    assert_eq!(s.completed, 3);
+    assert!(s.all_completed());
+    assert_eq!(s.max_recovery_steps, None);
+    assert_eq!(s.recovery_percentile(0.5), None);
+    // Every trial contributed a zero-retry sample.
+    assert_eq!(s.retries_percentile(0.5), Some(0));
+    assert_eq!(s.retries_hist.count(), 3);
+}
+
+#[test]
+fn trials_with_recoveries_fill_both_histograms() {
+    let p = order_violation_program();
+    // Force the reader to run first so at least some trials roll back.
+    let s = run_trials(&p, &config(), &ScheduleScript::none(), 0, 20);
+    assert_eq!(s.completed, 20, "hardened order violation always recovers");
+    assert_eq!(s.retries_hist.count(), 20);
+    assert!(s.retries_percentile(1.0).is_some());
+    if s.mean_retries > 0.0 {
+        // At least one trial rolled back, so a latency was pooled.
+        assert!(s.recovery_percentile(1.0).is_some());
+        assert!(s.max_recovery_steps.is_some());
+    }
+}
+
+#[test]
+fn trace_event_counts_match_run_stats() {
+    let p = order_violation_program();
+    let buffer = EventBuffer::new();
+    let r = run_traced(
+        &p,
+        config(),
+        ScheduleScript::none(),
+        3,
+        Box::new(buffer.clone()),
+    );
+    assert!(matches!(r.outcome, RunOutcome::Completed));
+    let events = buffer.take();
+    let count = |kind: &str| events.iter().filter(|e| e.kind_name() == kind).count() as u64;
+
+    assert_eq!(count("checkpoint"), r.stats.checkpoints);
+    assert_eq!(count("rollback"), r.stats.rollbacks);
+    assert_eq!(count("failure-detected"), r.stats.total_retries());
+    let recovered = r
+        .stats
+        .site_recovery
+        .values()
+        .filter(|s| s.recovered_step.is_some())
+        .count() as u64;
+    assert_eq!(count("recovery-completed"), recovered);
+
+    // Lifecycle bookends: one start per thread, exactly one run-ended.
+    assert_eq!(count("thread-started"), 2);
+    assert_eq!(count("run-ended"), 1);
+    assert!(matches!(events.last(), Some(TraceEvent::RunEnded { .. })));
+
+    // The machine-side metrics agree with a pure replay of the events.
+    let replayed = conair_runtime::summarize_events(&events);
+    assert_eq!(
+        replayed.checkpoint_executions,
+        r.metrics.checkpoint_executions
+    );
+    assert_eq!(
+        replayed.checkpoint_reexecutions,
+        r.metrics.checkpoint_reexecutions
+    );
+    assert_eq!(replayed.per_site_retries, r.metrics.per_site_retries);
+}

@@ -7,9 +7,7 @@
 //!   reexecution; of those 20 regions, 16 idempotent, 2 with I/O, 2 with
 //!   non-idempotent writes.
 
-use crate::records::{
-    AtomicityBug, AtomicitySubtype, OrderBug, RegionCharacter, ReproducedBug,
-};
+use crate::records::{AtomicityBug, AtomicitySubtype, OrderBug, RegionCharacter, ReproducedBug};
 
 /// The 51-bug atomicity-violation catalog.
 ///

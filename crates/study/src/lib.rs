@@ -32,7 +32,5 @@ mod records;
 mod stats;
 
 pub use catalogs::{atomicity_bugs, order_bugs, reproduced_bugs};
-pub use records::{
-    AtomicityBug, AtomicitySubtype, OrderBug, RegionCharacter, ReproducedBug,
-};
+pub use records::{AtomicityBug, AtomicitySubtype, OrderBug, RegionCharacter, ReproducedBug};
 pub use stats::{region_study, single_thread_study, RegionStudy, SingleThreadStudy};

@@ -28,9 +28,7 @@
 use std::collections::HashMap;
 
 use conair_analysis::HardeningPlan;
-use conair_ir::{
-    BlockId, FailureKind, FuncId, GuardKind, Inst, Loc, Module, PointId, SiteId,
-};
+use conair_ir::{BlockId, FailureKind, FuncId, GuardKind, Inst, Loc, Module, PointId, SiteId};
 
 /// Statistics about one transformation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -185,10 +183,8 @@ pub fn harden(mut module: Module, plan: &HardeningPlan) -> HardenedModule {
                 }
                 match (&edit.rewrite, inst) {
                     (Some(Rewrite::FailGuard { kind, site }), Inst::Assert { cond, msg })
-                    | (
-                        Some(Rewrite::FailGuard { kind, site }),
-                        Inst::OutputAssert { cond, msg },
-                    ) => {
+                    | (Some(Rewrite::FailGuard { kind, site }), Inst::OutputAssert { cond, msg }) =>
+                    {
                         rebuilt.push(Inst::FailGuard {
                             kind: *kind,
                             cond,

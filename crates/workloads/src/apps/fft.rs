@@ -118,17 +118,11 @@ pub fn build() -> Workload {
     // its read.
     // Hold the timer write until the reporter has already read the stale
     // End, so the wrong-output failure manifests deterministically.
-    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "fft_before_end_write",
-        "fft_read_done",
-    )]);
+    let bug_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "fft_before_end_write", "fft_read_done")]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        0,
-        "fft_before_read",
-        "fft_end_written",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(0, "fft_before_read", "fft_end_written")]);
 
     Workload {
         meta: meta_by_name("FFT").expect("FFT in Table 2"),

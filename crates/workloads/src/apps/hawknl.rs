@@ -96,8 +96,7 @@ pub fn build() -> Workload {
     t2.ret();
     mb.function(t2.finish());
 
-    let program =
-        Program::from_entry_names(mb.finish(), &["hawknl_close", "hawknl_shutdown"]);
+    let program = Program::from_entry_names(mb.finish(), &["hawknl_close", "hawknl_shutdown"]);
     // Force the AB/BA interleaving: each thread announces its first
     // acquisition, then waits until the other has announced.
     let bug_script = ScheduleScript::with_gates(vec![
@@ -105,11 +104,8 @@ pub fn build() -> Workload {
         Gate::new(1, "shutdown_gate", "close_has_nlock"),
     ]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "shutdown_entry",
-        "close_done",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "shutdown_entry", "close_done")]);
 
     Workload {
         meta: meta_by_name("HawkNL").expect("HawkNL in Table 2"),

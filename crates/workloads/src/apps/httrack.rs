@@ -70,22 +70,15 @@ pub fn build() -> Workload {
     main.ret();
     mb.function(main.finish());
 
-    let program =
-        Program::from_entry_names(mb.finish(), &["httrack_worker", "httrack_main"]);
-    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "before_publish",
-        "worker_started",
-    )]);
+    let program = Program::from_entry_names(mb.finish(), &["httrack_worker", "httrack_main"]);
+    let bug_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "before_publish", "worker_started")]);
 
     // The benign gate holds the worker *before* it reads the shared
     // pointer — holding at the dereference would be too late, the stale
     // NULL would already be in a register.
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        0,
-        "worker_started",
-        "opt_published",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(0, "worker_started", "opt_published")]);
 
     Workload {
         meta: meta_by_name("HTTrack").expect("HTTrack in Table 2"),

@@ -83,11 +83,7 @@ pub fn build() -> Workload {
         Gate::new(1, "mut_gate", "gc_has_gclock"),
     ]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "mut_entry",
-        "gc_done",
-    )]);
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(1, "mut_entry", "gc_done")]);
 
     Workload {
         meta: meta_by_name("MozillaJS").expect("MozillaJS in Table 2"),
@@ -95,9 +91,6 @@ pub fn build() -> Workload {
         bug_script,
         benign_script,
         fix_markers: vec!["js_gc_site".into(), "js_mut_site".into()],
-        expected: vec![
-            ("gc_runs".into(), vec![1]),
-            ("objects".into(), vec![8]),
-        ],
+        expected: vec![("gc_runs".into(), vec![1]), ("objects".into(), vec![8])],
     }
 }

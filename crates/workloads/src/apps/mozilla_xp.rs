@@ -98,17 +98,11 @@ pub fn build() -> Workload {
     // The initializer runs the big filler driver behind a gate released
     // only once the client is already running — so the client's guard
     // rolls back for a long time (the paper observed >8000 retries here).
-    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "before_create",
-        "client_started",
-    )]);
+    let bug_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "before_create", "client_started")]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        0,
-        "client_started",
-        "mthd_published",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(0, "client_started", "mthd_published")]);
 
     Workload {
         meta: meta_by_name("MozillaXP").expect("MozillaXP in Table 2"),

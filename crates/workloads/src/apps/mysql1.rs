@@ -73,8 +73,7 @@ pub fn build() -> Workload {
     query.ret();
     mb.function(query.finish());
 
-    let program =
-        Program::from_entry_names(mb.finish(), &["mysql_log_rotate", "mysql_query"]);
+    let program = Program::from_entry_names(mb.finish(), &["mysql_log_rotate", "mysql_query"]);
     // Force the unserializable interleaving: the rotator closes the log,
     // then stalls between its two writes until the query has read.
     let bug_script = ScheduleScript::with_gates(vec![
@@ -82,11 +81,8 @@ pub fn build() -> Workload {
         Gate::new(1, "query_reads_log", "rotate_start"),
     ]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "query_reads_log",
-        "rotate_finished",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "query_reads_log", "rotate_finished")]);
 
     Workload {
         meta: meta_by_name("MySQL1").expect("MySQL1 in Table 2"),

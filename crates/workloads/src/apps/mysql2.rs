@@ -69,10 +69,8 @@ pub fn build() -> Workload {
     flush.ret();
     mb.function(flush.finish());
 
-    let program = Program::from_entry_names(
-        mb.finish(),
-        &["mysql_cached_query", "mysql_flush_tables"],
-    );
+    let program =
+        Program::from_entry_names(mb.finish(), &["mysql_cached_query", "mysql_flush_tables"]);
     // Hold the flush until the query sits between its two reads, and hold
     // the query's second read until the flush has landed — the violation
     // then manifests in every schedule.
@@ -81,11 +79,7 @@ pub fn build() -> Workload {
         Gate::new(0, "query_gate", "flush_done"),
     ]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "flush_point",
-        "query_done",
-    )]);
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(1, "flush_point", "query_done")]);
 
     Workload {
         meta: meta_by_name("MySQL2").expect("MySQL2 in Table 2"),

@@ -77,20 +77,13 @@ pub fn build() -> Workload {
     reader.ret();
     mb.function(reader.finish());
 
-    let program = Program::from_entry_names(
-        mb.finish(),
-        &["sqlite_checkpointer", "sqlite_reader"],
-    );
+    let program = Program::from_entry_names(mb.finish(), &["sqlite_checkpointer", "sqlite_reader"]);
     let bug_script = ScheduleScript::with_gates(vec![
         Gate::new(0, "ckpt_gate", "reader_has_btree"),
         Gate::new(1, "reader_gate", "ckpt_has_db"),
     ]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "reader_entry",
-        "ckpt_done",
-    )]);
+    let benign_script = ScheduleScript::with_gates(vec![Gate::new(1, "reader_entry", "ckpt_done")]);
 
     Workload {
         meta: meta_by_name("SQLite").expect("SQLite in Table 2"),
@@ -98,9 +91,6 @@ pub fn build() -> Workload {
         bug_script,
         benign_script,
         fix_markers: vec!["sqlite_site".into()],
-        expected: vec![
-            ("checkpointed".into(), vec![1]),
-            ("rows".into(), vec![1]),
-        ],
+        expected: vec![("checkpointed".into(), vec![1]), ("rows".into(), vec![1])],
     }
 }

@@ -87,19 +87,12 @@ pub fn build() -> Workload {
     t2.ret();
     mb.function(t2.finish());
 
-    let program =
-        Program::from_entry_names(mb.finish(), &["tr_event_loop", "tr_session_init"]);
-    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "before_session_publish",
-        "loop_started",
-    )]);
+    let program = Program::from_entry_names(mb.finish(), &["tr_event_loop", "tr_session_init"]);
+    let bug_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "before_session_publish", "loop_started")]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        0,
-        "loop_started",
-        "session_published",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(0, "loop_started", "session_published")]);
 
     Workload {
         meta: meta_by_name("Transmission").expect("Transmission in Table 2"),

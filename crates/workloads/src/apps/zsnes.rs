@@ -71,17 +71,11 @@ pub fn build() -> Workload {
 
     let program = Program::from_entry_names(mb.finish(), &["zsnes_render", "zsnes_init"]);
     // Hold the configuration until the renderer has read the zero depth.
-    let bug_script = ScheduleScript::with_gates(vec![Gate::new(
-        1,
-        "before_depth_set",
-        "depth_read_done",
-    )]);
+    let bug_script =
+        ScheduleScript::with_gates(vec![Gate::new(1, "before_depth_set", "depth_read_done")]);
 
-    let benign_script = ScheduleScript::with_gates(vec![Gate::new(
-        0,
-        "render_started",
-        "depth_set",
-    )]);
+    let benign_script =
+        ScheduleScript::with_gates(vec![Gate::new(0, "render_started", "depth_set")]);
 
     Workload {
         meta: meta_by_name("ZSNES").expect("ZSNES in Table 2"),

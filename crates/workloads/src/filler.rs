@@ -228,11 +228,7 @@ pub fn emit_filler(mb: &mut ModuleBuilder, sites: SiteProfile, work: WorkProfile
         }
         // Hot loop: re-invoke a small rotating subset.
         if work.hot_funcs > 0 && !site_funcs.is_empty() {
-            let subset: Vec<FuncId> = site_funcs
-                .iter()
-                .copied()
-                .take(work.hot_funcs)
-                .collect();
+            let subset: Vec<FuncId> = site_funcs.iter().copied().take(work.hot_funcs).collect();
             fb.counted_loop(work.hot_iters, |b, _| {
                 for f in &subset {
                     b.call_void(*f, vec![]);
@@ -346,13 +342,8 @@ mod tests {
         let plan = analyze(&program.module, &AnalysisConfig::survival_defaults());
         let hardened = harden(program.module.clone(), &plan);
         let hp = program.with_module(hardened.module);
-        let report = conair_runtime::measure_overhead(
-            &program,
-            &hp,
-            &MachineConfig::default(),
-            0,
-            3,
-        );
+        let report =
+            conair_runtime::measure_overhead(&program, &hp, &MachineConfig::default(), 0, 3);
         assert!(
             report.inst_overhead < 0.02,
             "filler overhead should be small, got {:.3}%",

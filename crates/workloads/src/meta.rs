@@ -196,10 +196,7 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(meta_by_name("FFT").unwrap().paper_loc, "1.2K");
         assert!(meta_by_name("nope").is_none());
-        assert_eq!(
-            meta_by_name("HawkNL").unwrap().symptom,
-            Symptom::Hang
-        );
+        assert_eq!(meta_by_name("HawkNL").unwrap().symptom, Symptom::Hang);
     }
 
     #[test]

@@ -256,8 +256,7 @@ mod tests {
     fn all_four_patterns_build_and_validate() {
         for p in AtomicityPattern::ALL {
             let m = build_micro(p);
-            validate(&m.program.module)
-                .unwrap_or_else(|e| panic!("{}: {:?}", p.name(), e));
+            validate(&m.program.module).unwrap_or_else(|e| panic!("{}: {:?}", p.name(), e));
             assert_eq!(m.pattern, p);
         }
     }

@@ -60,10 +60,17 @@ mod tests {
         let ws = all_workloads();
         assert_eq!(ws.len(), 10);
         for w in &ws {
-            validate(&w.program.module)
-                .unwrap_or_else(|e| panic!("{}: {:?}", w.meta.name, e));
-            assert!(w.program.threads.len() >= 2, "{} is multithreaded", w.meta.name);
-            assert!(!w.fix_markers.is_empty(), "{} names its failure", w.meta.name);
+            validate(&w.program.module).unwrap_or_else(|e| panic!("{}: {:?}", w.meta.name, e));
+            assert!(
+                w.program.threads.len() >= 2,
+                "{} is multithreaded",
+                w.meta.name
+            );
+            assert!(
+                !w.fix_markers.is_empty(),
+                "{} names its failure",
+                w.meta.name
+            );
         }
     }
 

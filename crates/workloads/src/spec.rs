@@ -34,9 +34,7 @@ impl Workload {
         for (label, want) in &self.expected {
             let got = result.outputs_for(label);
             if &got != want {
-                return Err(format!(
-                    "output `{label}`: expected {want:?}, got {got:?}"
-                ));
+                return Err(format!("output `{label}`: expected {want:?}, got {got:?}"));
             }
         }
         Ok(())

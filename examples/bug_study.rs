@@ -66,7 +66,10 @@ fn main() {
     println!(
         "\nOrder-violation recoverability: {} of {} — the reason ConAir \
          recovers 'about half' of order violations (Section 2.1)",
-        order_bugs().iter().filter(|b| b.fails_in_thread_of_b).count(),
+        order_bugs()
+            .iter()
+            .filter(|b| b.fails_in_thread_of_b)
+            .count(),
         order_bugs().len()
     );
 }

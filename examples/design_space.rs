@@ -28,8 +28,8 @@ fn main() {
                 ..MachineConfig::default()
             };
             let r = run_scripted(&hardened.program, machine, m.bug_script.clone(), 0);
-            let recovered = r.outcome.is_completed()
-                && r.outputs_for(&m.expected.0) == m.expected.1;
+            let recovered =
+                r.outcome.is_completed() && r.outputs_for(&m.expected.0) == m.expected.1;
             cells.push(if recovered { "yes" } else { "no " });
         }
         println!(

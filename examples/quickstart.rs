@@ -45,7 +45,10 @@ fn main() {
     )]);
 
     let original = run_scripted(&program, MachineConfig::default(), bug.clone(), 0);
-    println!("original program under the buggy interleaving: {:?}", original.outcome);
+    println!(
+        "original program under the buggy interleaving: {:?}",
+        original.outcome
+    );
     assert!(original.outcome.is_failure());
 
     // 3. Harden with survival-mode ConAir: no bug knowledge needed.
@@ -58,7 +61,10 @@ fn main() {
 
     // 4. The hardened program survives the exact same interleaving.
     let recovered = run_scripted(&hardened.program, MachineConfig::default(), bug, 0);
-    println!("hardened program under the same interleaving: {:?}", recovered.outcome);
+    println!(
+        "hardened program under the same interleaving: {:?}",
+        recovered.outcome
+    );
     println!(
         "output: consumed = {:?} (rollbacks performed: {})",
         recovered.outputs_for("consumed"),

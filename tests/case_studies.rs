@@ -53,7 +53,8 @@ fn fft_checkpoint_is_near_the_oracle() {
     // output.
     let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
     assert!(r.outcome.is_completed());
-    w.verify_outputs(&r).expect("outputs correct after recovery");
+    w.verify_outputs(&r)
+        .expect("outputs correct after recovery");
     let retries = r.stats.total_retries();
     assert!(
         retries >= 1,

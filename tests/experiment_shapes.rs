@@ -137,7 +137,11 @@ fn figure2_matches_section_2_2() {
     use conair::RegionPolicy;
     let cells = experiments::figure2(&tiny());
     for c in &cells {
-        assert!(c.original_fails, "{}: forced bug must fail", c.pattern.name());
+        assert!(
+            c.original_fails,
+            "{}: forced bug must fail",
+            c.pattern.name()
+        );
         let expected = match c.policy {
             RegionPolicy::BufferedWrites => true,
             _ => c.pattern.idempotent_recoverable(),
@@ -170,7 +174,5 @@ fn figure4_coverage_monotone_along_spectrum() {
     assert!(points[2].mean_overhead > points[1].mean_overhead * 2.0);
     // Restart recovers everything but more slowly than in-place recovery.
     assert_eq!(points[3].patterns_recovered, 4);
-    assert!(
-        points[3].mean_recovery_steps.unwrap() > points[1].mean_recovery_steps.unwrap()
-    );
+    assert!(points[3].mean_recovery_steps.unwrap() > points[1].mean_recovery_steps.unwrap());
 }

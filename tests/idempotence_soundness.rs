@@ -17,21 +17,11 @@ fn recovered_outputs_equal_failure_free_outputs() {
             ..MachineConfig::default()
         };
         // Failure-free run of the ORIGINAL program (benign schedule).
-        let clean = run_scripted(
-            &w.program,
-            machine.clone(),
-            w.benign_script.clone(),
-            500,
-        );
+        let clean = run_scripted(&w.program, machine.clone(), w.benign_script.clone(), 500);
         assert!(clean.outcome.is_completed());
 
         // Recovered run of the hardened program (bug-forcing schedule).
-        let recovered = run_scripted(
-            &hardened.program,
-            machine,
-            w.bug_script.clone(),
-            500,
-        );
+        let recovered = run_scripted(&hardened.program, machine, w.bug_script.clone(), 500);
         assert!(
             recovered.outcome.is_completed(),
             "{}: {:?}",

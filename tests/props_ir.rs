@@ -1,9 +1,7 @@
 //! Property-based tests over the IR: printer/parser roundtrip, validation,
 //! and analysis determinism on randomly generated modules.
 
-use conair_ir::{
-    parse_module, validate, BinOpKind, CmpKind, FuncBuilder, Module, ModuleBuilder,
-};
+use conair_ir::{parse_module, validate, BinOpKind, CmpKind, FuncBuilder, Module, ModuleBuilder};
 use proptest::prelude::*;
 
 /// A simple generated operation; indices are resolved modulo the available

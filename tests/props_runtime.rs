@@ -35,7 +35,9 @@ fn action() -> impl Strategy<Value = Action> {
 /// single lock in the same order so no deadlock is possible.
 fn build_program(a: &[Action], b: &[Action]) -> Program {
     let mut mb = ModuleBuilder::new("gen2");
-    let globals: Vec<_> = (0..6).map(|i| mb.global(format!("g{i}"), i as i64)).collect();
+    let globals: Vec<_> = (0..6)
+        .map(|i| mb.global(format!("g{i}"), i as i64))
+        .collect();
     let lock = mb.lock("m");
 
     let mut emit = |name: &str, actions: &[Action]| {

@@ -32,7 +32,12 @@ fn assert_original_fails(w: &Workload, seed: u64) {
         }
         (Symptom::WrongOutput, RunOutcome::Failed(f)) => {
             // The oracle (developer-specified) detects the wrong output.
-            assert_eq!(f.kind, conair_ir::FailureKind::WrongOutput, "{}", w.meta.name);
+            assert_eq!(
+                f.kind,
+                conair_ir::FailureKind::WrongOutput,
+                "{}",
+                w.meta.name
+            );
         }
         (sym, outcome) => panic!(
             "{}: expected {sym} failure, got {outcome:?} (seed {seed})",

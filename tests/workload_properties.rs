@@ -16,11 +16,7 @@ fn every_app_is_analyzable_and_hardenable() {
             w.meta.name
         );
         assert!(hardened.plan.stats.static_points > 0, "{}", w.meta.name);
-        assert!(
-            hardened.plan.stats.recoverable_sites > 0,
-            "{}",
-            w.meta.name
-        );
+        assert!(hardened.plan.stats.recoverable_sites > 0, "{}", w.meta.name);
     }
 }
 
@@ -37,7 +33,10 @@ fn deadlock_apps_have_recoverable_deadlock_sites() {
         assert!(recoverable_deadlocks > 0, "{name}");
         // Time-out conversion happened for exactly those sites.
         let hardened = Conair::survival().harden(&w.program);
-        assert_eq!(hardened.transform.timed_locks, recoverable_deadlocks, "{name}");
+        assert_eq!(
+            hardened.transform.timed_locks, recoverable_deadlocks,
+            "{name}"
+        );
     }
 }
 
@@ -47,7 +46,11 @@ fn only_the_interproc_apps_promote_kernel_sites() {
         let plan = Conair::survival().analyze(&w.program.module);
         let promoted = plan.stats.promoted_sites;
         if w.meta.needs_interproc {
-            assert!(promoted >= 1, "{} needs inter-procedural recovery", w.meta.name);
+            assert!(
+                promoted >= 1,
+                "{} needs inter-procedural recovery",
+                w.meta.name
+            );
         } else {
             assert_eq!(
                 promoted, 0,
@@ -83,8 +86,14 @@ fn symptom_causes_match_table_2() {
         assert_eq!(w.meta.cause, row.cause);
     }
     // Spot checks against the paper.
-    assert_eq!(workload_by_name("FFT").unwrap().meta.cause, RootCause::AtomicityAndOrder);
-    assert_eq!(workload_by_name("SQLite").unwrap().meta.symptom, Symptom::Hang);
+    assert_eq!(
+        workload_by_name("FFT").unwrap().meta.cause,
+        RootCause::AtomicityAndOrder
+    );
+    assert_eq!(
+        workload_by_name("SQLite").unwrap().meta.symptom,
+        Symptom::Hang
+    );
     assert_eq!(
         workload_by_name("MySQL2").unwrap().meta.cause,
         RootCause::AtomicityViolation
@@ -95,9 +104,8 @@ fn symptom_causes_match_table_2() {
 fn fix_mode_hardens_exactly_the_kernel_site() {
     for w in all_workloads() {
         let fix = Conair::fix(w.fix_markers.clone()).harden(&w.program);
-        let touched = fix.transform.fail_guards
-            + fix.transform.ptr_guards
-            + fix.transform.timed_locks;
+        let touched =
+            fix.transform.fail_guards + fix.transform.ptr_guards + fix.transform.timed_locks;
         assert_eq!(
             touched,
             w.fix_markers.len(),

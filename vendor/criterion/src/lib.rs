@@ -1,0 +1,202 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Supports the surface this workspace's benches use: `benchmark_group`,
+//! `sample_size`, `bench_with_input` with [`BenchmarkId`], `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark runs a short warm-up followed by `sample_size` timed samples and
+//! prints mean ± standard deviation per iteration.
+//!
+//! Benches must be declared with `harness = false` (as upstream requires).
+
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Drives timed iterations of one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        // Warm-up: find an iteration count that takes a measurable slice of
+        // time, capped so slow benches still finish promptly.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b, input);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b, input);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let var = per_iter
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (per_iter.len() - 1) as f64;
+        println!(
+            "{}/{:<40} time: [{} ± {}]  ({} samples × {} iters)",
+            self.name,
+            id.to_string(),
+            format_time(mean),
+            format_time(var.sqrt()),
+            self.sample_size,
+            iters,
+        );
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+}
+
+/// Declares a benchmark group function list (upstream-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runs_a_group() {
+        let mut c = Criterion::default();
+        trivial(&mut c);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(
+            BenchmarkId::new("original", "FFT").to_string(),
+            "original/FFT"
+        );
+    }
+}

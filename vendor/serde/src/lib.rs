@@ -1,0 +1,582 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serde: instead of the visitor-based `Serializer`/`Deserializer`
+//! machinery, types serialize into a concrete [`Value`] tree (the JSON data
+//! model) and deserialize back out of one. The derive macros in
+//! `serde_derive` generate the same externally-tagged representation real
+//! serde uses with JSON, so swapping the real crates back in later is a
+//! drop-in change for everything this workspace persists.
+
+#![warn(rust_2018_idioms)]
+
+// Let the derive-generated `serde::...` paths resolve inside this crate's
+// own tests.
+// Lets derive-generated `serde::` paths resolve inside this crate's own
+// tests; the lint can't see through the macro expansion.
+#[allow(unused_extern_crates)]
+extern crate self as serde;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+///
+/// Objects preserve insertion order (serde_json's `preserve_order`
+/// behavior), which keeps exported reports diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key`, for objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The element at `index`, for arrays.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object entries, when this is an object.
+    pub fn as_object_slice(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(*other as i64)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- helpers the derive macro generates calls to ---------------------------
+
+/// Looks up a field in an object's entries (derive-macro support).
+///
+/// # Errors
+///
+/// Errors when the field is absent.
+pub fn field<'a>(pairs: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Splits an externally-tagged enum value `{ "Tag": inner }` into
+/// `(tag, inner)` (derive-macro support).
+pub fn variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Object(pairs) if pairs.len() == 1 => Some((pairs[0].0.as_str(), &pairs[0].1)),
+        _ => None,
+    }
+}
+
+/// Checks an array value has exactly `n` elements (derive-macro support).
+///
+/// # Errors
+///
+/// Errors on non-arrays and wrong lengths.
+pub fn elements(v: &Value, n: usize) -> Result<&[Value], Error> {
+    match v {
+        Value::Array(items) if items.len() == n => Ok(items),
+        Value::Array(items) => Err(Error::custom(format!(
+            "expected {n} elements, found {}",
+            items.len()
+        ))),
+        _ => Err(Error::custom("expected array")),
+    }
+}
+
+// --- impls for std types ---------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::custom("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let u = *self as u64;
+                if u <= i64::MAX as u64 { Value::Int(u as i64) } else { Value::UInt(u) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::custom("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::custom("expected number"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::from_value(v)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = $n; 1 })+;
+                let items = elements(v, N)?;
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object_slice()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object_slice()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::Int(self.as_secs() as i64)),
+            ("nanos".to_string(), Value::Int(self.subsec_nanos() as i64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pairs = v
+            .as_object_slice()
+            .ok_or_else(|| Error::custom("expected duration object"))?;
+        let secs = u64::from_value(field(pairs, "secs")?)?;
+        let nanos = u32::from_value(field(pairs, "nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Str("x".into())])),
+        ]);
+        assert_eq!(v["a"], 1i64);
+        assert_eq!(v["b"][0], "x");
+        assert!(v["missing"].is_null());
+        assert_eq!(v["b"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn std_roundtrips() {
+        let v = vec![(1u64, Some("x".to_string())), (2, None)];
+        let tree = v.to_value();
+        let back: Vec<(u64, Option<String>)> = Deserialize::from_value(&tree).unwrap();
+        assert_eq!(back, v);
+
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn derive_struct_roundtrip() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Point {
+            x: i64,
+            y: Option<u64>,
+            tags: Vec<String>,
+        }
+        let p = Point {
+            x: -4,
+            y: Some(9),
+            tags: vec!["a".into()],
+        };
+        let back = Point::from_value(&p.to_value()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn derive_enum_roundtrip() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Shape {
+            Unit,
+            New(u64),
+            Pair(i64, i64),
+            Named { w: u64, h: u64 },
+        }
+        for s in [
+            Shape::Unit,
+            Shape::New(7),
+            Shape::Pair(-1, 2),
+            Shape::Named { w: 3, h: 4 },
+        ] {
+            let back = Shape::from_value(&s.to_value()).unwrap();
+            assert_eq!(back, s);
+        }
+        assert_eq!(Shape::Unit.to_value(), Value::Str("Unit".into()));
+    }
+
+    #[test]
+    fn derive_tuple_struct() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Id(u32);
+        assert_eq!(Id(5).to_value(), Value::Int(5));
+        assert_eq!(Id::from_value(&Value::Int(5)).unwrap(), Id(5));
+    }
+}

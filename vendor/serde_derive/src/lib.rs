@@ -1,0 +1,396 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls against the
+//! concrete `serde::Value` data model. The item's token stream is parsed by
+//! hand (no `syn`/`quote` — the build environment is offline), which is
+//! enough for the shapes this workspace uses: non-generic structs (named,
+//! tuple, unit) and enums with unit/tuple/struct variants, matching real
+//! serde's externally-tagged JSON representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let shape = parse_shape(item);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let shape = parse_shape(item);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// --- item model ------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Shape {
+    name: String,
+    kind: Kind,
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_shape(item: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving for `{name}`)");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&tokens, &mut i)),
+        "enum" => Kind::Enum(parse_enum_body(&tokens, &mut i)),
+        other => panic!("serde shim derive supports structs and enums, found `{other}`"),
+    };
+    Shape { name, kind }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            _ => panic!("malformed attribute"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Fields {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("unexpected struct body: {other:?}"),
+    }
+}
+
+/// Field names of a named-field body (struct or enum-variant braces).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Consumes a type (or any expression) up to the next top-level comma,
+/// tracking angle-bracket depth so `Map<K, V>` stays one item.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize) -> Vec<Variant> {
+    let body = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------------
+
+fn ser_named_object(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from("serde::Value::Object(vec![");
+    for f in fields {
+        let _ = write!(
+            s,
+            "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&{access_prefix}{f})),"
+        );
+    }
+    s.push_str("])");
+    s
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let name = &shape.name;
+    let body = match &shape.kind {
+        Kind::Struct(Fields::Named(fields)) => ser_named_object(fields, "self."),
+        Kind::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let mut s = String::from("serde::Value::Array(vec![");
+            for k in 0..*n {
+                let _ = write!(s, "serde::Serialize::to_value(&self.{k}),");
+            }
+            s.push_str("])");
+            s
+        }
+        Kind::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vname} => serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vname}(f0) => serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), serde::Serialize::to_value(f0))]),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let _ = write!(
+                            s,
+                            "{name}::{vname}({}) => serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), serde::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vname} {{ {} }} => serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), {})]),",
+                            fields.join(", "),
+                            ser_named_object(fields, "")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            if variants.is_empty() {
+                s = "match *self {}".to_string();
+            }
+            s
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_named_fields(fields: &[String], pairs_expr: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: serde::Deserialize::from_value(serde::field({pairs_expr}, \"{f}\")?)?,")
+        })
+        .collect()
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let name = &shape.name;
+    let body = match &shape.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            format!(
+                "let pairs = v.as_object_slice().ok_or_else(|| serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                de_named_fields(fields, "pairs")
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let args: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = serde::elements(v, {n})?;\nOk({name}({}))",
+                args.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut s = String::new();
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            if !unit.is_empty() {
+                s.push_str("if let serde::Value::Str(s) = v { match s.as_str() {");
+                for v in &unit {
+                    let _ = write!(s, "\"{0}\" => return Ok({name}::{0}),", v.name);
+                }
+                s.push_str("_ => {} } }\n");
+            }
+            if !data.is_empty() {
+                s.push_str("if let Some((tag, inner)) = serde::variant(v) { match tag {");
+                for v in &data {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => {
+                            let _ = write!(
+                                s,
+                                "\"{vname}\" => return Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),"
+                            );
+                        }
+                        Fields::Tuple(n) => {
+                            let args: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            let _ = write!(
+                                s,
+                                "\"{vname}\" => {{ let items = serde::elements(inner, {n})?; return Ok({name}::{vname}({})); }}",
+                                args.join(", ")
+                            );
+                        }
+                        Fields::Named(fields) => {
+                            let _ = write!(
+                                s,
+                                "\"{vname}\" => {{ let pairs = inner.as_object_slice().ok_or_else(|| serde::Error::custom(\"expected object for {name}::{vname}\"))?; return Ok({name}::{vname} {{ {} }}); }}",
+                                de_named_fields(fields, "pairs")
+                            );
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                s.push_str("_ => {} } }\n");
+            }
+            let _ = write!(
+                s,
+                "Err(serde::Error::custom(\"unrecognized value for {name}\"))"
+            );
+            s
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
