@@ -1,0 +1,139 @@
+//! Per-function analysis context, memoized across the whole pipeline.
+//!
+//! Every analysis pass needs the same three derived views of a function:
+//! its control-flow graph, the [`FlatLayout`] numbering its instruction
+//! positions, and the class bitsets (lock acquisitions, shared reads) that
+//! the Section 4.2/4.3 judgments query. [`FuncCtx`] bundles them, built in
+//! one pass; [`AnalysisCache`] memoizes one context per function so
+//! inter-procedural promotion reuses caller CFGs instead of rebuilding
+//! them at every call site.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use conair_ir::{Cfg, FlatLayout, FuncId, Function, InstSet, Module};
+
+use crate::classify::{is_lock_acquisition, is_shared_read};
+
+/// The derived views of one function shared by every analysis pass.
+#[derive(Debug, Clone)]
+pub struct FuncCtx {
+    /// Block-level control-flow graph.
+    pub cfg: Cfg,
+    /// Flat instruction numbering — the same one the runtime's dense
+    /// lowering uses, so region bitsets and interpreter pcs agree.
+    pub layout: FlatLayout,
+    /// Flat indices of every lock-acquisition instruction (the Figure 7a/7b
+    /// deadlock judgment intersects regions against this set).
+    pub lock_acquisitions: InstSet,
+    /// Flat indices of every shared-memory read (the Section 4.3
+    /// unrecoverable-path walk tests membership here).
+    pub shared_reads: InstSet,
+}
+
+impl FuncCtx {
+    /// Builds the context for `func` (CFG, layout, and class bitsets in a
+    /// single instruction walk).
+    pub fn new(func: &Function) -> Self {
+        let cfg = Cfg::build(func);
+        let layout = FlatLayout::new(func);
+        let mut lock_acquisitions = layout.empty_set();
+        let mut shared_reads = layout.empty_set();
+        let mut flat = 0u32;
+        for block in &func.blocks {
+            for inst in &block.insts {
+                if is_lock_acquisition(inst) {
+                    lock_acquisitions.insert(flat);
+                }
+                if is_shared_read(inst) {
+                    shared_reads.insert(flat);
+                }
+                flat += 1;
+            }
+        }
+        Self {
+            cfg,
+            layout,
+            lock_acquisitions,
+            shared_reads,
+        }
+    }
+}
+
+/// Memoizes one [`FuncCtx`] per function of a module.
+///
+/// Shared between the per-site loop of [`crate::plan::analyze`] and the
+/// caller walks of [`crate::interproc::promote_site`], so a function's CFG
+/// and bitsets are built exactly once no matter how many sites or call
+/// sites touch it.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    ctxs: HashMap<FuncId, Rc<FuncCtx>>,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The context of `func`, building it on first request.
+    pub fn ctx(&mut self, module: &Module, func: FuncId) -> Rc<FuncCtx> {
+        Rc::clone(
+            self.ctxs
+                .entry(func)
+                .or_insert_with(|| Rc::new(FuncCtx::new(module.func(func)))),
+        )
+    }
+
+    /// Number of functions with a built context (diagnostics).
+    pub fn len(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Whether no context has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.ctxs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{CmpKind, FuncBuilder, GlobalId, InstPos, LockId, ModuleBuilder};
+
+    #[test]
+    fn class_bitsets_match_instruction_walk() {
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.lock(LockId(0)); // 0: lock acquisition
+        let v = fb.load_global(GlobalId(0)); // 1: shared read
+        let c = fb.cmp(CmpKind::Gt, v, 0); // 2
+        fb.assert(c, "x"); // 3
+        fb.ret(); // 4
+        let f = fb.finish();
+        let ctx = FuncCtx::new(&f);
+        assert_eq!(ctx.lock_acquisitions.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(ctx.shared_reads.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(ctx.layout.flat(InstPos::new(conair_ir::BlockId(0), 3)), 3);
+    }
+
+    #[test]
+    fn cache_builds_each_function_once() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FuncBuilder::new("a", 0);
+        fb.ret();
+        let a = mb.function(fb.finish());
+        let mut fb = FuncBuilder::new("b", 0);
+        fb.ret();
+        let b = mb.function(fb.finish());
+        let module = mb.finish();
+
+        let mut cache = AnalysisCache::new();
+        assert!(cache.is_empty());
+        let first = cache.ctx(&module, a);
+        let again = cache.ctx(&module, a);
+        assert!(Rc::ptr_eq(&first, &again), "memoized, not rebuilt");
+        cache.ctx(&module, b);
+        assert_eq!(cache.len(), 2);
+    }
+}

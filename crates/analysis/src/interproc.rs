@@ -20,12 +20,17 @@
 //! path still reaches the outermost caller's entrance, the attempt is
 //! abandoned and the point returns to `foo`'s entrance (the paper notes
 //! this case is extremely rare).
+//!
+//! Caller walks share the [`AnalysisCache`], so a caller's CFG, flat
+//! layout and class bitsets are built once per module — not once per call
+//! site as the earlier `Cfg::build`-per-call-site implementation did.
 
 use std::collections::HashSet;
 
-use conair_ir::{Cfg, FuncId, Function, Inst, InstPos, Loc, Module, SiteId};
+use conair_ir::{FuncId, Function, InstPos, InstSet, Loc, Module, SiteId};
 
-use crate::classify::{is_lock_acquisition, is_shared_read, RegionPolicy};
+use crate::classify::RegionPolicy;
+use crate::ctx::{AnalysisCache, FuncCtx};
 use crate::region::{find_reexec_points, ReexecPoint, SiteRegion};
 use crate::slicing::RegionSlice;
 
@@ -64,37 +69,36 @@ pub struct Promotion {
 /// For non-deadlock sites an unrecoverable path is one containing no shared
 /// read; for deadlock sites, one containing no lock acquisition. The check
 /// walks backwards from the site looking for a path to the entrance that
-/// avoids every "qualifying" instruction. Condition (1) guarantees no
-/// destroying instructions exist on any such path.
+/// avoids every "qualifying" instruction — a membership test against the
+/// memoized class bitset of `ctx`. Condition (1) guarantees no destroying
+/// instructions exist on any such path.
 pub fn exists_unrecoverable_path(
     func: &Function,
-    cfg: &Cfg,
+    ctx: &FuncCtx,
     site_pos: InstPos,
     is_deadlock: bool,
 ) -> bool {
-    let qualifies = |inst: &Inst| {
-        if is_deadlock {
-            is_lock_acquisition(inst)
-        } else {
-            is_shared_read(inst)
-        }
+    let qualifying: &InstSet = if is_deadlock {
+        &ctx.lock_acquisitions
+    } else {
+        &ctx.shared_reads
     };
     // Backward DFS from the site's predecessors avoiding qualifying
     // instructions; success = reaching the entrance.
-    let mut visited: HashSet<InstPos> = HashSet::new();
-    let mut work = cfg.inst_predecessors(func, site_pos);
+    let mut visited = ctx.layout.empty_set();
+    let mut work = ctx.cfg.inst_predecessors(func, site_pos);
     if work.is_empty() {
         return true; // the site is the first instruction: the empty path
     }
     while let Some(pos) = work.pop() {
-        if !visited.insert(pos) {
+        let flat = ctx.layout.flat(pos);
+        if !visited.insert(flat) {
             continue;
         }
-        let inst = &func.block(pos.block).insts[pos.inst];
-        if qualifies(inst) {
+        if qualifying.contains(flat) {
             continue; // abandon paths through qualifying instructions
         }
-        let preds = cfg.inst_predecessors(func, pos);
+        let preds = ctx.cfg.inst_predecessors(func, pos);
         if preds.is_empty() {
             return true;
         }
@@ -107,7 +111,7 @@ pub fn exists_unrecoverable_path(
 /// the three promotion conditions.
 pub fn should_promote(
     func: &Function,
-    cfg: &Cfg,
+    ctx: &FuncCtx,
     site_pos: InstPos,
     region: &SiteRegion,
     slice: &RegionSlice,
@@ -126,19 +130,21 @@ pub fn should_promote(
         }
     }
     // Condition (3).
-    exists_unrecoverable_path(func, cfg, site_pos, is_deadlock)
+    exists_unrecoverable_path(func, ctx, site_pos, is_deadlock)
 }
 
 /// Runs caller-side reexecution-point discovery for a promoted site.
 ///
-/// Returns `None` when the promotion must be abandoned (a clean path still
-/// reaches the entrance at the depth limit) — the caller then falls back to
-/// the intra-procedural entry point.
+/// Caller CFGs/layouts come from `cache`, shared with the rest of the
+/// pipeline. Returns `None` when the promotion must be abandoned (a clean
+/// path still reaches the entrance at the depth limit) — the caller then
+/// falls back to the intra-procedural entry point.
 pub fn promote_site(
     module: &Module,
     site: SiteId,
     site_func: FuncId,
     config: &InterprocConfig,
+    cache: &mut AnalysisCache,
 ) -> Option<Promotion> {
     let mut points: Vec<Loc> = Vec::new();
     let mut max_reached_depth = 0;
@@ -156,12 +162,12 @@ pub fn promote_site(
             for call_loc in module.call_sites_of(callee) {
                 any_call_site = true;
                 let caller = module.func(call_loc.func);
-                let cfg = Cfg::build(caller);
+                let ctx = cache.ctx(module, call_loc.func);
                 let call_pos = InstPos::new(call_loc.block, call_loc.inst);
                 // Backward search from the call site (the paper starts at
                 // the instruction pushing the critical parameter / the
                 // invocation — in this IR both are the call instruction).
-                let region = find_reexec_points(caller, &cfg, call_pos, config.policy);
+                let region = find_reexec_points(caller, &ctx, call_pos, config.policy);
                 // Can the promotion climb past this caller? Only if every
                 // path is clean, the caller itself has callers, we have not
                 // visited it (cycles), and depth budget remains.
@@ -231,6 +237,16 @@ mod tests {
 
     use crate::slicing::slice_in_region;
 
+    fn promote(module: &Module, site: SiteId, site_func: FuncId) -> Option<Promotion> {
+        promote_site(
+            module,
+            site,
+            site_func,
+            &InterprocConfig::default(),
+            &mut AnalysisCache::new(),
+        )
+    }
+
     /// The MozillaXP shape (paper Figure 10): `GetState(thd)` dereferences
     /// its parameter; the caller loads the shared pointer. The site must be
     /// promoted and the caller point must cover the shared load.
@@ -261,21 +277,21 @@ mod tests {
     fn mozilla_site_satisfies_conditions() {
         let (module, get_state, site_pos) = mozilla_like_module();
         let func = module.func(get_state);
-        let cfg = Cfg::build(func);
-        let region = find_reexec_points(func, &cfg, site_pos, RegionPolicy::Compensated);
-        let slice = slice_in_region(func, &region, site_pos);
+        let ctx = FuncCtx::new(func);
+        let region = find_reexec_points(func, &ctx, site_pos, RegionPolicy::Compensated);
+        let slice = slice_in_region(func, &ctx, &region, site_pos);
         assert!(region.all_paths_clean, "condition 1");
         assert!(
             slice.open_regs.iter().any(|r| r.index() < 1),
             "condition 2: the parameter is critical"
         );
         assert!(
-            exists_unrecoverable_path(func, &cfg, site_pos, false),
+            exists_unrecoverable_path(func, &ctx, site_pos, false),
             "condition 3: the intra path has no shared read"
         );
         assert!(should_promote(
             func,
-            &cfg,
+            &ctx,
             site_pos,
             &region,
             &slice,
@@ -287,8 +303,7 @@ mod tests {
     #[test]
     fn mozilla_promotion_lands_in_caller() {
         let (module, get_state, _) = mozilla_like_module();
-        let promo = promote_site(&module, SiteId(0), get_state, &InterprocConfig::default())
-            .expect("promotes");
+        let promo = promote(&module, SiteId(0), get_state).expect("promotes");
         assert_eq!(promo.depth, 1);
         assert_eq!(promo.caller_points.len(), 1);
         let p = promo.caller_points[0];
@@ -314,12 +329,12 @@ mod tests {
         let leaf = mb.function(fb.finish());
         let module = mb.finish();
         let func = module.func(leaf);
-        let cfg = Cfg::build(func);
+        let ctx = FuncCtx::new(func);
         let site_pos = InstPos::new(BlockId(0), 1);
-        let region = find_reexec_points(func, &cfg, site_pos, RegionPolicy::Compensated);
-        let slice = slice_in_region(func, &region, site_pos);
+        let region = find_reexec_points(func, &ctx, site_pos, RegionPolicy::Compensated);
+        let slice = slice_in_region(func, &ctx, &region, site_pos);
         assert!(!should_promote(
-            func, &cfg, site_pos, &region, &slice, false, 0
+            func, &ctx, site_pos, &region, &slice, false, 0
         ));
     }
 
@@ -332,13 +347,13 @@ mod tests {
         fb.assert(c, "v");
         fb.ret();
         let func = fb.finish();
-        let cfg = Cfg::build(&func);
+        let ctx = FuncCtx::new(&func);
         let site_pos = InstPos::new(BlockId(0), 1);
-        let region = find_reexec_points(&func, &cfg, site_pos, RegionPolicy::Compensated);
-        let slice = slice_in_region(&func, &region, site_pos);
+        let region = find_reexec_points(&func, &ctx, site_pos, RegionPolicy::Compensated);
+        let slice = slice_in_region(&func, &ctx, &region, site_pos);
         assert!(!region.all_paths_clean);
         assert!(!should_promote(
-            &func, &cfg, site_pos, &region, &slice, false, 1
+            &func, &ctx, site_pos, &region, &slice, false, 1
         ));
     }
 
@@ -355,7 +370,7 @@ mod tests {
         };
         // No caller exists.
         module.name = "m".into();
-        assert!(promote_site(&module, SiteId(0), get_state, &InterprocConfig::default()).is_none());
+        assert!(promote(&module, SiteId(0), get_state).is_none());
     }
 
     #[test]
@@ -384,8 +399,7 @@ mod tests {
         mb.function(fb.finish());
 
         let module = mb.finish();
-        let promo =
-            promote_site(&module, SiteId(0), leaf, &InterprocConfig::default()).expect("promotes");
+        let promo = promote(&module, SiteId(0), leaf).expect("promotes");
         assert_eq!(promo.depth, 2);
         let top = module.func_by_name("top").unwrap();
         assert!(promo.caller_points.iter().any(|l| l.func == top));
@@ -414,7 +428,7 @@ mod tests {
         fb.ret_value(v);
         mb.define_function(leaf, fb.finish());
         let module = mb.finish();
-        assert!(promote_site(&module, SiteId(0), leaf, &InterprocConfig::default()).is_none());
+        assert!(promote(&module, SiteId(0), leaf).is_none());
     }
 
     #[test]
@@ -435,9 +449,9 @@ mod tests {
         fb.lock(conair_ir::LockId(1)); // site
         fb.ret();
         let f = fb.finish();
-        let cfg = Cfg::build(&f);
+        let ctx = FuncCtx::new(&f);
         let site = InstPos::new(BlockId(3), 0);
-        assert!(exists_unrecoverable_path(&f, &cfg, site, true));
+        assert!(exists_unrecoverable_path(&f, &ctx, site, true));
 
         // With the bare arm also locking, no unrecoverable path remains.
         let mut fb = FuncBuilder::new("g", 1);
@@ -455,7 +469,7 @@ mod tests {
         fb.lock(conair_ir::LockId(1));
         fb.ret();
         let g = fb.finish();
-        let cfg = Cfg::build(&g);
-        assert!(!exists_unrecoverable_path(&g, &cfg, site, true));
+        let ctx = FuncCtx::new(&g);
+        assert!(!exists_unrecoverable_path(&g, &ctx, site, true));
     }
 }

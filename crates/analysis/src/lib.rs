@@ -8,6 +8,8 @@
 //! * [`classify`](mod@classify) — idempotency classification of instructions under the
 //!   three [`RegionPolicy`] points of the Figure-4 design spectrum
 //!   (Sections 2.2, 3.2, 4.1);
+//! * [`ctx`](mod@ctx) — memoized per-function contexts (CFG, flat
+//!   instruction layout, instruction-class bitsets) shared by every pass;
 //! * [`region`] — the backward depth-first search that places reexecution
 //!   points and delimits reexecution regions (Section 3.2.2);
 //! * [`slicing`] — region-restricted backward slicing (Section 4.2,
@@ -43,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod classify;
+pub mod ctx;
 pub mod interproc;
 pub mod optimize;
 pub mod plan;
@@ -51,6 +54,7 @@ pub mod sites;
 pub mod slicing;
 
 pub use classify::{classify, CompensationKind, DestroyReason, InstClass, RegionPolicy};
+pub use ctx::{AnalysisCache, FuncCtx};
 pub use interproc::{InterprocConfig, Promotion};
 pub use optimize::RecoverabilityVerdict;
 pub use plan::{analyze, AnalysisConfig, HardeningPlan, PlanStats, SitePlan};

@@ -4,16 +4,18 @@
 //!   lock held by the failing thread, so a deadlock site is recoverable
 //!   only if at least one of its reexecution regions contains another lock
 //!   acquisition. Otherwise the timed lock is reverted to a plain lock and
-//!   no recovery code is emitted.
+//!   no recovery code is emitted. The judgment is a single masked bitset
+//!   intersection between the region and the function's memoized
+//!   lock-acquisition set — no per-instruction re-scan.
 //! * **Non-deadlock sites** (Figure 7c/7d): reexecution can change the
 //!   failure outcome only if the region re-reads some shared memory that
 //!   can affect the site, i.e. the site's region-restricted backward slice
 //!   contains a shared read. Otherwise reexecution is guaranteed to fail
 //!   again and the site is removed.
 
-use conair_ir::{Function, InstPos};
+use conair_ir::InstPos;
 
-use crate::classify::is_lock_acquisition;
+use crate::ctx::FuncCtx;
 use crate::region::SiteRegion;
 use crate::slicing::RegionSlice;
 
@@ -39,12 +41,12 @@ impl RecoverabilityVerdict {
 
 /// Decides recoverability of a *deadlock* site.
 pub fn judge_deadlock_site(
-    func: &Function,
+    ctx: &FuncCtx,
     region: &SiteRegion,
     site_pos: InstPos,
 ) -> RecoverabilityVerdict {
-    let has_lock = region.region_contains(func, site_pos, is_lock_acquisition);
-    if has_lock {
+    let site_flat = ctx.layout.flat(site_pos);
+    if region.region_intersects(site_flat, &ctx.lock_acquisitions) {
         RecoverabilityVerdict::Recoverable
     } else {
         RecoverabilityVerdict::NoLockInRegion
@@ -63,7 +65,7 @@ pub fn judge_non_deadlock_site(slice: &RegionSlice) -> RecoverabilityVerdict {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use conair_ir::{BlockId, Cfg, CmpKind, FuncBuilder, GlobalId, LockId};
+    use conair_ir::{BlockId, CmpKind, FuncBuilder, GlobalId, LockId};
 
     use crate::classify::RegionPolicy;
     use crate::region::find_reexec_points;
@@ -78,11 +80,11 @@ mod tests {
         fb.lock(LockId(0)); // the site, index 1
         fb.ret();
         let f = fb.finish();
-        let cfg = Cfg::build(&f);
+        let ctx = FuncCtx::new(&f);
         let site = InstPos::new(BlockId(0), 1);
-        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        let region = find_reexec_points(&f, &ctx, site, RegionPolicy::Compensated);
         assert_eq!(
-            judge_deadlock_site(&f, &region, site),
+            judge_deadlock_site(&ctx, &region, site),
             RecoverabilityVerdict::NoLockInRegion
         );
     }
@@ -96,11 +98,11 @@ mod tests {
         fb.lock(LockId(1)); // the site, index 1
         fb.ret();
         let f = fb.finish();
-        let cfg = Cfg::build(&f);
+        let ctx = FuncCtx::new(&f);
         let site = InstPos::new(BlockId(0), 1);
-        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        let region = find_reexec_points(&f, &ctx, site, RegionPolicy::Compensated);
         assert_eq!(
-            judge_deadlock_site(&f, &region, site),
+            judge_deadlock_site(&ctx, &region, site),
             RecoverabilityVerdict::Recoverable
         );
     }
@@ -116,11 +118,11 @@ mod tests {
         fb.lock(LockId(1)); // the site, index 2
         fb.ret();
         let f = fb.finish();
-        let cfg = Cfg::build(&f);
+        let ctx = FuncCtx::new(&f);
         let site = InstPos::new(BlockId(0), 2);
-        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
+        let region = find_reexec_points(&f, &ctx, site, RegionPolicy::Compensated);
         assert_eq!(
-            judge_deadlock_site(&f, &region, site),
+            judge_deadlock_site(&ctx, &region, site),
             RecoverabilityVerdict::NoLockInRegion
         );
     }
@@ -135,10 +137,10 @@ mod tests {
         fb.assert(c, "tmp"); // site
         fb.ret();
         let f = fb.finish();
-        let cfg = Cfg::build(&f);
+        let ctx = FuncCtx::new(&f);
         let site = InstPos::new(BlockId(0), 2);
-        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
-        let slice = slice_in_region(&f, &region, site);
+        let region = find_reexec_points(&f, &ctx, site, RegionPolicy::Compensated);
+        let slice = slice_in_region(&f, &ctx, &region, site);
         assert_eq!(
             judge_non_deadlock_site(&slice),
             RecoverabilityVerdict::Recoverable
@@ -150,10 +152,10 @@ mod tests {
         fb.assert(k, "k"); // site
         fb.ret();
         let g = fb.finish();
-        let cfg = Cfg::build(&g);
+        let ctx = FuncCtx::new(&g);
         let site = InstPos::new(BlockId(0), 1);
-        let region = find_reexec_points(&g, &cfg, site, RegionPolicy::Compensated);
-        let slice = slice_in_region(&g, &region, site);
+        let region = find_reexec_points(&g, &ctx, site, RegionPolicy::Compensated);
+        let slice = slice_in_region(&g, &ctx, &region, site);
         assert_eq!(
             judge_non_deadlock_site(&slice),
             RecoverabilityVerdict::NoSharedReadOnSlice

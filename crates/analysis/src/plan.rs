@@ -6,12 +6,13 @@
 //! (which removes the promoted sites' entry points), then the Section 4.2
 //! optimization — applied only to sites that recover intra-procedurally.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
-use conair_ir::{Cfg, FailureKind, InstPos, Loc, Module, PointId, SiteId};
+use conair_ir::{FailureKind, InstPos, Loc, Module, PointId, SiteId};
 
 use crate::classify::RegionPolicy;
+use crate::ctx::AnalysisCache;
 use crate::interproc::{promote_site, should_promote, InterprocConfig};
 use crate::optimize::{judge_deadlock_site, judge_non_deadlock_site, RecoverabilityVerdict};
 use crate::region::find_reexec_points;
@@ -147,12 +148,9 @@ impl HardeningPlan {
 pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
     let table = identify_sites(module, &config.selection);
 
-    // Cache CFGs per function.
-    let mut cfgs: HashMap<conair_ir::FuncId, Cfg> = HashMap::new();
-    for site in &table.sites {
-        cfgs.entry(site.loc.func)
-            .or_insert_with(|| Cfg::build(module.func(site.loc.func)));
-    }
+    // One CFG + flat layout + class-bitset context per function, shared
+    // with the inter-procedural caller walks.
+    let mut cache = AnalysisCache::new();
 
     let interproc_config = config.interproc_depth.map(|d| InterprocConfig {
         max_depth: d,
@@ -164,11 +162,11 @@ pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
 
     for site in &table.sites {
         let func = module.func(site.loc.func);
-        let cfg = &cfgs[&site.loc.func];
+        let ctx = cache.ctx(module, site.loc.func);
         let site_pos = InstPos::new(site.loc.block, site.loc.inst);
-        let region = find_reexec_points(func, cfg, site_pos, config.policy);
+        let region = find_reexec_points(func, &ctx, site_pos, config.policy);
         let is_deadlock = site.kind == FailureKind::Deadlock;
-        let slice = slice_in_region(func, &region, site_pos);
+        let slice = slice_in_region(func, &ctx, &region, site_pos);
 
         // --- inter-procedural promotion (Section 4.3) --------------------
         let mut promoted_depth = None;
@@ -176,14 +174,14 @@ pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
         if let Some(ipc) = &interproc_config {
             if should_promote(
                 func,
-                cfg,
+                &ctx,
                 site_pos,
                 &region,
                 &slice,
                 is_deadlock,
                 func.num_params,
             ) {
-                if let Some(promo) = promote_site(module, site.id, site.loc.func, ipc) {
+                if let Some(promo) = promote_site(module, site.id, site.loc.func, ipc, &mut cache) {
                     promoted_depth = Some(promo.depth);
                     points = promo.caller_points;
                 }
@@ -206,7 +204,7 @@ pub fn analyze(module: &Module, config: &AnalysisConfig) -> HardeningPlan {
             } else {
                 let judge_start = Instant::now();
                 let v = if is_deadlock {
-                    judge_deadlock_site(func, &region, site_pos)
+                    judge_deadlock_site(&ctx, &region, site_pos)
                 } else {
                     judge_non_deadlock_site(&slice)
                 };

@@ -15,16 +15,18 @@
 
 use std::collections::HashSet;
 
-use conair_ir::{Function, Inst, InstPos, Reg};
+use conair_ir::{Function, Inst, InstPos, InstSet, Reg};
 
+use crate::ctx::FuncCtx;
 use crate::region::SiteRegion;
 
 /// The backward slice of a failure site's criterion, restricted to its
 /// reexecution regions.
 #[derive(Debug, Clone, Default)]
 pub struct RegionSlice {
-    /// In-region instructions on the slice.
-    pub insts: HashSet<InstPos>,
+    /// In-region instructions on the slice, as flat indices in the
+    /// function's [`conair_ir::FlatLayout`] numbering.
+    pub insts: InstSet,
     /// Registers on the slice that have *no* defining instruction inside the
     /// region — their values flow in from outside (parameters or earlier
     /// code). Used by the inter-procedural condition (2) of Section 4.3.
@@ -55,24 +57,36 @@ pub fn criterion_regs(site_inst: &Inst) -> Vec<Reg> {
 
 /// Computes the region-restricted backward slice of the site at `site_pos`.
 ///
-/// `region` must be the [`SiteRegion`] computed for that site.
-pub fn slice_in_region(func: &Function, region: &SiteRegion, site_pos: InstPos) -> RegionSlice {
-    let mut slice = RegionSlice::default();
+/// `region` must be the [`SiteRegion`] computed for that site with the
+/// same [`FuncCtx`].
+pub fn slice_in_region(
+    func: &Function,
+    ctx: &FuncCtx,
+    region: &SiteRegion,
+    site_pos: InstPos,
+) -> RegionSlice {
+    let layout = &ctx.layout;
+    let mut slice = RegionSlice {
+        insts: layout.empty_set(),
+        ..RegionSlice::default()
+    };
     let site_inst = &func.block(site_pos.block).insts[site_pos.inst];
+    let site_flat = layout.flat(site_pos);
 
     // Worklist of registers whose in-region definitions we must include.
     let mut pending: Vec<Reg> = criterion_regs(site_inst);
 
     // Control dependence approximation: conditions of in-region branches.
-    for &pos in &region.region {
-        if pos == site_pos {
+    for flat in region.region.iter() {
+        if flat == site_flat {
             continue;
         }
+        let pos = layout.pos(flat);
         if let Inst::Branch { cond, .. } = &func.block(pos.block).insts[pos.inst] {
             if let Some(r) = cond.as_reg() {
                 pending.push(r);
             }
-            slice.insts.insert(pos);
+            slice.insts.insert(flat);
         }
     }
 
@@ -84,15 +98,16 @@ pub fn slice_in_region(func: &Function, region: &SiteRegion, site_pos: InstPos) 
         // All in-region definitions of `reg` (the region is small; a linear
         // scan is fine and avoids building reaching-definition sets).
         let mut defined_in_region = false;
-        for &pos in &region.region {
-            if pos == site_pos {
+        for flat in region.region.iter() {
+            if flat == site_flat {
                 continue;
             }
+            let pos = layout.pos(flat);
             let inst = &func.block(pos.block).insts[pos.inst];
             if inst.def() == Some(reg) {
                 defined_in_region = true;
-                slice.insts.insert(pos);
-                if crate::classify::is_shared_read(inst) {
+                slice.insts.insert(flat);
+                if ctx.shared_reads.contains(flat) {
                     // Figure 8: a read from non-register memory; inside the
                     // region this is exactly the shared read the
                     // optimization is looking for. Tracking stops here —
@@ -115,13 +130,13 @@ pub fn slice_in_region(func: &Function, region: &SiteRegion, site_pos: InstPos) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use conair_ir::{BlockId, Cfg, CmpKind, FuncBuilder, GlobalId, LocalId};
+    use conair_ir::{BlockId, CmpKind, FuncBuilder, GlobalId, LocalId};
 
     use crate::classify::RegionPolicy;
     use crate::region::find_reexec_points;
 
     fn slice_of_last_site(func: &Function) -> (RegionSlice, SiteRegion) {
-        let cfg = Cfg::build(func);
+        let ctx = FuncCtx::new(func);
         let mut site = None;
         for (bid, block) in func.iter_blocks() {
             for (i, inst) in block.insts.iter().enumerate() {
@@ -134,8 +149,8 @@ mod tests {
             }
         }
         let site = site.expect("test function has a failure site");
-        let region = find_reexec_points(func, &cfg, site, RegionPolicy::Compensated);
-        (slice_in_region(func, &region, site), region)
+        let region = find_reexec_points(func, &ctx, site, RegionPolicy::Compensated);
+        (slice_in_region(func, &ctx, &region, site), region)
     }
 
     /// Figure 7d: `tmp = global_x; assert(tmp)` — the slice reaches the
@@ -221,10 +236,10 @@ mod tests {
         fb.switch_to(exit);
         fb.ret();
         let f = fb.finish();
-        let cfg = Cfg::build(&f);
+        let ctx = FuncCtx::new(&f);
         let site = InstPos::new(BlockId(1), 1);
-        let region = find_reexec_points(&f, &cfg, site, RegionPolicy::Compensated);
-        let slice = slice_in_region(&f, &region, site);
+        let region = find_reexec_points(&f, &ctx, site, RegionPolicy::Compensated);
+        let slice = slice_in_region(&f, &ctx, &region, site);
         // Even though the assert condition is a constant-copy, the branch
         // condition's shared read is on the slice.
         assert!(slice.has_shared_read);

@@ -1,0 +1,65 @@
+//! Criterion bench: raw interpreter throughput (steps/sec) on benign runs
+//! of hardened workloads, and trial-engine throughput sequential vs
+//! parallel — the statistically-sound companion of the `bench_interp`
+//! binary (which writes `BENCH_interp.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conair::Conair;
+use conair_runtime::{run_scripted, run_trials_parallel, MachineConfig};
+use conair_workloads::workload_by_name;
+
+/// One big and one branchy workload keep the bench fast while covering the
+/// dispatch patterns that matter; the `bench_interp` binary sweeps more.
+const APPS: [&str; 2] = ["FFT", "HawkNL"];
+
+const TRIALS: usize = 20;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_steps");
+    group.sample_size(10);
+    for app in APPS {
+        let w = workload_by_name(app).expect("registered workload");
+        let hardened = Conair::survival().harden(&w.program);
+        let machine = MachineConfig::default();
+        group.bench_with_input(BenchmarkId::new("benign_run", app), &w, |b, w| {
+            b.iter(|| {
+                let r = run_scripted(
+                    &hardened.program,
+                    machine.clone(),
+                    w.benign_script.clone(),
+                    7,
+                );
+                black_box(r.stats.steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trial_engine");
+    group.sample_size(10);
+    let w = workload_by_name("FFT").expect("registered workload");
+    let hardened = Conair::survival().harden(&w.program);
+    let machine = MachineConfig::default();
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("run_trials", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let summary = run_trials_parallel(
+                    &hardened.program,
+                    &machine,
+                    &w.benign_script,
+                    1,
+                    TRIALS,
+                    jobs,
+                );
+                black_box(summary.mean_insts)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_trials);
+criterion_main!(benches);

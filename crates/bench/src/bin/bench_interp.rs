@@ -1,0 +1,144 @@
+//! Measures interpreter throughput (steps/sec on a benign run, trials/sec
+//! on the Table-7 recovery harness) and writes the numbers to
+//! `BENCH_interp.json` — the first datapoint of the perf trajectory.
+//!
+//! ```text
+//! bench_interp [--out BENCH_interp.json] [--label NAME] [--jobs N] [--reps N]
+//! ```
+//!
+//! Each throughput figure is the best of `--reps` repetitions (default 3):
+//! on a shared or virtualized box, transient interference only ever makes a
+//! rep *slower*, so the maximum over reps is the lowest-noise estimate of
+//! the machine's true rate — the same reasoning behind min-time reporting
+//! in criterion-style harnesses.
+
+use std::time::Instant;
+
+use conair::Conair;
+use conair_bench::BenchConfig;
+use conair_runtime::run_scripted;
+use conair_workloads::workload_by_name;
+
+/// Benign-run repetitions for the steps/sec figure.
+const STEP_RUNS: usize = 40;
+/// Seeded bug-forcing trials for the trials/sec figure.
+const TRIALS: usize = 200;
+/// The workload under measurement (largest step count per benign run).
+const APP: &str = "FFT";
+
+fn main() {
+    let mut out_path = "BENCH_interp.json".to_string();
+    let mut label = "current".to_string();
+    let mut jobs = 4usize;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--label" => label = args.next().expect("--label needs a name"),
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a number")
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--reps needs a number >= 1")
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(0.0f64, f64::max);
+
+    let cfg = BenchConfig::from_env();
+    let machine = cfg.machine();
+    let w = workload_by_name(APP).expect("registered workload");
+    let hardened = Conair::survival().harden(&w.program);
+
+    // Steps/sec: seed-paired benign runs of the hardened program.
+    let steps_per_sec = best(&|| {
+        let start = Instant::now();
+        let mut steps = 0u64;
+        for i in 0..STEP_RUNS {
+            let r = run_scripted(
+                &hardened.program,
+                machine.clone(),
+                w.benign_script.clone(),
+                cfg.seed0 + i as u64,
+            );
+            assert!(r.outcome.is_completed(), "benign run must complete");
+            steps += r.stats.steps;
+        }
+        steps as f64 / start.elapsed().as_secs_f64()
+    });
+
+    // Trials/sec: the Table-7 recovery harness, sequential.
+    let trials_per_sec_seq = best(&|| {
+        let start = Instant::now();
+        let summary = conair_runtime::run_trials(
+            &hardened.program,
+            &machine,
+            &w.bug_script,
+            cfg.seed0,
+            TRIALS,
+        );
+        assert!(summary.all_completed(), "recovery trials must complete");
+        TRIALS as f64 / start.elapsed().as_secs_f64()
+    });
+
+    // Trials/sec: same workload fanned across the trial pool.
+    let trials_per_sec_par = best(&|| {
+        let start = Instant::now();
+        let par = conair_runtime::run_trials_parallel(
+            &hardened.program,
+            &machine,
+            &w.bug_script,
+            cfg.seed0,
+            TRIALS,
+            jobs,
+        );
+        assert!(
+            par.all_completed(),
+            "parallel recovery trials must complete"
+        );
+        TRIALS as f64 / start.elapsed().as_secs_f64()
+    });
+
+    use serde_json::Value;
+    let pair = |k: &str, v: Value| (k.to_string(), v);
+    let entry = Value::Object(vec![
+        pair("label", Value::Str(label.clone())),
+        pair("app", Value::Str(APP.to_string())),
+        pair("benign_runs", Value::UInt(STEP_RUNS as u64)),
+        pair("trials", Value::UInt(TRIALS as u64)),
+        pair("jobs", Value::UInt(jobs as u64)),
+        pair("steps_per_sec", Value::Float(steps_per_sec)),
+        pair(
+            "trials_per_sec_sequential",
+            Value::Float(trials_per_sec_seq),
+        ),
+        pair("trials_per_sec_parallel", Value::Float(trials_per_sec_par)),
+    ]);
+    // Append to the trajectory file: one JSON array, oldest entry first; a
+    // rerun with the same label replaces that label's entry.
+    let mut entries: Vec<Value> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| match serde_json::from_str::<Value>(&t) {
+            Ok(Value::Array(items)) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    entries.retain(|e| e.get("label").and_then(Value::as_str) != Some(label.as_str()));
+    entries.push(entry.clone());
+    let text = serde_json::to_string_pretty(&Value::Array(entries)).expect("serializes");
+    std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_interp.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&entry).expect("serializes")
+    );
+    println!("wrote {out_path}");
+}

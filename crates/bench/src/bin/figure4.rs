@@ -5,7 +5,8 @@
 use conair_bench::{experiments, pct, BenchConfig, TextTable};
 
 fn main() {
-    let cfg = BenchConfig::from_env();
+    let mut cfg = BenchConfig::from_env();
+    cfg.apply_cli_args(std::env::args().skip(1));
     eprintln!(
         "figure4: running the design-space ablation (this hardens every app under every policy)..."
     );

@@ -1,10 +1,20 @@
 //! Regenerates the Section-2 empirical-study aggregates that motivate
 //! ConAir's two design observations.
 
-use conair_bench::{pct, TextTable};
+use conair_bench::{pct, BenchConfig, TextTable};
 use conair_study::{region_study, single_thread_study};
 
 fn main() {
+    // Accept the shared CLI flags for interface uniformity; the study
+    // aggregates are static lookups, so `--jobs` changes nothing here.
+    let mut cfg = BenchConfig::from_env();
+    cfg.apply_cli_args(std::env::args().skip(1));
+    if cfg.jobs > 1 {
+        eprintln!(
+            "study: static aggregates, --jobs {} has no effect",
+            cfg.jobs
+        );
+    }
     let s = single_thread_study();
     let mut t = TextTable::new(vec!["Study", "Recoverable", "Total", "Fraction"]);
     t.row(vec![

@@ -9,7 +9,8 @@ fn opt(v: Option<u64>) -> String {
 }
 
 fn main() {
-    let cfg = BenchConfig::from_env();
+    let mut cfg = BenchConfig::from_env();
+    cfg.apply_cli_args(std::env::args().skip(1));
     let rows = experiments::table7(&cfg);
     let mut t = TextTable::new(vec![
         "Application",

@@ -6,7 +6,8 @@ use conair::{Conair, ConairConfig, Mode};
 use conair_analysis::RegionPolicy;
 use conair_ir::FailureKind;
 use conair_runtime::{
-    measure_restart, run_scripted, run_trials, MachineConfig, RunOutcome, RunResult,
+    measure_restart, run_scripted, run_trials_parallel, MachineConfig, RunOutcome, RunResult,
+    TrialPool,
 };
 use conair_workloads::{all_workloads, build_micro, AtomicityPattern, Workload};
 
@@ -340,18 +341,21 @@ pub fn table7(cfg: &BenchConfig) -> Vec<Table7Row> {
                 w.meta.name,
                 r.outcome
             );
-            let ns_per_step = ns_per_step(&r);
+            let ns_per_step = cfg.ns_per_step.unwrap_or_else(|| ns_per_step(&r));
             let recovery_steps = r.stats.max_recovery_steps().unwrap_or(0);
             let retries = r.stats.total_retries();
 
             // Percentiles over repeated seeded trials (the single run above
             // pins the headline numbers to seed0, matching older reports).
-            let summary = run_trials(
+            // The fan-out merges per-seed results in seed order, so the
+            // summary is identical for any job count.
+            let summary = run_trials_parallel(
                 &hardened.program,
                 &machine,
                 &w.bug_script,
                 cfg.seed0,
                 cfg.trials,
+                cfg.jobs,
             );
 
             let restart = measure_restart(
@@ -485,9 +489,13 @@ pub fn figure4(cfg: &BenchConfig) -> Vec<Figure4Point> {
                 recovery_steps.push(r.stats.max_recovery_steps().unwrap_or(0) as f64);
             }
         }
-        // Overhead across the real applications.
-        let mut overheads = Vec::new();
-        for w in all_workloads() {
+        // Overhead across the real applications. Each workload's
+        // harden-and-measure is independent, so fan out across the trial
+        // pool; results come back in workload order regardless of jobs.
+        let workloads = all_workloads();
+        let pool = TrialPool::new(cfg.jobs);
+        let overheads: Vec<f64> = pool.map(workloads.len(), |i| {
+            let w = &workloads[i];
             let pipeline = Conair::with_config(ConairConfig {
                 policy,
                 ..ConairConfig::default()
@@ -495,9 +503,8 @@ pub fn figure4(cfg: &BenchConfig) -> Vec<Figure4Point> {
             let hardened = pipeline.harden(&w.program);
             let mut rm = machine.clone();
             rm.buffered_writes = policy == RegionPolicy::BufferedWrites;
-            let (oh, _) = overhead_vs_original(&w, &hardened.program, &rm, cfg);
-            overheads.push(oh);
-        }
+            overhead_vs_original(w, &hardened.program, &rm, cfg).0
+        });
         out.push(Figure4Point {
             label: policy.name(),
             patterns_recovered: recovered,

@@ -155,6 +155,7 @@ mod tests {
             trials: 1,
             overhead_trials: 1,
             seed0: 1,
+            ..BenchConfig::default()
         };
         let report = evaluation_report(&cfg);
         assert_eq!(report.table3.len(), 10);

@@ -8,6 +8,7 @@
 //! conair-cli harden  <file.cir> [--fix <marker>]... [-o <out.cir>]
 //! conair-cli run     <file.cir> [--harden] [--threads <f1,f2,...>] [--seed <n>]
 //!                    [--steps <n>] [--trace <out.jsonl>] [--trace-depth <n>]
+//!                    [--trials <n>] [--jobs <n>]
 //! conair-cli report  <trace.jsonl> [--limit <n>] [--chrome <out.json>]
 //! ```
 //!
@@ -27,8 +28,9 @@ use std::fmt::Write as _;
 use conair::{Conair, ConairConfig, Mode};
 use conair_ir::{parse_module, validate, validate_hardened, FailureKind, Module};
 use conair_runtime::{
-    from_jsonl, run_once, run_traced, summarize_events, to_chrome_trace, to_jsonl, EventBuffer,
-    MachineConfig, Program, RunOutcome, RunResult, ScheduleScript, TraceEvent,
+    from_jsonl, run_once, run_traced, run_trials_parallel, summarize_events, to_chrome_trace,
+    to_jsonl, EventBuffer, MachineConfig, Program, RunOutcome, RunResult, ScheduleScript,
+    TraceEvent,
 };
 
 /// A CLI failure: message plus suggested exit code.
@@ -85,6 +87,12 @@ pub struct RunOptions {
     pub trace: Option<String>,
     /// Per-thread location ring-buffer depth for failure reports.
     pub trace_depth: usize,
+    /// Seeded trials to run (seeds `seed..seed+trials`). `1` = the classic
+    /// single run; more prints an aggregate summary instead.
+    pub trials: usize,
+    /// Worker threads for multi-trial runs. Results merge in seed order,
+    /// so the summary is identical for any job count.
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -97,6 +105,8 @@ impl Default for RunOptions {
             fix_markers: Vec::new(),
             trace: None,
             trace_depth: DEFAULT_TRACE_DEPTH,
+            trials: 1,
+            jobs: 1,
         }
     }
 }
@@ -166,6 +176,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut harden = false;
     let mut trace: Option<String> = None;
     let mut trace_depth = DEFAULT_TRACE_DEPTH;
+    let mut trials = 1usize;
+    let mut jobs = 1usize;
     let mut limit = DEFAULT_REPORT_LIMIT;
     let mut chrome: Option<String> = None;
 
@@ -217,6 +229,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| CliError::new("--trace-depth needs a number"))?
             }
+            "--trials" => {
+                trials = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::new("--trials needs a number >= 1"))?
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::new("--jobs needs a number >= 1"))?
+            }
             "--limit" => {
                 limit = it
                     .next()
@@ -265,6 +291,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 fix_markers,
                 trace,
                 trace_depth,
+                trials,
+                jobs,
             },
         },
         "report" => Command::Report {
@@ -283,8 +311,12 @@ pub const USAGE: &str = "usage: conair-cli <print|analyze|harden|run|report> <fi
   harden  <file.cir> [--fix M]... [-o out.cir]
   run     <file.cir> [--harden [--fix M]...] [--threads f1,f2] [--seed N]
           [--steps N] [--trace out.jsonl] [--trace-depth N]
+          [--trials N [--jobs N]]
           --threads defaults to every zero-parameter function;
-          --trace-depth defaults to 16 (0 disables failure location traces)
+          --trace-depth defaults to 16 (0 disables failure location traces);
+          --trials N > 1 runs seeds seed..seed+N and prints an aggregate
+          summary; --jobs N spreads the trials over N worker threads
+          (the summary is identical for any job count)
   report  <trace.jsonl> [--limit N] [--chrome out.json]";
 
 fn load(text: &str) -> Result<Module, CliError> {
@@ -464,6 +496,51 @@ pub fn cmd_run(text: &str, opts: &RunOptions) -> Result<(String, Option<String>)
         trace_depth: opts.trace_depth,
         ..MachineConfig::default()
     };
+
+    if opts.trials > 1 {
+        if opts.trace.is_some() {
+            return Err(CliError::new(
+                "run: --trace records a single run; use --trials 1",
+            ));
+        }
+        let s = run_trials_parallel(
+            &program,
+            &config,
+            &ScheduleScript::none(),
+            opts.seed,
+            opts.trials,
+            opts.jobs,
+        );
+        let _ = writeln!(
+            out,
+            "trials: {} (seeds {}..{}, {} jobs)",
+            s.trials,
+            opts.seed,
+            opts.seed + opts.trials as u64,
+            opts.jobs.max(1)
+        );
+        let _ = writeln!(
+            out,
+            "outcomes: {} completed, {} failed, {} hung, {} step-limited",
+            s.completed, s.failed, s.hung, s.step_limited
+        );
+        let _ = writeln!(
+            out,
+            "mean insts/run: {:.1}, mean retries/run: {:.2}",
+            s.mean_insts, s.mean_retries
+        );
+        if let Some(max) = s.max_recovery_steps {
+            let _ = writeln!(out, "max recovery steps: {max}");
+        }
+        let _ = writeln!(out, "retries per run: {}", s.retries_hist.summary());
+        let _ = writeln!(
+            out,
+            "recovery latency (steps): {}",
+            s.recovery_hist.summary()
+        );
+        return Ok((out, None));
+    }
+
     let buffer = EventBuffer::new();
     let r = if opts.trace.is_some() {
         run_traced(
@@ -856,6 +933,17 @@ bb0:
             }
         );
         assert_eq!(
+            parse_args(&args(&["run", "a.cir", "--trials", "8", "--jobs", "4"])).unwrap(),
+            Command::Run {
+                input: "a.cir".into(),
+                opts: RunOptions {
+                    trials: 8,
+                    jobs: 4,
+                    ..RunOptions::default()
+                },
+            }
+        );
+        assert_eq!(
             parse_args(&args(&[
                 "report", "t.jsonl", "--limit", "0", "--chrome", "c.json"
             ]))
@@ -877,6 +965,8 @@ bb0:
         assert!(parse_args(&args(&["run", "a", "b"])).is_err());
         assert!(parse_args(&args(&["run", "a.cir", "--bogus"])).is_err());
         assert!(parse_args(&args(&["run", "a.cir", "--trace"])).is_err());
+        assert!(parse_args(&args(&["run", "a.cir", "--trials", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a.cir", "--jobs", "x"])).is_err());
         assert!(parse_args(&args(&["report", "t.jsonl", "--limit", "x"])).is_err());
     }
 
@@ -951,6 +1041,47 @@ bb0:
         };
         let (out, _) = cmd_run(DEMO, &opts).unwrap();
         assert!(out.contains("seen = 5"), "{out}");
+    }
+
+    #[test]
+    fn run_trials_summary_is_identical_across_jobs() {
+        let hardened = cmd_harden(DEMO, &[]).unwrap();
+        let base = RunOptions {
+            threads: vec!["reader".into(), "writer".into()],
+            seed: 1,
+            steps: 100_000,
+            trials: 6,
+            ..RunOptions::default()
+        };
+        let (seq, trace) = cmd_run(&hardened, &base).unwrap();
+        assert!(trace.is_none());
+        assert!(seq.contains("trials: 6 (seeds 1..7, 1 jobs)"), "{seq}");
+        assert!(seq.contains("outcomes: "), "{seq}");
+        assert!(seq.contains("mean insts/run: "), "{seq}");
+
+        let par = RunOptions { jobs: 4, ..base };
+        let (out, _) = cmd_run(&hardened, &par).unwrap();
+        // Seed-order merging makes the report identical apart from the
+        // job count it echoes back.
+        assert_eq!(
+            seq.replace("1 jobs", ""),
+            out.replace("4 jobs", ""),
+            "summary must not depend on the job count"
+        );
+    }
+
+    #[test]
+    fn run_trials_rejects_trace() {
+        let err = cmd_run(
+            DEMO,
+            &RunOptions {
+                trials: 2,
+                trace: Some("t.jsonl".into()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("--trials 1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Flat instruction indexing: a dense, per-function numbering of every
+//! instruction position, and bitsets keyed by it.
+//!
+//! Both the runtime's pre-lowered instruction table and the analyses'
+//! region/visited sets index instructions the same way: blocks are laid
+//! out in id order, so a position `(block, inst)` maps to the `u32`
+//! `block_start(block) + inst`, and the entry instruction of a valid
+//! function is always flat index `0`. Sharing one numbering lets a region
+//! computed by the analysis be queried in O(words) by anything holding the
+//! same [`FlatLayout`].
+
+use crate::block::Function;
+use crate::cfg::InstPos;
+use crate::types::BlockId;
+
+/// The flat numbering of one function's instruction positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatLayout {
+    /// Flat index of each block's first instruction, plus a final sentinel
+    /// holding the total instruction count.
+    block_starts: Vec<u32>,
+    /// Inverse map: flat index back to `(block, inst)`.
+    pos: Vec<InstPos>,
+}
+
+impl FlatLayout {
+    /// Numbers `func`'s instructions: blocks in id order, entry first.
+    pub fn new(func: &Function) -> Self {
+        let total: usize = func.num_insts();
+        let mut block_starts = Vec::with_capacity(func.blocks.len() + 1);
+        let mut pos = Vec::with_capacity(total);
+        let mut next = 0u32;
+        for (bi, block) in func.blocks.iter().enumerate() {
+            block_starts.push(next);
+            for ii in 0..block.insts.len() {
+                pos.push(InstPos::new(BlockId::from_index(bi), ii));
+            }
+            next += block.insts.len() as u32;
+        }
+        block_starts.push(next);
+        Self { block_starts, pos }
+    }
+
+    /// Total instructions in the function.
+    pub fn num_insts(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Flat index of a block's first instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block_start(&self, block: BlockId) -> u32 {
+        self.block_starts[block.index()]
+    }
+
+    /// Flat index of a position.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the position is past its block's end.
+    pub fn flat(&self, pos: InstPos) -> u32 {
+        let f = self.block_starts[pos.block.index()] + pos.inst as u32;
+        debug_assert!(
+            f < self.block_starts[pos.block.index() + 1],
+            "position {pos:?} past the end of its block"
+        );
+        f
+    }
+
+    /// The position at a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range.
+    pub fn pos(&self, flat: u32) -> InstPos {
+        self.pos[flat as usize]
+    }
+
+    /// An empty bitset sized for this function.
+    pub fn empty_set(&self) -> InstSet {
+        InstSet::new(self.num_insts())
+    }
+}
+
+/// A dense bitset over one function's flat instruction indices.
+///
+/// Replaces the `HashSet<InstPos>` region/visited sets of the analyses:
+/// membership is one shift-and-mask, and whole-set queries (subset,
+/// intersection) are O(words) with no per-element hashing or iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstSet {
+    words: Vec<u64>,
+}
+
+impl InstSet {
+    /// An empty set with capacity for `n` instructions.
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts an index; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the capacity the set was created with.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Membership test (out-of-capacity indices are simply absent).
+    pub fn contains(&self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of members (popcount over the words).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(wi as u32 * 64 + b)
+            })
+        })
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &InstSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the sets share any member — O(words), no iteration.
+    pub fn intersects(&self, other: &InstSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Whether the sets share any member other than `skip` — the
+    /// iteration-free form of "does the region contain a qualifying
+    /// instruction besides the site itself".
+    pub fn intersects_excluding(&self, other: &InstSet, skip: u32) -> bool {
+        let (sw, sb) = (skip as usize / 64, skip as usize % 64);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .any(|(i, (&a, &b))| {
+                let mut both = a & b;
+                if i == sw {
+                    both &= !(1u64 << sb);
+                }
+                both != 0
+            })
+    }
+}
+
+impl FromIterator<u32> for InstSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let items: Vec<u32> = iter.into_iter().collect();
+        let cap = items.iter().map(|&i| i as usize + 1).max().unwrap_or(0);
+        let mut set = InstSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn two_block_func() -> Function {
+        let mut f = Function::new("t", 0);
+        f.block_mut(BlockId(0)).insts.push(Inst::Nop);
+        f.block_mut(BlockId(0))
+            .insts
+            .push(Inst::Jump { target: BlockId(1) });
+        let b1 = f.add_block();
+        f.block_mut(b1).insts.push(Inst::Nop);
+        f.block_mut(b1).insts.push(Inst::Nop);
+        f.block_mut(b1).insts.push(Inst::Return { value: None });
+        f
+    }
+
+    #[test]
+    fn layout_roundtrips_positions() {
+        let f = two_block_func();
+        let layout = FlatLayout::new(&f);
+        assert_eq!(layout.num_insts(), 5);
+        assert_eq!(layout.block_start(BlockId(0)), 0);
+        assert_eq!(layout.block_start(BlockId(1)), 2);
+        for flat in 0..5u32 {
+            assert_eq!(layout.flat(layout.pos(flat)), flat);
+        }
+        assert_eq!(layout.flat(InstPos::new(BlockId(1), 2)), 4);
+    }
+
+    #[test]
+    fn entry_instruction_is_flat_zero() {
+        let f = two_block_func();
+        let layout = FlatLayout::new(&f);
+        assert_eq!(layout.flat(InstPos::new(BlockId(0), 0)), 0);
+    }
+
+    #[test]
+    fn set_insert_contains_len() {
+        let mut s = InstSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "reinsert is not fresh");
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(!s.contains(10_000), "beyond capacity is absent");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let a: InstSet = [1u32, 70].into_iter().collect();
+        let b: InstSet = [1u32, 70, 100].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        let c: InstSet = [2u32, 71].into_iter().collect();
+        assert!(!a.intersects(&c));
+        // Differently-sized word vectors compare correctly.
+        let small: InstSet = [1u32].into_iter().collect();
+        assert!(small.is_subset(&b));
+        assert!(small.intersects(&b));
+    }
+
+    #[test]
+    fn intersects_excluding_masks_the_site_bit() {
+        let region: InstSet = [3u32, 64].into_iter().collect();
+        let locks: InstSet = [3u32].into_iter().collect();
+        assert!(region.intersects(&locks));
+        assert!(
+            !region.intersects_excluding(&locks, 3),
+            "the site itself does not count"
+        );
+        let locks2: InstSet = [3u32, 64].into_iter().collect();
+        assert!(region.intersects_excluding(&locks2, 3));
+    }
+}

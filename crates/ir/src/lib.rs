@@ -43,6 +43,7 @@
 mod block;
 mod builder;
 pub mod cfg;
+pub mod flat;
 mod inst;
 mod module;
 mod parse;
@@ -53,6 +54,7 @@ mod value;
 pub use block::{BasicBlock, FuncRef, Function};
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use cfg::{dominates, immediate_dominators, Cfg, InstPos};
+pub use flat::{FlatLayout, InstSet};
 pub use inst::{GuardKind, Inst};
 pub use module::{GlobalDecl, LockDecl, Module};
 pub use parse::{parse_module, ParseError};

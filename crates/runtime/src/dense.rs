@@ -1,0 +1,133 @@
+//! Dense program lowering: a flat-indexed instruction table built once
+//! before execution, so the step loop fetches `&Inst` by `u32` program
+//! counter with zero per-step cloning.
+//!
+//! The numbering is [`conair_ir::FlatLayout`] — the same flat index the
+//! analyses key their region bitsets by — so a resume position in a
+//! checkpoint is a plain `u32` and block entry of `BlockId(0)` is always
+//! pc `0`.
+
+use conair_ir::{BlockId, FlatLayout, FuncId, Inst, InstPos, Loc, Module};
+
+/// One function's pre-lowered instruction table.
+pub struct FuncLayout<'p> {
+    insts: Vec<&'p Inst>,
+    layout: FlatLayout,
+}
+
+impl<'p> FuncLayout<'p> {
+    fn new(func: &'p conair_ir::Function) -> Self {
+        let layout = FlatLayout::new(func);
+        let insts = func.blocks.iter().flat_map(|b| b.insts.iter()).collect();
+        Self { insts, layout }
+    }
+
+    /// The instruction at `pc`. The returned reference borrows the
+    /// *program* (lifetime `'p`), not this table — which is what lets the
+    /// interpreter hold it across a `&mut self` dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn inst(&self, pc: u32) -> &'p Inst {
+        self.insts[pc as usize]
+    }
+
+    /// The instruction at `pc`, or `None` past the function's end.
+    #[inline]
+    pub fn get(&self, pc: u32) -> Option<&'p Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// Flat pc of a block's first instruction.
+    #[inline]
+    pub fn block_start(&self, block: BlockId) -> u32 {
+        self.layout.block_start(block)
+    }
+
+    /// The `(block, inst)` position of a pc (trace/diagnostics only).
+    #[inline]
+    pub fn pos(&self, pc: u32) -> InstPos {
+        self.layout.pos(pc)
+    }
+
+    /// A source location for diagnostics.
+    pub fn loc(&self, func: FuncId, pc: u32) -> Loc {
+        let pos = self.pos(pc);
+        Loc::new(func, pos.block, pos.inst)
+    }
+
+    /// The shared flat numbering.
+    pub fn layout(&self) -> &FlatLayout {
+        &self.layout
+    }
+
+    /// Total instructions.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+}
+
+/// The pre-lowered instruction tables of every function in a module.
+pub struct DenseProgram<'p> {
+    funcs: Vec<FuncLayout<'p>>,
+}
+
+impl<'p> DenseProgram<'p> {
+    /// Lowers `module` (one pass, before execution starts).
+    pub fn new(module: &'p Module) -> Self {
+        Self {
+            funcs: module.functions.iter().map(FuncLayout::new).collect(),
+        }
+    }
+
+    /// One function's table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    #[inline]
+    pub fn func(&self, func: FuncId) -> &FuncLayout<'p> {
+        &self.funcs[func.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{FuncBuilder, ModuleBuilder};
+
+    #[test]
+    fn lowering_matches_block_walk() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FuncBuilder::new("main", 0);
+        let c = fb.copy(1);
+        let (then_bb, else_bb) = (fb.new_block(), fb.new_block());
+        fb.branch(c, then_bb, else_bb);
+        fb.switch_to(then_bb);
+        fb.ret();
+        fb.switch_to(else_bb);
+        fb.ret();
+        mb.function(fb.finish());
+        let module = mb.finish();
+
+        let dense = DenseProgram::new(&module);
+        let table = dense.func(FuncId(0));
+        let func = module.func(FuncId(0));
+        let mut flat = 0u32;
+        for (bid, block) in func.iter_blocks() {
+            assert_eq!(table.block_start(bid), flat);
+            for (i, inst) in block.insts.iter().enumerate() {
+                assert!(
+                    std::ptr::eq(table.inst(flat), inst),
+                    "table entry {flat} aliases the module instruction"
+                );
+                assert_eq!(table.pos(flat), InstPos::new(bid, i));
+                flat += 1;
+            }
+        }
+        assert_eq!(table.num_insts() as u32, flat);
+        assert_eq!(table.get(flat), None);
+    }
+}

@@ -1,6 +1,9 @@
-//! Experiment harness: repeated trials, overhead measurement and the
-//! whole-program-restart baseline used by Table 7 and Figure 4.
+//! Experiment harness: repeated trials (sequential or fanned across a
+//! [`TrialPool`]), overhead measurement and the whole-program-restart
+//! baseline used by Table 7 and Figure 4.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::Duration;
 
 use crate::machine::{Machine, MachineConfig};
@@ -104,22 +107,18 @@ impl TrialSummary {
     }
 }
 
-/// Runs `trials` seeded trials (seeds `seed0..seed0+trials`) under `script`.
-pub fn run_trials(
-    program: &Program,
-    config: &MachineConfig,
-    script: &ScheduleScript,
-    seed0: u64,
-    trials: usize,
-) -> TrialSummary {
+/// Folds per-trial results into a [`TrialSummary`]. Both the sequential
+/// and the parallel trial runners go through this single fold, in seed
+/// order, so their summaries are identical by construction (modulo the
+/// nondeterministic `wall` sum).
+fn summarize(results: impl IntoIterator<Item = RunResult>, trials: usize) -> TrialSummary {
     let mut summary = TrialSummary {
         trials,
         ..TrialSummary::default()
     };
     let mut insts_total = 0u64;
     let mut retries_total = 0u64;
-    for i in 0..trials {
-        let result = run_scripted(program, config.clone(), script.clone(), seed0 + i as u64);
+    for result in results {
         match &result.outcome {
             RunOutcome::Completed => summary.completed += 1,
             RunOutcome::Failed(_) => summary.failed += 1,
@@ -141,6 +140,111 @@ pub fn run_trials(
     summary.mean_insts = insts_total as f64 / trials.max(1) as f64;
     summary.mean_retries = retries_total as f64 / trials.max(1) as f64;
     summary
+}
+
+/// Runs `trials` seeded trials (seeds `seed0..seed0+trials`) under `script`.
+pub fn run_trials(
+    program: &Program,
+    config: &MachineConfig,
+    script: &ScheduleScript,
+    seed0: u64,
+    trials: usize,
+) -> TrialSummary {
+    summarize(
+        (0..trials)
+            .map(|i| run_scripted(program, config.clone(), script.clone(), seed0 + i as u64)),
+        trials,
+    )
+}
+
+/// A scoped worker pool for index-addressed fan-out, built on
+/// [`std::thread::scope`] — no external dependency.
+///
+/// Workers pull task indices from a shared counter (work stealing by
+/// atomic increment), so uneven task durations balance automatically; the
+/// results are returned **in index order** regardless of completion order,
+/// which is what makes downstream folds deterministic.
+pub struct TrialPool {
+    jobs: usize,
+}
+
+impl TrialPool {
+    /// A pool with `jobs` workers (`0` and `1` both mean "run inline").
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `task(0..count)` across the pool and returns the results in
+    /// index order. With one worker (or one task) this degenerates to a
+    /// plain sequential map on the calling thread.
+    pub fn map<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.jobs <= 1 || count <= 1 {
+            return (0..count).map(task).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let workers = self.jobs.min(count);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    if tx.send((i, task(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("pool worker delivered every result"))
+            .collect()
+    }
+}
+
+/// Runs `trials` seeded trials fanned across `jobs` workers.
+///
+/// Seed-pairing is preserved — trial `i` always runs with seed
+/// `seed0 + i`, whichever worker picks it up — and the per-trial results
+/// are folded **in seed order, not completion order**, through the same
+/// fold as [`run_trials`]. The summary is therefore identical to the
+/// sequential one in every field except `wall` (a sum of measured
+/// per-run durations, inherently nondeterministic).
+pub fn run_trials_parallel(
+    program: &Program,
+    config: &MachineConfig,
+    script: &ScheduleScript,
+    seed0: u64,
+    trials: usize,
+    jobs: usize,
+) -> TrialSummary {
+    let pool = TrialPool::new(jobs);
+    if pool.jobs() <= 1 {
+        return run_trials(program, config, script, seed0, trials);
+    }
+    let results = pool.map(trials, |i| {
+        run_scripted(program, config.clone(), script.clone(), seed0 + i as u64)
+    });
+    summarize(results, trials)
 }
 
 /// Overhead of a hardened program relative to the original, in both

@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 mod deadlock;
+mod dense;
 mod harness;
 mod locks;
 mod machine;
@@ -56,9 +57,10 @@ mod thread;
 mod trace;
 
 pub use deadlock::{find_wait_cycle, WaitCycle, WaitEdge};
+pub use dense::{DenseProgram, FuncLayout};
 pub use harness::{
-    measure_overhead, measure_restart, run_once, run_scripted, run_traced, run_trials, run_with,
-    OverheadReport, RestartReport, TrialSummary,
+    measure_overhead, measure_restart, run_once, run_scripted, run_traced, run_trials,
+    run_trials_parallel, run_with, OverheadReport, RestartReport, TrialPool, TrialSummary,
 };
 pub use locks::{AcquireResult, LockTable, ThreadId, UnlockError};
 pub use machine::{Machine, MachineConfig};

@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 use crate::deadlock::WaitEdge;
+use crate::dense::DenseProgram;
 use crate::locks::{AcquireResult, LockTable, ThreadId};
 use crate::memory::{Memory, DEFAULT_LOWER_BOUND};
 use crate::metrics::RunMetrics;
@@ -88,13 +89,18 @@ enum StepEffect {
 /// The interpreter for one program run.
 pub struct Machine<'p> {
     program: &'p Program,
+    /// Pre-lowered flat instruction tables, built once in [`Machine::new`]:
+    /// the step loop fetches `&Inst` by `u32` pc with no per-step cloning.
+    dense: DenseProgram<'p>,
     config: MachineConfig,
     memory: Memory,
     locks: LockTable,
     threads: Vec<ThreadState>,
     script: ScheduleScript,
     outputs: Vec<OutputRecord>,
-    marker_counts: HashMap<String, u64>,
+    /// Marker hit counts, keyed by name borrowed from the program — no
+    /// per-execution `String` allocation.
+    marker_counts: HashMap<&'p str, u64>,
     site_recovery: HashMap<SiteId, SiteRecovery>,
     site_checks: HashMap<SiteId, u64>,
     wait_edges: Vec<WaitEdge>,
@@ -110,6 +116,13 @@ pub struct Machine<'p> {
     /// Wait the currently stepping thread was blocked in, captured before
     /// its status is reset (lock wait-time accounting).
     pending_wait: Option<(LockId, u64)>,
+    /// Reused eligibility buffer — refilled every scheduler step instead of
+    /// allocating a fresh `Vec` (the step loop's only per-step allocation).
+    eligible: Vec<ThreadId>,
+    /// Whether any thread may be blocked on a *timed* lock — lets the
+    /// per-step timeout scan bail without touching the thread list. Set on
+    /// every timed-lock block; cleared by a scan that finds no waiter.
+    maybe_timed_waiter: bool,
     sink: Option<Box<dyn TraceSink>>,
 }
 
@@ -125,7 +138,6 @@ impl<'p> Machine<'p> {
             .map(|(i, spec)| {
                 ThreadState::new(
                     ThreadId(i),
-                    spec.name.clone(),
                     spec.func,
                     program.module.func(spec.func),
                     &spec.args,
@@ -136,6 +148,7 @@ impl<'p> Machine<'p> {
         let thread_count = program.threads.len();
         Self {
             program,
+            dense: DenseProgram::new(&program.module),
             config,
             memory,
             locks,
@@ -153,6 +166,8 @@ impl<'p> Machine<'p> {
             last_picked: None,
             rolled_back: vec![false; thread_count],
             pending_wait: None,
+            eligible: Vec::with_capacity(thread_count),
+            maybe_timed_waiter: false,
             sink: None,
         }
     }
@@ -190,7 +205,7 @@ impl<'p> Machine<'p> {
         let start = Instant::now();
         if self.sink.is_some() {
             for i in 0..self.threads.len() {
-                let name = self.threads[i].name.clone();
+                let name = self.program.threads[i].name.clone();
                 self.emit(|| TraceEvent::ThreadStarted {
                     step: 0,
                     thread: ThreadId(i),
@@ -246,9 +261,9 @@ impl<'p> Machine<'p> {
                 return outcome;
             }
 
-            // 2. Compute eligibility.
-            let eligible = self.eligible_threads();
-            if eligible.is_empty() {
+            // 2. Compute eligibility (into the reused buffer).
+            self.fill_eligible();
+            if self.eligible.is_empty() {
                 if self.threads.iter().all(ThreadState::is_done) {
                     return RunOutcome::Completed;
                 }
@@ -289,12 +304,12 @@ impl<'p> Machine<'p> {
 
             // 3. Pick and execute.
             let ctx = SchedContext {
-                eligible: &eligible,
+                eligible: &self.eligible,
                 step: self.step,
             };
             let tid = scheduler.pick(&ctx);
             debug_assert!(
-                eligible.contains(&tid),
+                self.eligible.contains(&tid),
                 "scheduler picked ineligible thread"
             );
             if self.last_picked != Some(tid) {
@@ -303,7 +318,7 @@ impl<'p> Machine<'p> {
                 }
                 let from = self.last_picked;
                 let step = self.step;
-                let eligible_count = eligible.len();
+                let eligible_count = self.eligible.len();
                 self.emit(|| TraceEvent::ContextSwitch {
                     step,
                     from,
@@ -318,9 +333,11 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Threads that can execute an instruction this step.
-    fn eligible_threads(&self) -> Vec<ThreadId> {
-        let mut out = Vec::new();
+    /// Refills the eligibility buffer with the threads that can execute an
+    /// instruction this step.
+    fn fill_eligible(&mut self) {
+        let mut out = std::mem::take(&mut self.eligible);
+        out.clear();
         for t in &self.threads {
             let ok = match t.status {
                 ThreadStatus::Runnable => !self.is_gate_held(t),
@@ -332,7 +349,7 @@ impl<'p> Machine<'p> {
                 out.push(t.id);
             }
         }
-        out
+        self.eligible = out;
     }
 
     fn is_gate_held(&self, t: &ThreadState) -> bool {
@@ -340,11 +357,10 @@ impl<'p> Machine<'p> {
             return false;
         }
         let frame = t.top();
-        let func = self.module().func(frame.func);
-        let next_marker = func
-            .block(frame.block)
-            .insts
-            .get(frame.inst)
+        let next_marker = self
+            .dense
+            .func(frame.func)
+            .get(frame.pc)
             .and_then(|i| match i {
                 Inst::Marker { name } => Some(name.as_str()),
                 _ => None,
@@ -356,6 +372,13 @@ impl<'p> Machine<'p> {
 
     /// Fires timed-lock timeouts; may end the run.
     fn process_lock_timeouts(&mut self) -> Option<RunOutcome> {
+        if !self.maybe_timed_waiter {
+            return None;
+        }
+        self.maybe_timed_waiter = self
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, ThreadStatus::BlockedOnLock { site: Some(_), .. }));
         for i in 0..self.threads.len() {
             let (lock, since, site) = match self.threads[i].status {
                 ThreadStatus::BlockedOnLock {
@@ -414,37 +437,39 @@ impl<'p> Machine<'p> {
     /// Executes one instruction of `tid`; returns a terminal outcome if the
     /// run ends.
     fn step_thread(&mut self, tid: ThreadId) -> Option<RunOutcome> {
-        // Remember an in-progress lock wait before the status reset below
-        // erases it (wait-time accounting for the acquisition about to
-        // retry).
-        self.pending_wait = match self.threads[tid.index()].status {
-            ThreadStatus::BlockedOnLock { lock, since, .. } => Some((lock, since)),
+        // Remember an in-progress lock wait before the status reset erases
+        // it (wait-time accounting for the acquisition about to retry), and
+        // wake sleepers / unblock on entry.
+        let t = &mut self.threads[tid.index()];
+        self.pending_wait = match t.status {
+            ThreadStatus::BlockedOnLock { lock, since, .. } => {
+                t.status = ThreadStatus::Runnable;
+                Some((lock, since))
+            }
+            ThreadStatus::SleepingUntil(_) => {
+                t.status = ThreadStatus::Runnable;
+                None
+            }
             _ => None,
         };
-        // Wake sleepers / unblock on entry.
-        match self.threads[tid.index()].status {
-            ThreadStatus::SleepingUntil(_) | ThreadStatus::BlockedOnLock { .. } => {
-                self.threads[tid.index()].status = ThreadStatus::Runnable;
-            }
-            _ => {}
-        }
 
-        let frame = self.threads[tid.index()].top().clone_position();
-        let func = self.module().func(frame.0);
-        let inst = func.block(frame.1).insts[frame.2].clone();
+        let top = self.threads[tid.index()].top();
+        let (func_id, pc) = (top.func, top.pc);
+        // The table entry borrows the *program* (`'p`), not `self`, so no
+        // clone is needed to hold it across the `&mut self` dispatch.
+        let inst = self.dense.func(func_id).inst(pc);
 
-        let step = self.step;
         let depth = self.config.trace_depth;
-        self.threads[tid.index()].record_trace(
-            step,
-            conair_ir::Loc::new(frame.0, frame.1, frame.2),
-            depth,
-        );
+        if depth > 0 {
+            let step = self.step;
+            let loc = self.dense.func(func_id).loc(func_id, pc);
+            self.threads[tid.index()].record_trace(step, loc, depth);
+        }
         self.threads[tid.index()].stats.insts += 1;
         // Advance pc optimistically; control flow overwrites it.
-        self.threads[tid.index()].top_mut().inst += 1;
+        self.threads[tid.index()].top_mut().pc += 1;
 
-        let effect = self.exec(tid, &inst);
+        let effect = self.exec(tid, inst);
         match effect {
             StepEffect::Continue => None,
             StepEffect::Blocked(lock, site) => {
@@ -468,8 +493,9 @@ impl<'p> Machine<'p> {
                 }
                 let t = &mut self.threads[tid.index()];
                 // Stay at the lock instruction.
-                t.top_mut().inst -= 1;
+                t.top_mut().pc -= 1;
                 t.status = ThreadStatus::BlockedOnLock { lock, since, site };
+                self.maybe_timed_waiter |= site.is_some();
                 None
             }
             StepEffect::AttemptRecovery(site, kind, msg) => {
@@ -532,7 +558,14 @@ impl<'p> Machine<'p> {
         self.aux_work += 1;
     }
 
-    fn exec(&mut self, tid: ThreadId, inst: &Inst) -> StepEffect {
+    /// Jumps the thread's top frame to the start of `target`.
+    fn jump_to(&mut self, tid: ThreadId, target: conair_ir::BlockId) {
+        let func = self.threads[tid.index()].top().func;
+        let pc = self.dense.func(func).block_start(target);
+        self.threads[tid.index()].top_mut().pc = pc;
+    }
+
+    fn exec(&mut self, tid: ThreadId, inst: &'p Inst) -> StepEffect {
         match inst {
             Inst::Copy { dst, src } => {
                 let v = self.eval(tid, *src);
@@ -716,9 +749,7 @@ impl<'p> Machine<'p> {
                 }
             }
             Inst::Jump { target } => {
-                let top = self.threads[tid.index()].top_mut();
-                top.block = *target;
-                top.inst = 0;
+                self.jump_to(tid, *target);
                 StepEffect::Continue
             }
             Inst::Branch {
@@ -731,9 +762,7 @@ impl<'p> Machine<'p> {
                 } else {
                     *else_bb
                 };
-                let top = self.threads[tid.index()].top_mut();
-                top.block = taken;
-                top.inst = 0;
+                self.jump_to(tid, taken);
                 StepEffect::Continue
             }
             Inst::Return { value } => {
@@ -759,7 +788,7 @@ impl<'p> Machine<'p> {
                 StepEffect::Continue
             }
             Inst::Marker { name } => {
-                *self.marker_counts.entry(name.clone()).or_insert(0) += 1;
+                *self.marker_counts.entry(name.as_str()).or_insert(0) += 1;
                 StepEffect::Continue
             }
             Inst::Nop => StepEffect::Continue,
@@ -976,10 +1005,4 @@ impl<'p> Machine<'p> {
 enum RecoveryOutcome {
     RolledBack,
     Exhausted,
-}
-
-impl Frame {
-    fn clone_position(&self) -> (conair_ir::FuncId, conair_ir::BlockId, usize) {
-        (self.func, self.block, self.inst)
-    }
 }

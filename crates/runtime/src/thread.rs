@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use conair_ir::{BlockId, FuncId, Function, Loc, LockId, Reg, SiteId};
+use conair_ir::{FuncId, Function, Loc, LockId, Reg, SiteId};
 
 use crate::locks::ThreadId;
 
@@ -17,10 +17,10 @@ pub struct Frame {
     /// Stack slots — **not** saved by a checkpoint (the stack-slot side of
     /// the paper's idempotency argument).
     pub locals: Vec<i64>,
-    /// Current block.
-    pub block: BlockId,
-    /// Next instruction index within the block.
-    pub inst: usize,
+    /// Next instruction, as a flat index into the function's pre-lowered
+    /// instruction table (see [`crate::DenseProgram`]); the entry
+    /// instruction is always `0`.
+    pub pc: u32,
     /// Register in the *caller's* frame receiving this call's return value.
     pub ret_dst: Option<Reg>,
 }
@@ -34,8 +34,7 @@ impl Frame {
             func: func_id,
             regs,
             locals: vec![0; func.num_locals],
-            block: BlockId(0),
-            inst: 0,
+            pc: 0,
             ret_dst,
         }
     }
@@ -50,12 +49,10 @@ pub struct Checkpoint {
     pub frame_depth: usize,
     /// Saved register image of the checkpoint frame.
     pub regs: Vec<i64>,
-    /// Resume block (the checkpoint instruction's own position — on resume
+    /// Resume pc (the checkpoint instruction's own flat index — on resume
     /// the checkpoint re-executes, re-saving and bumping the epoch, exactly
     /// like a re-entered `setjmp`).
-    pub block: BlockId,
-    /// Resume instruction index.
-    pub inst: usize,
+    pub pc: u32,
 }
 
 /// Why a thread cannot run right now.
@@ -155,10 +152,10 @@ pub struct ThreadStats {
 /// Complete state of one logical thread.
 #[derive(Debug, Clone)]
 pub struct ThreadState {
-    /// This thread's id.
+    /// This thread's id. The human-readable name lives in the
+    /// [`crate::ThreadSpec`] — keeping it out of per-run state avoids a
+    /// per-run allocation per thread.
     pub id: ThreadId,
-    /// Human-readable name (from the thread spec).
-    pub name: String,
     /// Call stack; empty once the thread is done.
     pub frames: Vec<Frame>,
     /// Scheduling status.
@@ -183,16 +180,9 @@ pub struct ThreadState {
 
 impl ThreadState {
     /// Creates a thread about to execute `func(args)`.
-    pub fn new(
-        id: ThreadId,
-        name: impl Into<String>,
-        func_id: FuncId,
-        func: &Function,
-        args: &[i64],
-    ) -> Self {
+    pub fn new(id: ThreadId, func_id: FuncId, func: &Function, args: &[i64]) -> Self {
         Self {
             id,
-            name: name.into(),
             frames: vec![Frame::new(func_id, func, args, None)],
             status: ThreadStatus::Runnable,
             checkpoint: None,
@@ -272,10 +262,9 @@ impl ThreadState {
         self.checkpoint = Some(Checkpoint {
             frame_depth: depth,
             regs: top.regs.clone(),
-            // `inst` has already been advanced past the checkpoint by the
+            // `pc` has already been advanced past the checkpoint by the
             // interpreter; resume re-executes the checkpoint instruction.
-            block: top.block,
-            inst: top.inst - 1,
+            pc: top.pc - 1,
         });
         self.epoch += 1;
         self.stats.checkpoints += 1;
@@ -293,13 +282,11 @@ impl ThreadState {
             "checkpoint above current stack — stale jmp_buf"
         );
         self.frames.truncate(cp.frame_depth);
-        let block = cp.block;
-        let inst = cp.inst;
+        let pc = cp.pc;
         let regs = cp.regs.clone();
         let top = self.top_mut();
         top.regs = regs;
-        top.block = block;
-        top.inst = inst;
+        top.pc = pc;
         self.stats.rollbacks += 1;
         true
     }
@@ -314,7 +301,7 @@ mod tests {
         let mut f = Function::new("main", 2);
         f.num_regs = 4;
         f.num_locals = 1;
-        ThreadState::new(ThreadId(0), "main", FuncId(0), &f, &[10, 20])
+        ThreadState::new(ThreadId(0), FuncId(0), &f, &[10, 20])
     }
 
     #[test]
@@ -327,20 +314,20 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_restores_registers_not_locals() {
         let mut t = mk_thread();
-        // Simulate having just executed a checkpoint at bb0:3.
-        t.top_mut().inst = 4;
+        // Simulate having just executed a checkpoint at flat pc 3.
+        t.top_mut().pc = 4;
         t.save_checkpoint();
         assert_eq!(t.epoch, 1);
 
         // Mutate registers and locals, advance.
         t.top_mut().regs[2] = 999;
         t.top_mut().locals[0] = 777;
-        t.top_mut().inst = 9;
+        t.top_mut().pc = 9;
 
         assert!(t.restore_checkpoint());
         assert_eq!(t.top().regs[2], 0, "registers restored");
         assert_eq!(t.top().locals[0], 777, "stack slots NOT restored");
-        assert_eq!(t.top().inst, 3, "resumes at the checkpoint instruction");
+        assert_eq!(t.top().pc, 3, "resumes at the checkpoint instruction");
         assert_eq!(t.stats.rollbacks, 1);
     }
 
@@ -353,7 +340,7 @@ mod tests {
     #[test]
     fn rollback_pops_frames() {
         let mut t = mk_thread();
-        t.top_mut().inst = 1;
+        t.top_mut().pc = 1;
         t.save_checkpoint();
         // Push a callee frame.
         let mut callee = Function::new("callee", 0);
@@ -369,13 +356,13 @@ mod tests {
     #[test]
     fn compensation_epoch_discipline() {
         let mut t = mk_thread();
-        t.top_mut().inst = 1;
+        t.top_mut().pc = 1;
         t.save_checkpoint(); // epoch 1
         t.record_compensation(CompensationRecord::Lock {
             lock: LockId(0),
             epoch: t.epoch,
         });
-        t.top_mut().inst = 2;
+        t.top_mut().pc = 2;
         t.save_checkpoint(); // epoch 2 — previous records are stale
         t.record_compensation(CompensationRecord::Allocation {
             base: 0x100_0000,
@@ -398,7 +385,7 @@ mod tests {
     #[test]
     fn stale_compensation_dropped_at_rollback_too() {
         let mut t = mk_thread();
-        t.top_mut().inst = 1;
+        t.top_mut().pc = 1;
         t.save_checkpoint(); // epoch 1
         t.record_compensation(CompensationRecord::Lock {
             lock: LockId(0),

@@ -9,6 +9,7 @@ fn tiny() -> BenchConfig {
         trials: 3,
         overhead_trials: 2,
         seed0: 1,
+        ..BenchConfig::default()
     }
 }
 

@@ -1,0 +1,95 @@
+//! The parallel trial engine must be observationally identical to the
+//! sequential one: `run_trials_parallel` merges per-seed results in seed
+//! order, so every summary field except wall time matches
+//! `run_trials` bit for bit, for any job count.
+
+use conair::Conair;
+use conair_runtime::{run_trials, run_trials_parallel, MachineConfig, TrialSummary};
+use conair_workloads::all_workloads;
+
+const TRIALS: usize = 8;
+const SEED0: u64 = 1;
+
+/// Everything in a [`TrialSummary`] except `wall`, which is the only
+/// field allowed to differ between sequential and parallel execution.
+fn deterministic_fields(
+    s: &TrialSummary,
+) -> (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    f64,
+    f64,
+    Option<u64>,
+    conair_runtime::Histogram,
+    conair_runtime::Histogram,
+) {
+    (
+        s.trials,
+        s.completed,
+        s.failed,
+        s.hung,
+        s.step_limited,
+        s.mean_insts,
+        s.mean_retries,
+        s.max_recovery_steps,
+        s.retries_hist.clone(),
+        s.recovery_hist.clone(),
+    )
+}
+
+#[test]
+fn parallel_trials_match_sequential_over_catalog() {
+    let machine = MachineConfig::default();
+    for w in all_workloads() {
+        let hardened = Conair::survival().harden(&w.program);
+        let seq = run_trials(&hardened.program, &machine, &w.bug_script, SEED0, TRIALS);
+        for jobs in [1usize, 4] {
+            let par = run_trials_parallel(
+                &hardened.program,
+                &machine,
+                &w.bug_script,
+                SEED0,
+                TRIALS,
+                jobs,
+            );
+            assert_eq!(
+                deterministic_fields(&seq),
+                deterministic_fields(&par),
+                "{}: jobs={jobs} diverged from sequential",
+                w.meta.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_trials_match_on_benign_schedules() {
+    // Benign runs exercise the completed/zero-retry path of the merge.
+    let machine = MachineConfig::default();
+    for w in all_workloads() {
+        let hardened = Conair::survival().harden(&w.program);
+        let seq = run_trials(&hardened.program, &machine, &w.benign_script, SEED0, TRIALS);
+        let par = run_trials_parallel(
+            &hardened.program,
+            &machine,
+            &w.benign_script,
+            SEED0,
+            TRIALS,
+            4,
+        );
+        assert_eq!(
+            deterministic_fields(&seq),
+            deterministic_fields(&par),
+            "{}: benign parallel run diverged",
+            w.meta.name
+        );
+        assert_eq!(
+            par.completed, par.trials,
+            "{}: benign runs must complete",
+            w.meta.name
+        );
+    }
+}
