@@ -24,12 +24,7 @@ fn bench_steps(c: &mut Criterion) {
         let machine = MachineConfig::default();
         group.bench_with_input(BenchmarkId::new("benign_run", app), &w, |b, w| {
             b.iter(|| {
-                let r = run_scripted(
-                    &hardened.program,
-                    machine.clone(),
-                    w.benign_script.clone(),
-                    7,
-                );
+                let r = run_scripted(&hardened.program, &machine, &w.benign_script, 7);
                 black_box(r.stats.steps)
             })
         });

@@ -22,20 +22,13 @@ fn bench_overhead(c: &mut Criterion) {
         let machine = MachineConfig::default();
 
         group.bench_with_input(BenchmarkId::new("original", app), &w, |b, w| {
-            b.iter(|| run_scripted(&w.program, machine.clone(), w.benign_script.clone(), 7))
+            b.iter(|| run_scripted(&w.program, &machine, &w.benign_script, 7))
         });
         group.bench_with_input(BenchmarkId::new("survival", app), &w, |b, w| {
-            b.iter(|| {
-                run_scripted(
-                    &survival.program,
-                    machine.clone(),
-                    w.benign_script.clone(),
-                    7,
-                )
-            })
+            b.iter(|| run_scripted(&survival.program, &machine, &w.benign_script, 7))
         });
         group.bench_with_input(BenchmarkId::new("fix", app), &w, |b, w| {
-            b.iter(|| run_scripted(&fix.program, machine.clone(), w.benign_script.clone(), 7))
+            b.iter(|| run_scripted(&fix.program, &machine, &w.benign_script, 7))
         });
     }
     group.finish();

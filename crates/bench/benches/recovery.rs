@@ -22,7 +22,7 @@ fn bench_recovery(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("survival", app), &w, |b, w| {
             b.iter(|| {
-                let r = run_scripted(&hardened.program, machine.clone(), w.bug_script.clone(), 11);
+                let r = run_scripted(&hardened.program, &machine, &w.bug_script, 11);
                 assert!(r.outcome.is_completed());
                 r
             })

@@ -1,23 +1,40 @@
 //! Measures interpreter throughput (steps/sec on a benign run, trials/sec
 //! on the Table-7 recovery harness) and writes the numbers to
 //! `BENCH_interp.json` — the first datapoint of the perf trajectory.
+//! Additionally measures the checkpoint machinery itself on the
+//! checkpoint-density stress workloads and writes per-checkpoint /
+//! per-rollback costs to `BENCH_checkpoint.json`.
 //!
 //! ```text
 //! bench_interp [--out BENCH_interp.json] [--label NAME] [--jobs N] [--reps N]
+//!              [--checkpoint-out BENCH_checkpoint.json] [--checkpoint-only]
+//!              [--skip-checkpoint] [--checkpoint-regs N]
+//!              [--checkpoint-iters N] [--rollback-iters N]
 //! ```
 //!
 //! Each throughput figure is the best of `--reps` repetitions (default 3):
 //! on a shared or virtualized box, transient interference only ever makes a
 //! rep *slower*, so the maximum over reps is the lowest-noise estimate of
 //! the machine's true rate — the same reasoning behind min-time reporting
-//! in criterion-style harnesses.
+//! in criterion-style harnesses. Cost figures (ns per checkpoint/rollback)
+//! symmetrically take the minimum over reps.
+//!
+//! The per-checkpoint cost is differential: the checkpoint-dense loop is
+//! timed against a byte-identical control whose checkpoint is a `nop`, so
+//! loop overhead cancels and the number is the marginal cost of one
+//! checkpoint execution in a `--checkpoint-regs`-wide frame. The
+//! per-rollback cost is `wall / rollbacks` on the rollback-dense workload
+//! (inclusive of the re-executed guard attempt — identical methodology
+//! before and after, so the ratio is meaningful).
 
 use std::time::Instant;
 
 use conair::Conair;
 use conair_bench::BenchConfig;
 use conair_runtime::run_scripted;
-use conair_workloads::workload_by_name;
+use conair_workloads::{
+    checkpoint_dense_control, checkpoint_dense_program, rollback_dense_program, workload_by_name,
+};
 
 /// Benign-run repetitions for the steps/sec figure.
 const STEP_RUNS: usize = 40;
@@ -25,16 +42,27 @@ const STEP_RUNS: usize = 40;
 const TRIALS: usize = 200;
 /// The workload under measurement (largest step count per benign run).
 const APP: &str = "FFT";
+/// Guard failures (= attempts) per pass on the rollback-dense workload.
+const FAILS_PER_PASS: u64 = 4;
 
 fn main() {
     let mut out_path = "BENCH_interp.json".to_string();
+    let mut checkpoint_out = "BENCH_checkpoint.json".to_string();
     let mut label = "current".to_string();
     let mut jobs = 4usize;
     let mut reps = 3usize;
+    let mut checkpoint_regs = 256usize;
+    let mut checkpoint_iters = 2_000_000u64;
+    let mut rollback_iters = 300_000u64;
+    let mut run_throughput = true;
+    let mut run_checkpoint = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--checkpoint-out" => {
+                checkpoint_out = args.next().expect("--checkpoint-out needs a path")
+            }
             "--label" => label = args.next().expect("--label needs a name"),
             "--jobs" => {
                 jobs = args
@@ -49,10 +77,47 @@ fn main() {
                     .filter(|&n: &usize| n >= 1)
                     .expect("--reps needs a number >= 1")
             }
+            "--checkpoint-regs" => {
+                checkpoint_regs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--checkpoint-regs needs a number >= 1")
+            }
+            "--checkpoint-iters" => {
+                checkpoint_iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n >= 1)
+                    .expect("--checkpoint-iters needs a number >= 1")
+            }
+            "--rollback-iters" => {
+                rollback_iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n >= 1)
+                    .expect("--rollback-iters needs a number >= 1")
+            }
+            "--checkpoint-only" => run_throughput = false,
+            "--skip-checkpoint" => run_checkpoint = false,
             other => panic!("unknown flag `{other}`"),
         }
     }
     let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(0.0f64, f64::max);
+
+    if run_checkpoint {
+        checkpoint_bench(
+            &checkpoint_out,
+            &label,
+            reps,
+            checkpoint_regs,
+            checkpoint_iters,
+            rollback_iters,
+        );
+    }
+    if !run_throughput {
+        return;
+    }
 
     let cfg = BenchConfig::from_env();
     let machine = cfg.machine();
@@ -66,8 +131,8 @@ fn main() {
         for i in 0..STEP_RUNS {
             let r = run_scripted(
                 &hardened.program,
-                machine.clone(),
-                w.benign_script.clone(),
+                &machine,
+                &w.benign_script,
                 cfg.seed0 + i as u64,
             );
             assert!(r.outcome.is_completed(), "benign run must complete");
@@ -123,22 +188,87 @@ fn main() {
         ),
         pair("trials_per_sec_parallel", Value::Float(trials_per_sec_par)),
     ]);
-    // Append to the trajectory file: one JSON array, oldest entry first; a
-    // rerun with the same label replaces that label's entry.
-    let mut entries: Vec<Value> = std::fs::read_to_string(&out_path)
+    append_entry(&out_path, &label, entry);
+}
+
+/// Measures the checkpoint machinery on the stress workloads and appends
+/// the costs to the `BENCH_checkpoint.json` trajectory.
+fn checkpoint_bench(
+    out_path: &str,
+    label: &str,
+    reps: usize,
+    regs: usize,
+    checkpoint_iters: u64,
+    rollback_iters: u64,
+) {
+    use conair_runtime::{run_once, MachineConfig, RunResult};
+    let lowest = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let config = MachineConfig::default;
+    let timed = |p: &conair_runtime::Program| -> RunResult {
+        let r = run_once(p, &config(), 0);
+        assert!(r.outcome.is_completed(), "stress run must complete");
+        r
+    };
+
+    let dense = checkpoint_dense_program(regs, checkpoint_iters);
+    let control = checkpoint_dense_control(regs, checkpoint_iters);
+    let rollback = rollback_dense_program(regs, rollback_iters, FAILS_PER_PASS);
+
+    // Marginal per-checkpoint cost: checkpoint-dense loop minus its
+    // nop-control, divided by the number of checkpoints executed. Each
+    // wall is the minimum over reps *before* subtracting, so one noisy
+    // control rep cannot deflate the difference.
+    let dense_wall = lowest(&|| {
+        let d = timed(&dense);
+        assert_eq!(d.stats.checkpoints, checkpoint_iters);
+        d.stats.wall.as_secs_f64()
+    });
+    let control_wall = lowest(&|| timed(&control).stats.wall.as_secs_f64());
+    let per_checkpoint_ns = (dense_wall - control_wall).max(0.0) * 1e9 / checkpoint_iters as f64;
+
+    // Per-rollback cost, inclusive of the re-executed attempt.
+    let rollbacks = rollback_iters * (FAILS_PER_PASS - 1);
+    let per_rollback_ns = lowest(&|| {
+        let r = timed(&rollback);
+        assert_eq!(r.stats.rollbacks, rollbacks);
+        r.stats.wall.as_secs_f64() * 1e9 / r.stats.rollbacks as f64
+    });
+
+    use serde_json::Value;
+    let pair = |k: &str, v: Value| (k.to_string(), v);
+    let entry = Value::Object(vec![
+        pair("label", Value::Str(label.to_string())),
+        pair("workload", Value::Str("checkpoint_stress".to_string())),
+        pair("frame_regs", Value::UInt(regs as u64)),
+        pair("checkpoint_iters", Value::UInt(checkpoint_iters)),
+        pair("rollback_iters", Value::UInt(rollback_iters)),
+        pair("fails_per_pass", Value::UInt(FAILS_PER_PASS)),
+        pair("rollbacks", Value::UInt(rollbacks)),
+        pair("per_checkpoint_ns", Value::Float(per_checkpoint_ns)),
+        pair("per_rollback_ns", Value::Float(per_rollback_ns)),
+    ]);
+    append_entry(out_path, label, entry);
+}
+
+/// Appends `entry` to the JSON trajectory file at `path`: one JSON array,
+/// oldest entry first; a rerun with the same label replaces that label's
+/// entry.
+fn append_entry(path: &str, label: &str, entry: serde_json::Value) {
+    use serde_json::Value;
+    let mut entries: Vec<Value> = std::fs::read_to_string(path)
         .ok()
         .and_then(|t| match serde_json::from_str::<Value>(&t) {
             Ok(Value::Array(items)) => Some(items),
             _ => None,
         })
         .unwrap_or_default();
-    entries.retain(|e| e.get("label").and_then(Value::as_str) != Some(label.as_str()));
+    entries.retain(|e| e.get("label").and_then(Value::as_str) != Some(label));
     entries.push(entry.clone());
     let text = serde_json::to_string_pretty(&Value::Array(entries)).expect("serializes");
-    std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_interp.json");
+    std::fs::write(path, format!("{text}\n")).expect("write bench trajectory");
     println!(
         "{}",
         serde_json::to_string_pretty(&entry).expect("serializes")
     );
-    println!("wrote {out_path}");
+    println!("wrote {path}");
 }

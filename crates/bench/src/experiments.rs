@@ -48,12 +48,7 @@ fn all_trials_recover(
     cfg: &BenchConfig,
 ) -> bool {
     (0..cfg.trials).all(|i| {
-        let r = run_scripted(
-            program,
-            machine.clone(),
-            w.bug_script.clone(),
-            cfg.seed0 + i as u64,
-        );
+        let r = run_scripted(program, machine, &w.bug_script, cfg.seed0 + i as u64);
         w.run_is_correct(&r)
     })
 }
@@ -71,8 +66,8 @@ fn overhead_vs_original(
     let mut points = 0u64;
     for i in 0..cfg.overhead_trials {
         let seed = cfg.seed0 + 1000 + i as u64;
-        let b = run_scripted(&w.program, machine.clone(), w.benign_script.clone(), seed);
-        let h = run_scripted(hardened, machine.clone(), w.benign_script.clone(), seed);
+        let b = run_scripted(&w.program, machine, &w.benign_script, seed);
+        let h = run_scripted(hardened, machine, &w.benign_script, seed);
         assert!(
             b.outcome.is_completed() && h.outcome.is_completed(),
             "{}: overhead runs must not fail ({:?}/{:?})",
@@ -189,7 +184,7 @@ pub fn table5(cfg: &BenchConfig) -> Vec<Table5Row> {
             let survival = Conair::survival().harden(&w.program);
             let fix = Conair::fix(w.fix_markers.clone()).harden(&w.program);
             let run = |p: &conair_runtime::Program| {
-                run_scripted(p, machine.clone(), w.benign_script.clone(), cfg.seed0)
+                run_scripted(p, &machine, &w.benign_script, cfg.seed0)
                     .stats
                     .checkpoints
             };
@@ -250,12 +245,7 @@ pub fn table6(cfg: &BenchConfig) -> Vec<Table6Row> {
             // dynamic executions by the static class share.
             let dyn_points = |pipeline: &Conair| {
                 let hp = pipeline.harden(&w.program);
-                let r = run_scripted(
-                    &hp.program,
-                    machine.clone(),
-                    w.benign_script.clone(),
-                    cfg.seed0,
-                );
+                let r = run_scripted(&hp.program, &machine, &w.benign_script, cfg.seed0);
                 (r.stats.checkpoints, hp.plan)
             };
             let (dyn_opt, plan_opt_run) = dyn_points(&optimized);
@@ -329,12 +319,7 @@ pub fn table7(cfg: &BenchConfig) -> Vec<Table7Row> {
         .iter()
         .map(|w| {
             let hardened = Conair::survival().harden(&w.program);
-            let r = run_scripted(
-                &hardened.program,
-                machine.clone(),
-                w.bug_script.clone(),
-                cfg.seed0,
-            );
+            let r = run_scripted(&hardened.program, &machine, &w.bug_script, cfg.seed0);
             assert!(
                 r.outcome.is_completed(),
                 "{}: table 7 needs a recovered run, got {:?}",
@@ -415,24 +400,19 @@ pub fn figure2(cfg: &BenchConfig) -> Vec<Figure2Cell> {
     for pattern in AtomicityPattern::ALL {
         for policy in RegionPolicy::ALL {
             let m = build_micro(pattern);
-            let orig = run_scripted(&m.program, machine.clone(), m.bug_script.clone(), cfg.seed0);
+            let orig = run_scripted(&m.program, &machine, &m.bug_script, cfg.seed0);
             let pipeline = Conair::with_config(ConairConfig {
                 mode: Mode::Survival,
                 policy,
                 ..ConairConfig::default()
             });
             let hardened = pipeline.harden(&m.program);
-            let mut run_machine = machine.clone();
+            let mut run_machine = machine;
             run_machine.buffered_writes = policy == RegionPolicy::BufferedWrites;
             // Bounded retries: unrecoverable patterns must fail fast, not
             // spin to the million-retry default.
             run_machine.max_retries = 3_000;
-            let hard = run_scripted(
-                &hardened.program,
-                run_machine,
-                m.bug_script.clone(),
-                cfg.seed0,
-            );
+            let hard = run_scripted(&hardened.program, &run_machine, &m.bug_script, cfg.seed0);
             let recovered =
                 hard.outcome.is_completed() && hard.outputs_for(&m.expected.0) == m.expected.1;
             out.push(Figure2Cell {
@@ -480,10 +460,10 @@ pub fn figure4(cfg: &BenchConfig) -> Vec<Figure4Point> {
                 ..ConairConfig::default()
             });
             let hardened = pipeline.harden(&m.program);
-            let mut rm = machine.clone();
+            let mut rm = machine;
             rm.buffered_writes = policy == RegionPolicy::BufferedWrites;
             rm.max_retries = 3_000;
-            let r = run_scripted(&hardened.program, rm, m.bug_script.clone(), cfg.seed0);
+            let r = run_scripted(&hardened.program, &rm, &m.bug_script, cfg.seed0);
             if r.outcome.is_completed() && r.outputs_for(&m.expected.0) == m.expected.1 {
                 recovered += 1;
                 recovery_steps.push(r.stats.max_recovery_steps().unwrap_or(0) as f64);
@@ -501,7 +481,7 @@ pub fn figure4(cfg: &BenchConfig) -> Vec<Figure4Point> {
                 ..ConairConfig::default()
             });
             let hardened = pipeline.harden(&w.program);
-            let mut rm = machine.clone();
+            let mut rm = machine;
             rm.buffered_writes = policy == RegionPolicy::BufferedWrites;
             overhead_vs_original(w, &hardened.program, &rm, cfg).0
         });

@@ -538,6 +538,12 @@ pub fn cmd_run(text: &str, opts: &RunOptions) -> Result<(String, Option<String>)
             "recovery latency (steps): {}",
             s.recovery_hist.summary()
         );
+        let _ = writeln!(out, "checkpoints per run: {}", s.checkpoints_hist.summary());
+        let _ = writeln!(
+            out,
+            "undo depth per rollback (regs): {}",
+            s.undo_depth_hist.summary()
+        );
         return Ok((out, None));
     }
 
@@ -545,13 +551,13 @@ pub fn cmd_run(text: &str, opts: &RunOptions) -> Result<(String, Option<String>)
     let r = if opts.trace.is_some() {
         run_traced(
             &program,
-            config,
-            ScheduleScript::none(),
+            &config,
+            &ScheduleScript::none(),
             opts.seed,
             Box::new(buffer.clone()),
         )
     } else {
-        run_once(&program, config, opts.seed)
+        run_once(&program, &config, opts.seed)
     };
 
     match &r.outcome {
@@ -688,14 +694,16 @@ fn render_event(e: &TraceEvent) -> String {
             site,
             retry,
             undo_restored,
+            regs_undone,
             ..
         } => {
             if *undo_restored > 0 {
                 format!(
-                    "{thread} ROLLBACK for {site} (retry {retry}, {undo_restored} undo records)"
+                    "{thread} ROLLBACK for {site} (retry {retry}, {regs_undone} regs undone, \
+                     {undo_restored} undo records)"
                 )
             } else {
-                format!("{thread} ROLLBACK for {site} (retry {retry})")
+                format!("{thread} ROLLBACK for {site} (retry {retry}, {regs_undone} regs undone)")
             }
         }
         RecoveryExhausted {
@@ -763,6 +771,11 @@ pub fn cmd_report(
         out,
         "  recovery latency (steps): {}",
         m.rollback_latency.summary()
+    );
+    let _ = writeln!(
+        out,
+        "  undo depth per rollback (regs): {}",
+        m.undo_depth.summary()
     );
     let _ = writeln!(out, "  lock waits (steps): {}", m.lock_waits.summary());
     let _ = writeln!(

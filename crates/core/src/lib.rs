@@ -41,7 +41,7 @@
 //! // Harden it (survival mode) and run it.
 //! let hardened = Conair::survival().harden(&program);
 //! assert_eq!(hardened.plan.stats.static_points, 1);
-//! let result = run_once(&hardened.program, MachineConfig::default(), 0);
+//! let result = run_once(&hardened.program, &MachineConfig::default(), 0);
 //! assert!(result.outcome.is_completed());
 //! ```
 

@@ -105,12 +105,7 @@ pub fn infer_oracles(
 ) -> OracleSet {
     let mut samples: HashMap<String, Vec<i64>> = HashMap::new();
     for i in 0..config.trials {
-        let r = run_scripted(
-            program,
-            config.machine.clone(),
-            script.clone(),
-            config.seed0 + i as u64,
-        );
+        let r = run_scripted(program, &config.machine, script, config.seed0 + i as u64);
         if !r.outcome.is_completed() {
             continue;
         }
@@ -248,7 +243,7 @@ mod tests {
             ScheduleScript::with_gates(vec![Gate::new(1, "before_produce", "report_read_done")]);
 
         // 1. The buggy interleaving silently produces a wrong output.
-        let r = run_scripted(&program2, MachineConfig::default(), bug.clone(), 0);
+        let r = run_scripted(&program2, &MachineConfig::default(), &bug, 0);
         assert!(r.outcome.is_completed(), "no failure is even detected");
         assert_eq!(r.outputs_for("result"), vec![0], "wrong output!");
 
@@ -266,12 +261,7 @@ mod tests {
 
         // 4. The same buggy interleaving now recovers with the right value.
         for seed in 0..10 {
-            let r = run_scripted(
-                &hardened.program,
-                MachineConfig::default(),
-                bug.clone(),
-                seed,
-            );
+            let r = run_scripted(&hardened.program, &MachineConfig::default(), &bug, seed);
             assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
             assert_eq!(r.outputs_for("result"), vec![9], "seed {seed}");
         }
@@ -306,7 +296,7 @@ mod tests {
         let inserted = instrument_oracles(&mut module, &set);
         assert_eq!(inserted, 1);
         validate(&module).expect("range-instrumented module validates");
-        let r = run_once(&program.with_module(module), MachineConfig::default(), 0);
+        let r = run_once(&program.with_module(module), &MachineConfig::default(), 0);
         assert!(r.outcome.is_completed(), "3 is inside [2,5]");
     }
 

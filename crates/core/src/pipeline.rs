@@ -28,7 +28,7 @@ use crate::timing::PhaseSpans;
 /// let program = Program::from_entry_names(mb.finish(), &["main"]);
 ///
 /// let hardened = Conair::survival().harden(&program);
-/// let result = run_once(&hardened.program, MachineConfig::default(), 0);
+/// let result = run_once(&hardened.program, &MachineConfig::default(), 0);
 /// assert!(result.outcome.is_completed());
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -187,7 +187,7 @@ mod tests {
             max_retries: 5,
             ..MachineConfig::default()
         };
-        let r = run_once(&hardened.program, cfg, 0);
+        let r = run_once(&hardened.program, &cfg, 0);
         match r.outcome {
             conair_runtime::RunOutcome::Failed(f) => {
                 assert_eq!(f.kind, conair_ir::FailureKind::SegFault);

@@ -63,12 +63,7 @@ pub fn well_tested_sites(
     let mut checks: HashMap<SiteId, u64> = HashMap::new();
     let mut ever_failed: HashSet<SiteId> = HashSet::new();
     for i in 0..config.trials {
-        let r = run_scripted(
-            hardened,
-            config.machine.clone(),
-            script.clone(),
-            config.seed0 + i as u64,
-        );
+        let r = run_scripted(hardened, &config.machine, script, config.seed0 + i as u64);
         for (site, n) in &r.stats.site_checks {
             *checks.entry(*site).or_insert(0) += n;
         }
@@ -186,7 +181,7 @@ mod tests {
         assert!(!report.pruned_sites.is_empty(), "the hot assert is pruned");
         assert!(report.points_after < report.points_before);
         // The pruned program still runs correctly.
-        let r = run_once(&hardened.program, MachineConfig::default(), 1);
+        let r = run_once(&hardened.program, &MachineConfig::default(), 1);
         assert!(r.outcome.is_completed());
         // The never-executed cold site keeps its guard (0 checks < min).
         let cold_guards = hardened

@@ -13,13 +13,20 @@ use conair_ir::{BlockId, FlatLayout, FuncId, Inst, InstPos, Loc, Module};
 pub struct FuncLayout<'p> {
     insts: Vec<&'p Inst>,
     layout: FlatLayout,
+    num_regs: usize,
+    num_locals: usize,
 }
 
 impl<'p> FuncLayout<'p> {
     fn new(func: &'p conair_ir::Function) -> Self {
         let layout = FlatLayout::new(func);
         let insts = func.blocks.iter().flat_map(|b| b.insts.iter()).collect();
-        Self { insts, layout }
+        Self {
+            insts,
+            layout,
+            num_regs: func.num_regs,
+            num_locals: func.num_locals,
+        }
     }
 
     /// The instruction at `pc`. The returned reference borrows the
@@ -66,6 +73,19 @@ impl<'p> FuncLayout<'p> {
     /// Total instructions.
     pub fn num_insts(&self) -> usize {
         self.insts.len()
+    }
+
+    /// Register-file width of the function's frames (pre-lowered so the
+    /// call path never consults the module).
+    #[inline]
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// Stack-slot count of the function's frames.
+    #[inline]
+    pub fn num_locals(&self) -> usize {
+        self.num_locals
     }
 }
 

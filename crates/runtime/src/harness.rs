@@ -14,20 +14,21 @@ use crate::sched::{ScheduleScript, Scheduler, SeededRandom};
 use crate::trace::TraceSink;
 
 /// Runs `program` once with a seeded random scheduler.
-pub fn run_once(program: &Program, config: MachineConfig, seed: u64) -> RunResult {
+pub fn run_once(program: &Program, config: &MachineConfig, seed: u64) -> RunResult {
     let mut sched = SeededRandom::new(seed);
-    Machine::new(program, config).run(&mut sched)
+    Machine::new(program, *config).run(&mut sched)
 }
 
-/// Runs `program` once under a schedule script (bug forcing).
+/// Runs `program` once under a schedule script (bug forcing). The script
+/// is borrowed — repeated trials share one script with no per-run clone.
 pub fn run_scripted(
     program: &Program,
-    config: MachineConfig,
-    script: ScheduleScript,
+    config: &MachineConfig,
+    script: &ScheduleScript,
     seed: u64,
 ) -> RunResult {
     let mut sched = SeededRandom::new(seed);
-    Machine::new(program, config)
+    Machine::new(program, *config)
         .with_script(script)
         .run(&mut sched)
 }
@@ -35,11 +36,11 @@ pub fn run_scripted(
 /// Runs `program` once under an arbitrary scheduler and script.
 pub fn run_with(
     program: &Program,
-    config: MachineConfig,
-    script: ScheduleScript,
+    config: &MachineConfig,
+    script: &ScheduleScript,
     scheduler: &mut dyn Scheduler,
 ) -> RunResult {
-    Machine::new(program, config)
+    Machine::new(program, *config)
         .with_script(script)
         .run(scheduler)
 }
@@ -48,13 +49,13 @@ pub fn run_with(
 /// to `sink`. Pass a clone of a [`crate::EventBuffer`] to keep the events.
 pub fn run_traced(
     program: &Program,
-    config: MachineConfig,
-    script: ScheduleScript,
+    config: &MachineConfig,
+    script: &ScheduleScript,
     seed: u64,
     sink: Box<dyn TraceSink>,
 ) -> RunResult {
     let mut sched = SeededRandom::new(seed);
-    Machine::new(program, config)
+    Machine::new(program, *config)
         .with_script(script)
         .with_sink(sink)
         .run(&mut sched)
@@ -86,6 +87,13 @@ pub struct TrialSummary {
     /// Distribution of per-site recovery latencies in steps, pooled over
     /// all trials (one sample per site that recovered).
     pub recovery_hist: Histogram,
+    /// Distribution of per-run checkpoint executions (one sample per
+    /// trial) — how checkpoint-dense the workload actually ran.
+    pub checkpoints_hist: Histogram,
+    /// Distribution of register undo-log depths at rollback, pooled over
+    /// all trials (one sample per rollback) — the per-rollback cost of the
+    /// featherweight checkpoint representation.
+    pub undo_depth_hist: Histogram,
 }
 
 impl TrialSummary {
@@ -132,6 +140,8 @@ fn summarize(results: impl IntoIterator<Item = RunResult>, trials: usize) -> Tri
         summary
             .recovery_hist
             .merge(&result.metrics.rollback_latency);
+        summary.checkpoints_hist.record(result.stats.checkpoints);
+        summary.undo_depth_hist.merge(&result.metrics.undo_depth);
         summary.max_recovery_steps = summary
             .max_recovery_steps
             .max(result.stats.max_recovery_steps());
@@ -151,8 +161,7 @@ pub fn run_trials(
     trials: usize,
 ) -> TrialSummary {
     summarize(
-        (0..trials)
-            .map(|i| run_scripted(program, config.clone(), script.clone(), seed0 + i as u64)),
+        (0..trials).map(|i| run_scripted(program, config, script, seed0 + i as u64)),
         trials,
     )
 }
@@ -242,7 +251,7 @@ pub fn run_trials_parallel(
         return run_trials(program, config, script, seed0, trials);
     }
     let results = pool.map(trials, |i| {
-        run_scripted(program, config.clone(), script.clone(), seed0 + i as u64)
+        run_scripted(program, config, script, seed0 + i as u64)
     });
     summarize(results, trials)
 }
@@ -280,8 +289,8 @@ pub fn measure_overhead(
     let mut hard_wall = Duration::ZERO;
     for i in 0..trials {
         let seed = seed0 + i as u64;
-        let b = run_once(original, config.clone(), seed);
-        let h = run_once(hardened, config.clone(), seed);
+        let b = run_once(original, config, seed);
+        let h = run_once(hardened, config, seed);
         debug_assert!(
             b.outcome.is_completed() && h.outcome.is_completed(),
             "overhead must be measured on non-failing runs \
@@ -343,7 +352,7 @@ pub fn measure_restart(
 ) -> RestartReport {
     let mut total_steps = 0u64;
     // First run: the bug manifests.
-    let first = run_scripted(program, config.clone(), script.clone(), seed0);
+    let first = run_scripted(program, config, script, seed0);
     total_steps += first.stats.steps;
     if first.outcome.is_completed() {
         return RestartReport {
@@ -354,12 +363,7 @@ pub fn measure_restart(
     }
     // Restarts: the failure-inducing interleaving is not forced again.
     for i in 0..max_restarts {
-        let r = run_scripted(
-            program,
-            config.clone(),
-            retry_script.clone(),
-            seed0 + 1 + i as u64,
-        );
+        let r = run_scripted(program, config, retry_script, seed0 + 1 + i as u64);
         total_steps += r.stats.steps;
         if r.outcome.is_completed() {
             return RestartReport {

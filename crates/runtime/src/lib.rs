@@ -10,10 +10,12 @@
 //!   [`Scheduler`], so every experiment is reproducible;
 //! * bug-forcing uses [`ScheduleScript`] gates — the analog of the sleeps
 //!   the paper injects to force failure-inducing interleavings;
-//! * `Checkpoint` saves the per-frame virtual-register image into a
-//!   thread-local slot; rollback restores registers and the program counter
-//!   but **never** memory — exactly the property that makes idempotent
-//!   regions (and only idempotent regions) safe to reexecute;
+//! * `Checkpoint` is O(1) — it notes the stack depth and resume position
+//!   in a thread-local slot and bumps the epoch; registers are protected
+//!   by an epoch-tagged undo-log maintained on the register-write path.
+//!   Rollback restores registers and the program counter but **never**
+//!   memory — exactly the property that makes idempotent regions (and only
+//!   idempotent regions) safe to reexecute;
 //! * compensation (Section 4.1) releases locks and frees heap blocks
 //!   acquired in the current reexecution epoch before each rollback;
 //! * timed locks implement the time-out based deadlock detection of
@@ -35,7 +37,7 @@
 //! mb.function(fb.finish());
 //! let program = Program::from_entry_names(mb.finish(), &["main"]);
 //!
-//! let result = run_once(&program, MachineConfig::default(), 1);
+//! let result = run_once(&program, &MachineConfig::default(), 1);
 //! assert!(result.outcome.is_completed());
 //! assert_eq!(result.outputs_for("answer"), vec![42]);
 //! ```
@@ -69,6 +71,8 @@ pub use metrics::{Histogram, RunMetrics};
 pub use outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 pub use program::{Program, ThreadSpec};
 pub use sched::{Gate, RoundRobin, SchedContext, ScheduleScript, Scheduler, SeededRandom};
+#[cfg(any(test, feature = "clone-oracle"))]
+pub use thread::CloneCheckpoint;
 pub use thread::{
     Checkpoint, CompensationRecord, Frame, ThreadState, ThreadStats, ThreadStatus, UndoRecord,
 };

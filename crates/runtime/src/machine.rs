@@ -4,9 +4,11 @@
 //!
 //! ## Recovery semantics (paper Figure 6, folded into the runtime)
 //!
-//! * `Checkpoint` saves the thread-local checkpoint slot (register image of
-//!   the top frame + resume position) and bumps the compensation epoch —
-//!   the `setjmp` analog.
+//! * `Checkpoint` saves the thread-local checkpoint slot (stack depth +
+//!   resume position; registers are protected by the epoch-tagged undo-log
+//!   maintained on the register-write path — see [`crate::thread`]) and
+//!   bumps the compensation epoch — the `setjmp` analog, O(1) like the
+//!   paper's.
 //! * A failing `FailGuard`/`PtrGuard`/timed-lock timeout attempts recovery:
 //!   if the per-site retry count is below the cap and a checkpoint exists,
 //!   the thread compensates (frees blocks, releases locks acquired in the
@@ -18,7 +20,7 @@
 
 use std::time::Instant;
 
-use conair_ir::{FailureKind, Inst, LockId, Module, Operand, Reg, SiteId};
+use conair_ir::{FailureKind, Inst, LockId, Operand, Reg, SiteId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -34,8 +36,9 @@ use crate::sched::{SchedContext, ScheduleScript, Scheduler};
 use crate::thread::{CompensationRecord, Frame, ThreadState, ThreadStatus, UndoRecord};
 use crate::trace::{TraceEvent, TraceSink};
 
-/// Tuning knobs of one run.
-#[derive(Debug, Clone)]
+/// Tuning knobs of one run. All-scalar and `Copy`, so harness layers can
+/// share one config across thousands of trials without per-trial clones.
+#[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
     /// Maximum recovery attempts per (thread, site) — `maxRetryNum` of
     /// Figure 6 (paper default: one million).
@@ -75,6 +78,9 @@ impl Default for MachineConfig {
 }
 
 /// What the execution of one instruction asked the machine to do.
+/// The default (empty) schedule script a machine starts with.
+static EMPTY_SCRIPT: ScheduleScript = ScheduleScript { gates: Vec::new() };
+
 enum StepEffect {
     /// Continue normally.
     Continue,
@@ -96,7 +102,9 @@ pub struct Machine<'p> {
     memory: Memory,
     locks: LockTable,
     threads: Vec<ThreadState>,
-    script: ScheduleScript,
+    /// Borrowed, not owned: trial harnesses share one script across
+    /// thousands of runs without cloning gate strings.
+    script: &'p ScheduleScript,
     outputs: Vec<OutputRecord>,
     /// Marker hit counts, keyed by name borrowed from the program — no
     /// per-execution `String` allocation.
@@ -153,7 +161,7 @@ impl<'p> Machine<'p> {
             memory,
             locks,
             threads,
-            script: ScheduleScript::none(),
+            script: &EMPTY_SCRIPT,
             outputs: Vec::new(),
             marker_counts: HashMap::new(),
             site_recovery: HashMap::new(),
@@ -172,8 +180,9 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Installs a bug-forcing schedule script.
-    pub fn with_script(mut self, script: ScheduleScript) -> Self {
+    /// Installs a bug-forcing schedule script (borrowed for the program's
+    /// lifetime — repeated trials share one script).
+    pub fn with_script(mut self, script: &'p ScheduleScript) -> Self {
         self.script = script;
         self
     }
@@ -194,10 +203,6 @@ impl<'p> Machine<'p> {
         if let Some(sink) = self.sink.as_mut() {
             sink.record(event());
         }
-    }
-
-    fn module(&self) -> &Module {
-        &self.program.module
     }
 
     /// Runs the program to completion under `scheduler`.
@@ -533,8 +538,11 @@ impl<'p> Machine<'p> {
         }
     }
 
+    #[inline]
     fn set_reg(&mut self, tid: ThreadId, r: Reg, v: i64) {
-        self.threads[tid.index()].top_mut().regs[r.index()] = v;
+        // The single register-write path: maintains the checkpoint
+        // undo-log (one integer compare when recovery is disabled).
+        self.threads[tid.index()].write_reg(r, v);
     }
 
     fn ptr_is_valid(&self, addr: i64) -> bool {
@@ -547,7 +555,11 @@ impl<'p> Machine<'p> {
             return;
         }
         let t = &mut self.threads[tid.index()];
-        if t.checkpoint.is_none() {
+        // Buffering models whole-program write logging (the Figure-4
+        // ablation's cost), so it stays on once the thread has reached any
+        // reexecution point — deliberately independent of whether the
+        // current checkpoint is still live.
+        if t.epoch == 0 {
             return;
         }
         let epoch = t.epoch;
@@ -630,7 +642,9 @@ impl<'p> Machine<'p> {
             Inst::StoreLocal { local, src } => {
                 let v = self.eval(tid, *src);
                 let t = &mut self.threads[tid.index()];
-                if self.config.buffered_writes && t.checkpoint.is_some() {
+                // Like `log_mem_undo`: whole-program buffering stays on
+                // after the first reexecution point, live checkpoint or not.
+                if self.config.buffered_writes && t.epoch > 0 {
                     let epoch = t.epoch;
                     let old = t.top().locals[local.index()];
                     if t.undo.last().is_some_and(|u| u.epoch() != epoch) {
@@ -768,10 +782,14 @@ impl<'p> Machine<'p> {
             Inst::Return { value } => {
                 let v = value.map(|op| self.eval(tid, op));
                 let t = &mut self.threads[tid.index()];
-                let finished = t.frames.pop().expect("return with a frame");
-                if let Some(parent) = t.frames.last_mut() {
+                // pop_frame retires the checkpoint if this was its frame.
+                let finished = t.pop_frame();
+                if !t.frames.is_empty() {
                     if let (Some(dst), Some(v)) = (finished.ret_dst, v) {
-                        parent.regs[dst.index()] = v;
+                        // The pop may have re-exposed the checkpoint frame,
+                        // so the return-value write must go through the
+                        // logged path.
+                        t.write_reg(dst, v);
                     }
                 } else {
                     t.status = ThreadStatus::Done;
@@ -782,8 +800,11 @@ impl<'p> Machine<'p> {
             }
             Inst::Call { dst, callee, args } => {
                 let vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
-                let func = self.module().func(*callee);
-                let frame = Frame::new(*callee, func, &vals, *dst);
+                // Frame sizes come from the pre-lowered layout — no module
+                // lookup on the call path.
+                let layout = self.dense.func(*callee);
+                let frame =
+                    Frame::with_sizes(*callee, layout.num_regs(), layout.num_locals(), &vals, *dst);
                 self.threads[tid.index()].frames.push(frame);
                 StepEffect::Continue
             }
@@ -938,9 +959,11 @@ impl<'p> Machine<'p> {
         }
 
         // Compensation (Section 4.1): release resources acquired in the
-        // current epoch, in reverse acquisition order.
-        let records = self.threads[tid.index()].take_current_epoch_compensation();
-        for record in records.into_iter().rev() {
+        // current epoch, in reverse acquisition order. The buffer is the
+        // thread's own (retained in place) and is handed back afterwards
+        // so rollback stays allocation-free.
+        let mut records = self.threads[tid.index()].take_current_epoch_compensation();
+        for record in records.drain(..).rev() {
             match record {
                 CompensationRecord::Allocation { base, .. } => {
                     // The block may already be freed only if the region
@@ -964,6 +987,7 @@ impl<'p> Machine<'p> {
                 }
             }
         }
+        self.threads[tid.index()].recycle_compensation_buffer(records);
 
         // Undo log (buffered-writes ablation): restore memory of the
         // current epoch in reverse write order.
@@ -988,6 +1012,10 @@ impl<'p> Machine<'p> {
             }
         }
 
+        // Rollback cost in registers: how many undo records this epoch
+        // accumulated (what restore is about to walk).
+        let regs_undone = self.threads[tid.index()].undo_depth() as u64;
+        self.metrics.undo_depth.record(regs_undone);
         let restored = self.threads[tid.index()].restore_checkpoint();
         debug_assert!(restored, "checkpoint checked above");
         self.rolled_back[tid.index()] = true;
@@ -997,6 +1025,7 @@ impl<'p> Machine<'p> {
             site,
             retry,
             undo_restored,
+            regs_undone,
         });
         RecoveryOutcome::RolledBack
     }

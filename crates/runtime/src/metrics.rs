@@ -167,6 +167,10 @@ pub struct RunMetrics {
     /// Steps spent blocked per lock acquisition that had to wait (timed-out
     /// waits included).
     pub lock_waits: Histogram,
+    /// Register undo-log depth at each rollback: how many registers the
+    /// epoch wrote (and restore walked back) — the per-rollback cost of the
+    /// featherweight checkpoint representation, one sample per rollback.
+    pub undo_depth: Histogram,
     /// Checkpoint instructions executed.
     pub checkpoint_executions: u64,
     /// Checkpoint executions that were re-executions after a rollback (the

@@ -1,5 +1,37 @@
 //! Per-thread interpreter state: call frames, checkpoint slot, compensation
-//! log and retry counters.
+//! log, register undo-log and retry counters.
+//!
+//! ## Featherweight checkpoints (paper §3.3, Table 7)
+//!
+//! The paper's checkpoint is a `setjmp` — "saving a few registers", cheap
+//! enough to execute at every reexecution point on hot paths. The runtime
+//! matches that cost model with an **epoch-tagged register undo-log**
+//! instead of cloning the register file:
+//!
+//! * Between checkpoints, the register-write path ([`ThreadState::write_reg`])
+//!   records `(reg, old_value)` at most once per register per epoch. The
+//!   dedup check is a single bit test in the thread's `written_mask` for
+//!   frames up to 64 registers wide, and one integer compare against the
+//!   frame's per-register `last_written_epoch` tag beyond that — no
+//!   hashing, no search.
+//! * [`ThreadState::save_checkpoint`] is *O(1)*: clear the (recycled) log,
+//!   bump the epoch, note depth and resume pc. Nothing is allocated; the
+//!   log buffer is reused across epochs, and the tag vectors live in their
+//!   frames.
+//! * [`ThreadState::restore_checkpoint`] walks the log backwards undoing
+//!   register writes — cost proportional to the registers actually written
+//!   in the epoch, not to frame width.
+//!
+//! Register-only undo is sound for the same reason the paper's `jmp_buf`
+//! is: hardened reexecution regions are idempotent — no shared-memory or
+//! stack-slot writes — so registers are the only state that can differ
+//! between the checkpoint and the failure site. Writes to frames *deeper*
+//! than the checkpoint frame need no undo records at all: rollback
+//! truncates those frames wholesale (the `longjmp` across frames).
+//!
+//! The pre-undo-log implementation (clone the register image on save,
+//! clone it back on restore) is kept behind `cfg(test)` /
+//! `feature = "clone-oracle"` as a differential-testing oracle.
 
 use std::collections::HashMap;
 
@@ -7,12 +39,22 @@ use conair_ir::{FuncId, Function, Loc, LockId, Reg, SiteId};
 
 use crate::locks::ThreadId;
 
+/// A sentinel for "no active checkpoint" in [`ThreadState::cp_depth`]:
+/// no call stack reaches this depth, so the hot-path compare never
+/// matches.
+const NO_CHECKPOINT_DEPTH: u32 = u32::MAX;
+
+/// Registers covered by the `written_mask` fast path: frames at most this
+/// wide dedup undo records with a single in-register bit test and carry no
+/// per-frame tag vector at all.
+const MASK_WIDTH: usize = 64;
+
 /// One activation record.
 #[derive(Debug, Clone)]
 pub struct Frame {
     /// The executing function.
     pub func: FuncId,
-    /// Virtual register file — saved wholesale by a checkpoint.
+    /// Virtual register file — protected by the checkpoint undo-log.
     pub regs: Vec<i64>,
     /// Stack slots — **not** saved by a checkpoint (the stack-slot side of
     /// the paper's idempotency argument).
@@ -23,35 +65,76 @@ pub struct Frame {
     pub pc: u32,
     /// Register in the *caller's* frame receiving this call's return value.
     pub ret_dst: Option<Reg>,
+    /// Wide-frame fallback for undo-log dedup: the epoch at which each
+    /// register was last recorded (0 = never; live epochs start at 1).
+    /// Only allocated for frames wider than [`MASK_WIDTH`] registers —
+    /// narrow frames (the common case) dedup through the thread's
+    /// `written_mask` bit set and keep this empty, so calls allocate
+    /// nothing extra and hot writes touch no additional cache line.
+    pub last_written_epoch: Vec<u64>,
 }
 
 impl Frame {
     /// Builds the frame for calling `func` (by id) with `args`.
     pub fn new(func_id: FuncId, func: &Function, args: &[i64], ret_dst: Option<Reg>) -> Self {
-        let mut regs = vec![0; func.num_regs];
+        Self::with_sizes(func_id, func.num_regs, func.num_locals, args, ret_dst)
+    }
+
+    /// Builds a frame from pre-lowered sizes (see
+    /// [`crate::FuncLayout::num_regs`]), avoiding a module lookup on the
+    /// call path.
+    pub fn with_sizes(
+        func_id: FuncId,
+        num_regs: usize,
+        num_locals: usize,
+        args: &[i64],
+        ret_dst: Option<Reg>,
+    ) -> Self {
+        let mut regs = vec![0; num_regs];
         regs[..args.len()].copy_from_slice(args);
         Self {
             func: func_id,
             regs,
-            locals: vec![0; func.num_locals],
+            locals: vec![0; num_locals],
             pc: 0,
             ret_dst,
+            last_written_epoch: if num_regs > MASK_WIDTH {
+                vec![0; num_regs]
+            } else {
+                Vec::new()
+            },
         }
     }
 }
 
 /// The thread-local checkpoint slot — the `__thread jmp_buf c` of paper
 /// Figure 6. A thread holds at most one: the most recent reexecution point.
-#[derive(Debug, Clone)]
+///
+/// No register image lives here: the registers written since the
+/// checkpoint are reconstructible from [`ThreadState::reg_undo`], which is
+/// what makes saving O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Call-stack depth at the checkpoint; rollback truncates to this depth
     /// (`longjmp` across frames).
     pub frame_depth: usize,
-    /// Saved register image of the checkpoint frame.
-    pub regs: Vec<i64>,
     /// Resume pc (the checkpoint instruction's own flat index — on resume
     /// the checkpoint re-executes, re-saving and bumping the epoch, exactly
     /// like a re-entered `setjmp`).
+    pub pc: u32,
+}
+
+/// The full-clone checkpoint of the pre-undo-log implementation, kept as a
+/// differential-testing oracle (`tests/checkpoint_undo.rs` asserts the
+/// undo-log restore is register-for-register identical to it).
+#[cfg(any(test, feature = "clone-oracle"))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloneCheckpoint {
+    /// Call-stack depth at the checkpoint.
+    pub frame_depth: usize,
+    /// Saved register image of the checkpoint frame.
+    pub regs: Vec<i64>,
+    /// Resume pc.
     pub pc: u32,
 }
 
@@ -165,6 +248,21 @@ pub struct ThreadState {
     /// Reexecution-point counter (paper Section 4.1) — incremented at every
     /// checkpoint execution.
     pub epoch: u64,
+    /// Register undo-log of the current epoch: `(register index, value
+    /// before the first write of the epoch)` for the checkpoint frame. The
+    /// buffer is recycled — [`ThreadState::save_checkpoint`] clears it
+    /// without releasing capacity, so steady-state checkpointing never
+    /// allocates.
+    pub reg_undo: Vec<(u32, i64)>,
+    /// Cached checkpoint frame depth for the hot-path write check
+    /// ([`NO_CHECKPOINT_DEPTH`] when no checkpoint is active): the
+    /// disabled-recovery register write pays exactly one integer compare.
+    cp_depth: u32,
+    /// Bit `i` set = register `i` of the checkpoint frame already has an
+    /// undo record this epoch. The dedup fast path for frames at most
+    /// [`MASK_WIDTH`] registers wide: one shift + test on state already in
+    /// cache, no per-frame tag load.
+    written_mask: u64,
     /// Resources acquired under recent epochs.
     pub compensation: Vec<CompensationRecord>,
     /// Undo log (buffered-writes policy only).
@@ -187,6 +285,9 @@ impl ThreadState {
             status: ThreadStatus::Runnable,
             checkpoint: None,
             epoch: 0,
+            reg_undo: Vec::new(),
+            cp_depth: NO_CHECKPOINT_DEPTH,
+            written_mask: 0,
             compensation: Vec::new(),
             undo: Vec::new(),
             retries: HashMap::new(),
@@ -229,6 +330,68 @@ impl ThreadState {
         matches!(self.status, ThreadStatus::Done)
     }
 
+    /// Writes `v` to register `r` of the active frame, maintaining the
+    /// checkpoint undo-log. This is the interpreter's **only** register
+    /// write path; with recovery disabled (no checkpoint) it costs one
+    /// integer compare over a raw store.
+    ///
+    /// Only writes to the *checkpoint frame itself* are logged: deeper
+    /// frames are truncated wholesale on rollback, and shallower frames
+    /// cannot be written while the checkpoint frame is live (returning out
+    /// of it retires the checkpoint semantics anyway, exactly like a
+    /// `jmp_buf` of a returned-from function).
+    #[inline]
+    pub fn write_reg(&mut self, r: Reg, v: i64) {
+        let depth = self.frames.len() as u32;
+        let top = self.frames.last_mut().expect("thread has an active frame");
+        if depth == self.cp_depth {
+            // Record the pre-write value once per register per epoch: a
+            // bit test for narrow frames, an epoch-tag compare beyond
+            // MASK_WIDTH. Either way, repeated writes are free.
+            let idx = r.index();
+            if idx < MASK_WIDTH {
+                let bit = 1u64 << idx;
+                if self.written_mask & bit == 0 {
+                    self.written_mask |= bit;
+                    self.reg_undo.push((idx as u32, top.regs[idx]));
+                }
+            } else {
+                let tag = &mut top.last_written_epoch[idx];
+                if *tag != self.epoch {
+                    *tag = self.epoch;
+                    self.reg_undo.push((idx as u32, top.regs[idx]));
+                }
+            }
+        }
+        top.regs[r.index()] = v;
+    }
+
+    /// Pops the active frame, retiring the checkpoint when the popped
+    /// frame was the checkpoint frame — the paper's `jmp_buf` dies with
+    /// its stack frame (a `longjmp` into a returned-from function is
+    /// undefined), and retiring it keeps later same-depth frames off the
+    /// logging path entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is done (no frames).
+    pub fn pop_frame(&mut self) -> Frame {
+        let finished = self.frames.pop().expect("pop with an active frame");
+        if self.cp_depth != NO_CHECKPOINT_DEPTH && (self.frames.len() as u32) < self.cp_depth {
+            self.checkpoint = None;
+            self.cp_depth = NO_CHECKPOINT_DEPTH;
+            self.written_mask = 0;
+            self.reg_undo.clear();
+        }
+        finished
+    }
+
+    /// Registers recorded in the undo log this epoch (rollback cost in
+    /// registers — the metric behind `RunMetrics::undo_depth`).
+    pub fn undo_depth(&self) -> usize {
+        self.reg_undo.len()
+    }
+
     /// Records a compensation entry under the current epoch, applying the
     /// paper's lazy cleaning: stale entries (older epochs) are dropped when
     /// a new record arrives under a newer epoch.
@@ -244,37 +407,51 @@ impl ThreadState {
     }
 
     /// Takes the compensation records of the current epoch (called during
-    /// rollback).
+    /// rollback). Stale records are retained away in place — no partition
+    /// into side vectors — and the returned buffer is the thread's own
+    /// (hand it back via [`ThreadState::recycle_compensation_buffer`] to
+    /// keep rollback allocation-free).
     pub fn take_current_epoch_compensation(&mut self) -> Vec<CompensationRecord> {
         let epoch = self.epoch;
-        let (current, _stale): (Vec<_>, Vec<_>) = self
-            .compensation
-            .drain(..)
-            .partition(|r| r.epoch() == epoch);
-        current
+        self.compensation.retain(|r| r.epoch() == epoch);
+        std::mem::take(&mut self.compensation)
     }
 
-    /// Saves the checkpoint (the `setjmp`): snapshot the top frame's
-    /// registers and position, bump the epoch.
+    /// Returns the (drained) buffer from
+    /// [`ThreadState::take_current_epoch_compensation`] so its capacity is
+    /// reused by the next epoch's records.
+    pub fn recycle_compensation_buffer(&mut self, mut buf: Vec<CompensationRecord>) {
+        if buf.capacity() > self.compensation.capacity() {
+            buf.clear();
+            buf.append(&mut self.compensation);
+            self.compensation = buf;
+        }
+    }
+
+    /// Saves the checkpoint (the `setjmp`): note the stack depth and
+    /// resume position, bump the epoch, reset the undo log. O(1) and
+    /// allocation-free — the featherweight cost model of paper §3.3.
     pub fn save_checkpoint(&mut self) {
         let depth = self.frames.len();
-        let top = self.top();
+        let pc = self.top().pc - 1;
         self.checkpoint = Some(Checkpoint {
             frame_depth: depth,
-            regs: top.regs.clone(),
             // `pc` has already been advanced past the checkpoint by the
             // interpreter; resume re-executes the checkpoint instruction.
-            pc: top.pc - 1,
+            pc,
         });
+        self.cp_depth = depth as u32;
         self.epoch += 1;
+        self.written_mask = 0;
+        self.reg_undo.clear();
         self.stats.checkpoints += 1;
     }
 
-    /// Restores the checkpoint (the `longjmp`): truncate frames, restore the
-    /// register image, reset the program counter. Returns false when no
-    /// checkpoint exists.
+    /// Restores the checkpoint (the `longjmp`): truncate frames, undo the
+    /// epoch's register writes in reverse order, reset the program
+    /// counter. Returns false when no checkpoint exists.
     pub fn restore_checkpoint(&mut self) -> bool {
-        let Some(cp) = &self.checkpoint else {
+        let Some(cp) = self.checkpoint else {
             return false;
         };
         assert!(
@@ -282,13 +459,48 @@ impl ThreadState {
             "checkpoint above current stack — stale jmp_buf"
         );
         self.frames.truncate(cp.frame_depth);
-        let pc = cp.pc;
-        let regs = cp.regs.clone();
-        let top = self.top_mut();
-        top.regs = regs;
-        top.pc = pc;
+        let top = self.frames.last_mut().expect("checkpoint frame is live");
+        for &(r, old) in self.reg_undo.iter().rev() {
+            top.regs[r as usize] = old;
+        }
+        // The written mask and epoch tags keep their values: the next
+        // instruction is the re-executed checkpoint itself, which resets
+        // both before any further write can need logging.
+        self.reg_undo.clear();
+        top.pc = cp.pc;
         self.stats.rollbacks += 1;
         true
+    }
+}
+
+/// The pre-undo-log checkpoint implementation, preserved verbatim as the
+/// differential-testing oracle: cloning the whole register image on save
+/// and cloning it back on restore is trivially correct, so any divergence
+/// from the undo-log restore is a bug in the log discipline.
+#[cfg(any(test, feature = "clone-oracle"))]
+impl ThreadState {
+    /// The full-clone `setjmp`: snapshot the top frame's registers and
+    /// position as the old implementation did.
+    pub fn clone_oracle_save(&self) -> CloneCheckpoint {
+        let top = self.top();
+        CloneCheckpoint {
+            frame_depth: self.frames.len(),
+            regs: top.regs.clone(),
+            pc: top.pc.wrapping_sub(1),
+        }
+    }
+
+    /// The full-clone `longjmp`: truncate frames and restore the saved
+    /// register image wholesale.
+    pub fn clone_oracle_restore(&mut self, cp: &CloneCheckpoint) {
+        assert!(
+            cp.frame_depth <= self.frames.len(),
+            "oracle checkpoint above current stack"
+        );
+        self.frames.truncate(cp.frame_depth);
+        let top = self.frames.last_mut().expect("checkpoint frame is live");
+        top.regs = cp.regs.clone();
+        top.pc = cp.pc;
     }
 }
 
@@ -319,8 +531,9 @@ mod tests {
         t.save_checkpoint();
         assert_eq!(t.epoch, 1);
 
-        // Mutate registers and locals, advance.
-        t.top_mut().regs[2] = 999;
+        // Mutate registers (through the logged write path) and locals,
+        // advance.
+        t.write_reg(Reg(2), 999);
         t.top_mut().locals[0] = 777;
         t.top_mut().pc = 9;
 
@@ -329,6 +542,90 @@ mod tests {
         assert_eq!(t.top().locals[0], 777, "stack slots NOT restored");
         assert_eq!(t.top().pc, 3, "resumes at the checkpoint instruction");
         assert_eq!(t.stats.rollbacks, 1);
+    }
+
+    #[test]
+    fn undo_log_dedups_by_epoch_tag() {
+        let mut t = mk_thread();
+        t.top_mut().pc = 1;
+        t.save_checkpoint();
+        for _ in 0..100 {
+            t.write_reg(Reg(3), 1);
+            t.write_reg(Reg(2), 2);
+        }
+        assert_eq!(t.undo_depth(), 2, "one record per register per epoch");
+        assert!(t.restore_checkpoint());
+        assert_eq!(t.top().regs, vec![10, 20, 0, 0]);
+    }
+
+    #[test]
+    fn save_checkpoint_recycles_log_buffer(/* allocation-free steady state */) {
+        let mut t = mk_thread();
+        t.top_mut().pc = 1;
+        t.save_checkpoint();
+        t.write_reg(Reg(0), 1);
+        t.write_reg(Reg(1), 2);
+        let cap = t.reg_undo.capacity();
+        assert!(cap >= 2);
+        t.top_mut().pc = 1;
+        t.save_checkpoint();
+        assert_eq!(t.undo_depth(), 0, "new epoch starts with an empty log");
+        assert_eq!(t.reg_undo.capacity(), cap, "buffer capacity is retained");
+    }
+
+    #[test]
+    fn writes_without_checkpoint_pay_no_logging(/* the disabled-recovery path */) {
+        let mut t = mk_thread();
+        t.write_reg(Reg(0), 5);
+        assert_eq!(t.undo_depth(), 0);
+        assert_eq!(t.written_mask, 0, "no mask bit touched");
+        assert!(
+            t.top().last_written_epoch.is_empty(),
+            "narrow frames carry no tag vector at all"
+        );
+    }
+
+    #[test]
+    fn wide_frames_dedup_through_epoch_tags() {
+        // Frames wider than the 64-bit mask fall back to per-register
+        // epoch tags; both halves of the register file must dedup.
+        let mut f = Function::new("wide", 0);
+        f.num_regs = 100;
+        let mut t = ThreadState::new(ThreadId(0), FuncId(0), &f, &[]);
+        assert_eq!(t.top().last_written_epoch.len(), 100);
+        t.top_mut().pc = 1;
+        t.save_checkpoint();
+        for _ in 0..10 {
+            t.write_reg(Reg(3), 7); // mask path
+            t.write_reg(Reg(90), 8); // tag path
+        }
+        assert_eq!(t.undo_depth(), 2, "one record per register per epoch");
+        assert!(t.restore_checkpoint());
+        assert_eq!(t.top().regs[3], 0);
+        assert_eq!(t.top().regs[90], 0);
+    }
+
+    #[test]
+    fn checkpoint_retired_when_its_frame_returns() {
+        let mut t = mk_thread();
+        // Enter a callee and checkpoint inside it.
+        let mut callee = Function::new("callee", 0);
+        callee.num_regs = 2;
+        t.frames
+            .push(Frame::new(FuncId(1), &callee, &[], Some(Reg(3))));
+        t.top_mut().pc = 1;
+        t.save_checkpoint();
+        t.write_reg(Reg(0), 9);
+        assert_eq!(t.undo_depth(), 1);
+
+        // Returning out of the checkpoint frame kills the jmp_buf.
+        let finished = t.pop_frame();
+        assert_eq!(finished.ret_dst, Some(Reg(3)));
+        assert!(t.checkpoint.is_none(), "checkpoint retired");
+        assert!(!t.restore_checkpoint());
+        // Later writes at the same depth pay no logging.
+        t.write_reg(Reg(1), 5);
+        assert_eq!(t.undo_depth(), 0);
     }
 
     #[test]
@@ -342,15 +639,56 @@ mod tests {
         let mut t = mk_thread();
         t.top_mut().pc = 1;
         t.save_checkpoint();
-        // Push a callee frame.
+        // Push a callee frame; its writes need no undo records.
         let mut callee = Function::new("callee", 0);
         callee.num_regs = 1;
         t.frames
             .push(Frame::new(FuncId(1), &callee, &[], Some(Reg(3))));
+        t.write_reg(Reg(0), 42);
+        assert_eq!(t.undo_depth(), 0, "callee frame writes are not logged");
         assert_eq!(t.frames.len(), 2);
         assert!(t.restore_checkpoint());
         assert_eq!(t.frames.len(), 1, "longjmp across the callee frame");
         assert_eq!(t.top().func, FuncId(0));
+    }
+
+    #[test]
+    fn return_value_write_into_checkpoint_frame_is_logged() {
+        let mut t = mk_thread();
+        t.top_mut().pc = 1;
+        t.save_checkpoint();
+        let mut callee = Function::new("callee", 0);
+        callee.num_regs = 1;
+        t.frames
+            .push(Frame::new(FuncId(1), &callee, &[], Some(Reg(3))));
+        // Simulate the interpreter's return path: pop (the checkpoint is
+        // below, so it survives), then write the return value into the
+        // (checkpoint) frame through write_reg.
+        let finished = t.pop_frame();
+        assert!(t.checkpoint.is_some(), "checkpoint frame still live");
+        t.write_reg(finished.ret_dst.expect("has dst"), 77);
+        assert_eq!(t.top().regs[3], 77);
+        assert_eq!(t.undo_depth(), 1, "ret_dst write is logged");
+        assert!(t.restore_checkpoint());
+        assert_eq!(t.top().regs[3], 0, "ret_dst write undone");
+    }
+
+    #[test]
+    fn undo_log_matches_clone_oracle() {
+        let mut t = mk_thread();
+        t.top_mut().pc = 4;
+        let oracle = t.clone_oracle_save();
+        let mut shadow = t.clone();
+        t.save_checkpoint();
+
+        for (r, v) in [(0, -1), (2, 999), (0, 17), (3, 3), (2, 1000)] {
+            t.write_reg(Reg(r), v);
+            shadow.write_reg(Reg(r), v);
+        }
+        assert!(t.restore_checkpoint());
+        shadow.clone_oracle_restore(&oracle);
+        assert_eq!(t.top().regs, shadow.top().regs);
+        assert_eq!(t.top().pc, shadow.top().pc);
     }
 
     #[test]
@@ -379,6 +717,11 @@ mod tests {
                 ..
             }
         ));
+        assert!(t.compensation.is_empty());
+        // Handing the buffer back preserves its capacity for reuse.
+        let cap = current.capacity();
+        t.recycle_compensation_buffer(current);
+        assert_eq!(t.compensation.capacity(), cap);
         assert!(t.compensation.is_empty());
     }
 

@@ -164,6 +164,9 @@ pub enum TraceEvent {
         retry: u64,
         /// Undo-log records replayed (buffered-writes policy only).
         undo_restored: u64,
+        /// Registers restored from the epoch's register undo-log (the
+        /// rollback cost of the featherweight checkpoint).
+        regs_undone: u64,
     },
     /// A recovery attempt found no budget or no checkpoint; the original
     /// failure fires.
@@ -422,6 +425,9 @@ pub fn summarize_events(events: &[TraceEvent]) -> RunMetrics {
             }
             TraceEvent::CompensationFree { .. } => m.compensation_frees += 1,
             TraceEvent::CompensationUnlock { .. } => m.compensation_unlocks += 1,
+            TraceEvent::RolledBack { regs_undone, .. } => {
+                m.undo_depth.record(*regs_undone);
+            }
             TraceEvent::RecoveryCompleted { latency, .. } => {
                 m.rollback_latency.record(*latency);
             }
@@ -474,6 +480,7 @@ mod tests {
                 site: SiteId(3),
                 retry: 1,
                 undo_restored: 0,
+                regs_undone: 4,
             },
             TraceEvent::RecoveryCompleted {
                 step: 30,
@@ -526,6 +533,8 @@ mod tests {
         assert_eq!(m.per_site_retries, vec![(SiteId(3), 1)]);
         assert_eq!(m.rollback_latency.max(), Some(18));
         assert_eq!(m.lock_waits.count(), 1);
+        assert_eq!(m.undo_depth.count(), 1);
+        assert_eq!(m.undo_depth.max(), Some(4));
         assert_eq!(m.context_switches, 0, "first pick is not a switch");
     }
 

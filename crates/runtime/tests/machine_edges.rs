@@ -25,7 +25,7 @@ fn step_limit_terminates_runaway_programs() {
         step_limit: 10_000,
         ..MachineConfig::default()
     };
-    let r = run_once(&infinite_loop_program(), cfg, 0);
+    let r = run_once(&infinite_loop_program(), &cfg, 0);
     assert_eq!(r.outcome, RunOutcome::StepLimit);
     assert!(r.stats.steps <= 10_000);
 }
@@ -64,7 +64,7 @@ fn deadlock_recovery_avoids_livelock() {
         ..MachineConfig::default()
     };
     let mut sched = RoundRobin::new();
-    let r = conair_runtime::run_with(&program, cfg, ScheduleScript::none(), &mut sched);
+    let r = conair_runtime::run_with(&program, &cfg, &ScheduleScript::none(), &mut sched);
     assert!(
         r.outcome.is_completed(),
         "random backoff must break recovery livelock: {:?}",
@@ -163,7 +163,7 @@ fn outputs_preserve_emission_order_within_thread() {
     fb.ret();
     mb.function(fb.finish());
     let program = Program::from_entry_names(mb.finish(), &["main"]);
-    let r = run_once(&program, MachineConfig::default(), 0);
+    let r = run_once(&program, &MachineConfig::default(), 0);
     assert_eq!(r.outputs_for("seq"), vec![0, 1, 2, 3, 4]);
 }
 
@@ -204,8 +204,7 @@ fn interprocedural_rollback_pops_frames_correctly() {
     let script =
         ScheduleScript::with_gates(vec![conair_runtime::Gate::new(1, "w", "main_started")]);
     for seed in 0..30 {
-        let r =
-            conair_runtime::run_scripted(&program, MachineConfig::default(), script.clone(), seed);
+        let r = conair_runtime::run_scripted(&program, &MachineConfig::default(), &script, seed);
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
         assert_eq!(r.outputs_for("result"), vec![11], "seed {seed}");
     }
@@ -231,7 +230,7 @@ fn failure_records_carry_bounded_traces() {
         trace_depth: 8,
         ..MachineConfig::default()
     };
-    let r = run_once(&program, cfg, 0);
+    let r = run_once(&program, &cfg, 0);
     match r.outcome {
         RunOutcome::Failed(f) => {
             assert_eq!(f.trace.len(), 8, "trace bounded by depth");
@@ -245,7 +244,7 @@ fn failure_records_carry_bounded_traces() {
     }
 
     // Tracing off: empty trace, and no per-step overhead path taken.
-    let r = run_once(&program, MachineConfig::default(), 0);
+    let r = run_once(&program, &MachineConfig::default(), 0);
     match r.outcome {
         RunOutcome::Failed(f) => assert!(f.trace.is_empty()),
         other => panic!("expected failure, got {other:?}"),

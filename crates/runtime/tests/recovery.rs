@@ -99,7 +99,7 @@ fn order_violation_recovers_under_all_seeds() {
 fn recovered_run_produces_correct_output() {
     let (program, script) = order_violation_forced();
     for seed in 0..50 {
-        let r = run_scripted(&program, config(), script.clone(), seed);
+        let r = run_scripted(&program, &config(), &script, seed);
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
         assert_eq!(
             r.outputs_for("value"),
@@ -115,7 +115,7 @@ fn rollbacks_are_counted_and_timed() {
     // Find a seed that actually rolls back (reader scheduled first).
     let mut saw_rollback = false;
     for seed in 0..50 {
-        let r = run_scripted(&program, config(), script.clone(), seed);
+        let r = run_scripted(&program, &config(), &script, seed);
         if r.stats.rollbacks > 0 {
             saw_rollback = true;
             let rec = &r.stats.site_recovery[&SiteId(0)];
@@ -152,7 +152,7 @@ fn unhardened_program_fails() {
     let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_init", "read_done")]);
 
     for seed in 0..50 {
-        let r = run_scripted(&program, config(), script.clone(), seed);
+        let r = run_scripted(&program, &config(), &script, seed);
         match &r.outcome {
             RunOutcome::Failed(f) => {
                 assert_eq!(f.kind, conair_ir::FailureKind::AssertionViolation);
@@ -182,7 +182,7 @@ fn retry_exhaustion_reports_original_failure() {
     let program = Program::from_entry_names(mb.finish(), &["reader"]);
     let mut cfg = config();
     cfg.max_retries = 25;
-    let r = run_once(&program, cfg, 1);
+    let r = run_once(&program, &cfg, 1);
     match &r.outcome {
         RunOutcome::Failed(f) => {
             assert_eq!(f.kind, conair_ir::FailureKind::AssertionViolation);
@@ -209,7 +209,7 @@ fn guard_without_checkpoint_fails_immediately() {
     reader.ret();
     mb.function(reader.finish());
     let program = Program::from_entry_names(mb.finish(), &["reader"]);
-    let r = run_once(&program, config(), 1);
+    let r = run_once(&program, &config(), 1);
     assert!(matches!(r.outcome, RunOutcome::Failed(_)));
     assert_eq!(r.stats.rollbacks, 0);
 }
@@ -301,7 +301,7 @@ fn ptr_guard_recovers_null_dereference() {
     let program = Program::from_entry_names(mb.finish(), &["reader", "writer"]);
     let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_publish", "reader_started")]);
     for seed in 0..50 {
-        let r = run_scripted(&program, config(), script.clone(), seed);
+        let r = run_scripted(&program, &config(), &script, seed);
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
         assert_eq!(r.outputs_for("deref"), vec![5]);
     }
@@ -341,7 +341,7 @@ fn compensation_frees_region_allocations() {
 
     let program = Program::from_entry_names(mb.finish(), &["reader", "writer"]);
     let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_init", "reader_started")]);
-    let r = run_scripted(&program, config(), script, 3);
+    let r = run_scripted(&program, &config(), &script, 3);
     assert!(r.outcome.is_completed());
     // Each retry allocated a block and compensation freed it; only the
     // final (successful) allocation survives. total_allocated counts all,
@@ -353,8 +353,8 @@ fn compensation_frees_region_allocations() {
         // seed with rollbacks.
         let r2 = run_scripted(
             &program,
-            config(),
-            ScheduleScript::with_gates(vec![Gate::new(1, "before_init", "reader_started")]),
+            &config(),
+            &ScheduleScript::with_gates(vec![Gate::new(1, "before_init", "reader_started")]),
             11,
         );
         assert!(r2.outcome.is_completed());
@@ -364,8 +364,8 @@ fn compensation_frees_region_allocations() {
 #[test]
 fn determinism_same_seed_same_result() {
     let (program, script) = order_violation_forced();
-    let a = run_scripted(&program, config(), script.clone(), 42);
-    let b = run_scripted(&program, config(), script, 42);
+    let a = run_scripted(&program, &config(), &script, 42);
+    let b = run_scripted(&program, &config(), &script, 42);
     assert_eq!(a.outcome, b.outcome);
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.stats.steps, b.stats.steps);
@@ -400,7 +400,7 @@ fn plain_lock_deadlock_hangs() {
         Gate::new(0, "t1_gate", "t2_has_b"),
         Gate::new(1, "t2_gate", "t1_has_a"),
     ]);
-    let r = run_scripted(&program, config(), script, 5);
+    let r = run_scripted(&program, &config(), &script, 5);
     assert!(
         matches!(
             r.outcome,
@@ -457,7 +457,7 @@ fn rollback_restores_registers_not_stack_slots() {
     // semantic corruption from reexecuting a non-idempotent region.
     let mut corrupted = false;
     for seed in 0..100 {
-        let r = run_scripted(&program, config(), script.clone(), seed);
+        let r = run_scripted(&program, &config(), &script, seed);
         if r.stats.rollbacks > 0 {
             let out = r.outputs_for("slot");
             assert_eq!(out.len(), 1);
@@ -504,7 +504,7 @@ fn hang_reports_wait_cycle() {
         Gate::new(0, "d1_gate", "d2_has_b"),
         Gate::new(1, "d2_gate", "d1_has_a"),
     ]);
-    let r = run_scripted(&program, config(), script, 9);
+    let r = run_scripted(&program, &config(), &script, 9);
     assert!(matches!(r.outcome, RunOutcome::Hang { .. }));
     assert_eq!(r.stats.wait_edges.len(), 2);
     let cycle = find_wait_cycle(&r.stats.wait_edges).expect("circular wait found");

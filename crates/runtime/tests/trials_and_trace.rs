@@ -139,8 +139,8 @@ fn trace_event_counts_match_run_stats() {
     let buffer = EventBuffer::new();
     let r = run_traced(
         &p,
-        config(),
-        ScheduleScript::none(),
+        &config(),
+        &ScheduleScript::none(),
         3,
         Box::new(buffer.clone()),
     );

@@ -289,7 +289,7 @@ mod tests {
     #[test]
     fn filler_is_benign() {
         let program = build(small_sites(), WorkProfile::default());
-        let r = run_once(&program, MachineConfig::default(), 7);
+        let r = run_once(&program, &MachineConfig::default(), 7);
         assert!(r.outcome.is_completed(), "{:?}", r.outcome);
         // Outputs from the output sites appear.
         assert!(!r.outputs_for("trace").is_empty());

@@ -19,7 +19,7 @@
 //!
 //! let w = workload_by_name("MySQL2").unwrap();
 //! // Under the bug-forcing script the original program fails:
-//! let r = run_scripted(&w.program, MachineConfig::default(), w.bug_script.clone(), 1);
+//! let r = run_scripted(&w.program, &MachineConfig::default(), &w.bug_script, 1);
 //! assert!(matches!(r.outcome, RunOutcome::Failed(_)));
 //! ```
 
@@ -32,9 +32,11 @@ mod meta;
 mod micro;
 mod registry;
 mod spec;
+mod stress;
 
 pub use filler::{emit_filler, Filler, SiteProfile, WorkProfile};
 pub use meta::{meta_by_name, RootCause, Symptom, WorkloadMeta, TABLE2};
 pub use micro::{build_micro, AtomicityPattern, MicroWorkload};
 pub use registry::{all_workloads, workload_by_name, WORKLOAD_NAMES};
 pub use spec::Workload;
+pub use stress::{checkpoint_dense_control, checkpoint_dense_program, rollback_dense_program};

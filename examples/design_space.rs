@@ -27,7 +27,7 @@ fn main() {
                 max_retries: 2_000,
                 ..MachineConfig::default()
             };
-            let r = run_scripted(&hardened.program, machine, m.bug_script.clone(), 0);
+            let r = run_scripted(&hardened.program, &machine, &m.bug_script, 0);
             let recovered =
                 r.outcome.is_completed() && r.outputs_for(&m.expected.0) == m.expected.1;
             cells.push(if recovered { "yes" } else { "no " });

@@ -18,12 +18,7 @@ fn main() {
     );
 
     // The original library deadlocks under the AB/BA interleaving.
-    let original = run_scripted(
-        &w.program,
-        MachineConfig::default(),
-        w.bug_script.clone(),
-        3,
-    );
+    let original = run_scripted(&w.program, &MachineConfig::default(), &w.bug_script, 3);
     match original.outcome {
         RunOutcome::Hang { blocked_on_locks } => {
             println!("original: hang with {blocked_on_locks} threads in a circular wait")
@@ -46,8 +41,8 @@ fn main() {
     for seed in 0..20 {
         let r = run_scripted(
             &fixed.program,
-            MachineConfig::default(),
-            w.bug_script.clone(),
+            &MachineConfig::default(),
+            &w.bug_script,
             seed,
         );
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);

@@ -44,7 +44,7 @@ fn main() {
         "consumer_read_ready",
     )]);
 
-    let original = run_scripted(&program, MachineConfig::default(), bug.clone(), 0);
+    let original = run_scripted(&program, &MachineConfig::default(), &bug, 0);
     println!(
         "original program under the buggy interleaving: {:?}",
         original.outcome
@@ -60,7 +60,7 @@ fn main() {
     );
 
     // 4. The hardened program survives the exact same interleaving.
-    let recovered = run_scripted(&hardened.program, MachineConfig::default(), bug, 0);
+    let recovered = run_scripted(&hardened.program, &MachineConfig::default(), &bug, 0);
     println!(
         "hardened program under the same interleaving: {:?}",
         recovered.outcome

@@ -17,12 +17,7 @@ fn main() {
     );
 
     // The unhardened program segfaults under the forced interleaving.
-    let original = run_scripted(
-        &w.program,
-        MachineConfig::default(),
-        w.bug_script.clone(),
-        1,
-    );
+    let original = run_scripted(&w.program, &MachineConfig::default(), &w.bug_script, 1);
     match &original.outcome {
         RunOutcome::Failed(f) => println!("original: {} at step {}", f.msg, f.step),
         other => println!("original: {other:?}"),
@@ -43,8 +38,8 @@ fn main() {
     for seed in 0..20 {
         let r = run_scripted(
             &hardened.program,
-            MachineConfig::default(),
-            w.bug_script.clone(),
+            &MachineConfig::default(),
+            &w.bug_script,
             seed,
         );
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);

@@ -51,7 +51,7 @@ fn fft_checkpoint_is_near_the_oracle() {
 
     // At runtime: recovery in a modest number of retries with correct
     // output.
-    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
+    let r = run_scripted(&hardened.program, &machine(), &w.bug_script, 0);
     assert!(r.outcome.is_completed());
     w.verify_outputs(&r)
         .expect("outputs correct after recovery");
@@ -104,7 +104,7 @@ fn mozilla_xp_point_is_in_the_caller() {
     assert_eq!(seg_site.promoted_depth, Some(1));
 
     // Runtime: long recovery with thousands of retries (paper: >8000).
-    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
+    let r = run_scripted(&hardened.program, &machine(), &w.bug_script, 0);
     assert!(r.outcome.is_completed());
     let retries = r.stats.total_retries();
     assert!(
@@ -152,7 +152,7 @@ fn hawknl_asymmetric_hardening() {
     );
 
     // Runtime: the deadlock resolves and both threads complete correctly.
-    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 4);
+    let r = run_scripted(&hardened.program, &machine(), &w.bug_script, 4);
     assert!(r.outcome.is_completed(), "{:?}", r.outcome);
     w.verify_outputs(&r).expect("both outputs correct");
     assert!(r.stats.rollbacks >= 1, "recovery used rollback");
@@ -191,7 +191,7 @@ fn transmission_interprocedural_promotion() {
 fn mysql2_recovers_in_one_retry() {
     let w = workload_by_name("MySQL2").unwrap();
     let hardened = Conair::survival().harden(&w.program);
-    let r = run_scripted(&hardened.program, machine(), w.bug_script.clone(), 0);
+    let r = run_scripted(&hardened.program, &machine(), &w.bug_script, 0);
     assert!(r.outcome.is_completed());
     assert_eq!(
         r.stats.total_retries(),

@@ -21,12 +21,7 @@ fn run_hardened(m: &MicroWorkload, policy: RegionPolicy, seed: u64) -> (RunOutco
         ..ConairConfig::default()
     });
     let hardened = pipeline.harden(&m.program);
-    let r = run_scripted(
-        &hardened.program,
-        machine(policy),
-        m.bug_script.clone(),
-        seed,
-    );
+    let r = run_scripted(&hardened.program, &machine(policy), &m.bug_script, seed);
     let out = r.outputs_for(&m.expected.0);
     (r.outcome, out)
 }
@@ -37,8 +32,8 @@ fn originals_all_fail_under_forced_interleavings() {
         let m = build_micro(pattern);
         let r = run_scripted(
             &m.program,
-            machine(RegionPolicy::Compensated),
-            m.bug_script.clone(),
+            &machine(RegionPolicy::Compensated),
+            &m.bug_script,
             0,
         );
         assert!(

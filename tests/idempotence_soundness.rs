@@ -17,11 +17,11 @@ fn recovered_outputs_equal_failure_free_outputs() {
             ..MachineConfig::default()
         };
         // Failure-free run of the ORIGINAL program (benign schedule).
-        let clean = run_scripted(&w.program, machine.clone(), w.benign_script.clone(), 500);
+        let clean = run_scripted(&w.program, &machine, &w.benign_script, 500);
         assert!(clean.outcome.is_completed());
 
         // Recovered run of the hardened program (bug-forcing schedule).
-        let recovered = run_scripted(&hardened.program, machine, w.bug_script.clone(), 500);
+        let recovered = run_scripted(&hardened.program, &machine, &w.bug_script, 500);
         assert!(
             recovered.outcome.is_completed(),
             "{}: {:?}",
@@ -108,12 +108,7 @@ fn shared_increment_applied_exactly_once_across_rollbacks() {
     let hardened = Conair::survival().harden(&program);
 
     for seed in 0..30 {
-        let r = run_scripted(
-            &hardened.program,
-            MachineConfig::default(),
-            script.clone(),
-            seed,
-        );
+        let r = run_scripted(&hardened.program, &MachineConfig::default(), &script, seed);
         assert!(r.outcome.is_completed(), "seed {seed}: {:?}", r.outcome);
         assert_eq!(
             r.outputs_for("counter"),
@@ -160,7 +155,7 @@ fn compensation_spares_pre_region_locks() {
 
     let program = Program::from_entry_names(mb.finish(), &["worker", "setter"]);
     let script = ScheduleScript::with_gates(vec![Gate::new(1, "before_set", "worker_started")]);
-    let r = run_scripted(&program, MachineConfig::default(), script, 5);
+    let r = run_scripted(&program, &MachineConfig::default(), &script, 5);
     // If compensation wrongly released `outer` (acquired before the
     // checkpoint), the final unlock would be an unlock-not-held usage
     // error and the run would fail.

@@ -23,8 +23,7 @@ fn deterministic_fields(
     f64,
     f64,
     Option<u64>,
-    conair_runtime::Histogram,
-    conair_runtime::Histogram,
+    Vec<conair_runtime::Histogram>,
 ) {
     (
         s.trials,
@@ -35,17 +34,29 @@ fn deterministic_fields(
         s.mean_insts,
         s.mean_retries,
         s.max_recovery_steps,
-        s.retries_hist.clone(),
-        s.recovery_hist.clone(),
+        vec![
+            s.retries_hist.clone(),
+            s.recovery_hist.clone(),
+            s.checkpoints_hist.clone(),
+            s.undo_depth_hist.clone(),
+        ],
     )
 }
 
 #[test]
 fn parallel_trials_match_sequential_over_catalog() {
     let machine = MachineConfig::default();
+    let mut any_undo_samples = false;
     for w in all_workloads() {
         let hardened = Conair::survival().harden(&w.program);
         let seq = run_trials(&hardened.program, &machine, &w.bug_script, SEED0, TRIALS);
+        assert_eq!(
+            seq.checkpoints_hist.count(),
+            TRIALS as u64,
+            "{}: one checkpoint-count sample per trial",
+            w.meta.name
+        );
+        any_undo_samples |= !seq.undo_depth_hist.is_empty();
         for jobs in [1usize, 4] {
             let par = run_trials_parallel(
                 &hardened.program,
@@ -63,6 +74,11 @@ fn parallel_trials_match_sequential_over_catalog() {
             );
         }
     }
+    assert!(
+        any_undo_samples,
+        "bug-forcing trials must roll back somewhere in the catalog, \
+         populating the undo-depth histogram"
+    );
 }
 
 #[test]

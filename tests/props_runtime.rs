@@ -92,8 +92,8 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let p = build_program(&a, &b);
-        let r1 = run_once(&p, MachineConfig::default(), seed);
-        let r2 = run_once(&p, MachineConfig::default(), seed);
+        let r1 = run_once(&p, &MachineConfig::default(), seed);
+        let r2 = run_once(&p, &MachineConfig::default(), seed);
         prop_assert_eq!(&r1.outcome, &r2.outcome);
         prop_assert_eq!(&r1.outputs, &r2.outputs);
         prop_assert_eq!(r1.stats.steps, r2.stats.steps);
@@ -108,7 +108,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let p = build_program(&a, &b);
-        let r = run_once(&p, MachineConfig::default(), seed);
+        let r = run_once(&p, &MachineConfig::default(), seed);
         prop_assert!(r.outcome.is_completed(), "{:?}", r.outcome);
     }
 
@@ -123,8 +123,8 @@ proptest! {
     ) {
         let p = build_program(&a, &b);
         let hardened = Conair::survival().harden(&p);
-        let orig = run_once(&p, MachineConfig::default(), seed);
-        let hard = run_once(&hardened.program, MachineConfig::default(), seed);
+        let orig = run_once(&p, &MachineConfig::default(), seed);
+        let hard = run_once(&hardened.program, &MachineConfig::default(), seed);
         prop_assert!(orig.outcome.is_completed());
         prop_assert!(hard.outcome.is_completed(), "{:?}", hard.outcome);
         // NOTE: the hardened run executes extra instructions, so the
@@ -153,7 +153,7 @@ proptest! {
     ) {
         let p = build_program(&a, &[]);
         let hardened = Conair::survival().harden(&p);
-        let r = run_once(&hardened.program, MachineConfig::default(), seed);
+        let r = run_once(&hardened.program, &MachineConfig::default(), seed);
         prop_assert!(r.outcome.is_completed());
         prop_assert_eq!(r.stats.rollbacks, 0);
         prop_assert_eq!(r.stats.total_retries(), 0);

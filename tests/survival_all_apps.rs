@@ -16,7 +16,7 @@ fn config() -> MachineConfig {
 
 /// The original program manifests its documented failure symptom.
 fn assert_original_fails(w: &Workload, seed: u64) {
-    let r = run_scripted(&w.program, config(), w.bug_script.clone(), seed);
+    let r = run_scripted(&w.program, &config(), &w.bug_script, seed);
     match (w.meta.symptom, &r.outcome) {
         (Symptom::Hang, RunOutcome::Hang { .. }) => {}
         (Symptom::Assertion, RunOutcome::Failed(f)) => {
@@ -50,7 +50,7 @@ fn assert_original_fails(w: &Workload, seed: u64) {
 /// forced interleaving.
 fn assert_hardened_recovers(w: &Workload, seed: u64) {
     let hardened = Conair::survival().harden(&w.program);
-    let r = run_scripted(&hardened.program, config(), w.bug_script.clone(), seed);
+    let r = run_scripted(&hardened.program, &config(), &w.bug_script, seed);
     assert!(
         r.outcome.is_completed(),
         "{}: hardened run must complete, got {:?} (seed {seed})",
@@ -92,7 +92,7 @@ app_test!(zsnes_fails_then_recovers, "ZSNES");
 fn fix_mode_recovers_every_app() {
     for w in all_workloads() {
         let hardened = Conair::fix(w.fix_markers.clone()).harden(&w.program);
-        let r = run_scripted(&hardened.program, config(), w.bug_script.clone(), 7);
+        let r = run_scripted(&hardened.program, &config(), &w.bug_script, 7);
         assert!(
             r.outcome.is_completed(),
             "{} (fix mode): {:?}",
@@ -110,7 +110,7 @@ fn fix_mode_recovers_every_app() {
 #[test]
 fn benign_runs_unchanged_by_hardening() {
     for w in all_workloads() {
-        let orig = run_scripted(&w.program, config(), w.benign_script.clone(), 99);
+        let orig = run_scripted(&w.program, &config(), &w.benign_script, 99);
         assert!(
             orig.outcome.is_completed(),
             "{} original benign: {:?}",
@@ -118,7 +118,7 @@ fn benign_runs_unchanged_by_hardening() {
             orig.outcome
         );
         let hardened = Conair::survival().harden(&w.program);
-        let hard = run_scripted(&hardened.program, config(), w.benign_script.clone(), 99);
+        let hard = run_scripted(&hardened.program, &config(), &w.benign_script, 99);
         assert!(
             hard.outcome.is_completed(),
             "{} hardened benign: {:?}",
