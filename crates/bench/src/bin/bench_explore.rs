@@ -1,0 +1,134 @@
+//! Measures schedule-exploration throughput (schedules/sec under each
+//! strategy, sequential and fanned across the trial pool) and writes the
+//! numbers to `BENCH_explore.json` — the exploration datapoint of the
+//! perf trajectory.
+//!
+//! ```text
+//! bench_explore [--out BENCH_explore.json] [--label NAME] [--app NAME]
+//!               [--jobs N] [--budget N] [--reps N]
+//! ```
+//!
+//! Every figure runs the *full* budget (`stop_at_first` off) so each rep
+//! explores exactly `--budget` schedules regardless of when the first
+//! failure lands; throughput is the best of `--reps` repetitions, the
+//! same max-over-reps noise treatment as `bench_interp`.
+
+use std::time::Instant;
+
+use conair_runtime::{explore, ExploreConfig, ExploreStrategy, MachineConfig, PointMask};
+use conair_workloads::workload_by_name;
+
+/// The workload under measurement; FFT is the deepest benign run of the
+/// catalog, so its per-schedule cost dominates the scheduler's own.
+const APP: &str = "FFT";
+
+fn main() {
+    let mut out_path = "BENCH_explore.json".to_string();
+    let mut label = "current".to_string();
+    let mut app = APP.to_string();
+    let mut jobs = 4usize;
+    let mut budget = 256usize;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--label" => label = args.next().expect("--label needs a name"),
+            "--app" => app = args.next().expect("--app needs a workload name"),
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--jobs needs a number >= 1")
+            }
+            "--budget" => {
+                budget = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--budget needs a number >= 1")
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--reps needs a number >= 1")
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let w = workload_by_name(&app).expect("registered workload");
+    // Hang-prone schedules must terminate promptly or they dominate the
+    // wall clock; the same bounds the catalog exploration tests use.
+    let machine = MachineConfig {
+        lock_timeout: 200,
+        step_limit: 2_000_000,
+        ..MachineConfig::default()
+    };
+
+    let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(0.0f64, f64::max);
+    let throughput = |strategy: ExploreStrategy, mask: PointMask, jobs: usize| -> f64 {
+        best(&|| {
+            let mut ec = ExploreConfig::new(strategy);
+            ec.mask = mask;
+            ec.budget = budget;
+            ec.jobs = jobs;
+            ec.stop_at_first = false;
+            let start = Instant::now();
+            let report = explore(&w.program, &machine, &ec);
+            // Bounded trees can exhaust below the budget; rate what ran.
+            assert!(report.schedules >= 1);
+            report.schedules as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+
+    let pct = ExploreStrategy::Pct { depth: 3 };
+    let bounded = ExploreStrategy::Bounded { preemptions: 2 };
+    let pct_seq = throughput(pct, PointMask::SYNC_SHARED, 1);
+    let pct_par = throughput(pct, PointMask::SYNC_SHARED, jobs);
+    let bounded_seq = throughput(bounded, PointMask::SYNC, 1);
+    let bounded_par = throughput(bounded, PointMask::SYNC, jobs);
+
+    use serde_json::Value;
+    let pair = |k: &str, v: Value| (k.to_string(), v);
+    let entry = Value::Object(vec![
+        pair("label", Value::Str(label.clone())),
+        pair("app", Value::Str(app.clone())),
+        pair("budget", Value::UInt(budget as u64)),
+        pair("jobs", Value::UInt(jobs as u64)),
+        pair("pct_schedules_per_sec", Value::Float(pct_seq)),
+        pair("pct_schedules_per_sec_parallel", Value::Float(pct_par)),
+        pair("bounded_schedules_per_sec", Value::Float(bounded_seq)),
+        pair(
+            "bounded_schedules_per_sec_parallel",
+            Value::Float(bounded_par),
+        ),
+    ]);
+    append_entry(&out_path, &label, entry);
+}
+
+/// Appends `entry` to the JSON trajectory file at `path`: one JSON array,
+/// oldest entry first; a rerun with the same label replaces that label's
+/// entry.
+fn append_entry(path: &str, label: &str, entry: serde_json::Value) {
+    use serde_json::Value;
+    let mut entries: Vec<Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| match serde_json::from_str::<Value>(&t) {
+            Ok(Value::Array(items)) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    entries.retain(|e| e.get("label").and_then(Value::as_str) != Some(label));
+    entries.push(entry.clone());
+    let text = serde_json::to_string_pretty(&Value::Array(entries)).expect("serializes");
+    std::fs::write(path, format!("{text}\n")).expect("write bench trajectory");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&entry).expect("serializes")
+    );
+    println!("wrote {path}");
+}

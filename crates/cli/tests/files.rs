@@ -91,7 +91,7 @@ fn hardened_traced_deadlock_run_then_report() {
     .unwrap();
     assert!(run.contains("hardened: "), "{run}");
     assert!(run.contains("counts match run stats"), "{run}");
-    assert!(run.contains("wrote trace to "), "{run}");
+    assert!(run.contains("wrote "), "{run}");
 
     let report = execute(&Command::Report {
         input: trace_path.to_string_lossy().into_owned(),

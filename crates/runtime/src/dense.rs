@@ -6,24 +6,51 @@
 //! analyses key their region bitsets by — so a resume position in a
 //! checkpoint is a plain `u32` and block entry of `BlockId(0)` is always
 //! pc `0`.
+//!
+//! Lowering also interns marker names module-wide to dense `u32` ids (so
+//! marker hit counts are a `Vec` index instead of a string-keyed map probe)
+//! and pre-classifies every instruction into its scheduling
+//! [`PointKind`](crate::PointKind), so per-step gate checks and decision
+//! masking never inspect instruction payloads.
 
 use conair_ir::{BlockId, FlatLayout, FuncId, Inst, InstPos, Loc, Module};
+
+use crate::sched::PointKind;
+
+/// Sentinel in the per-pc marker-id table for "not a marker".
+const NOT_A_MARKER: u32 = u32::MAX;
 
 /// One function's pre-lowered instruction table.
 pub struct FuncLayout<'p> {
     insts: Vec<&'p Inst>,
     layout: FlatLayout,
+    /// Interned marker id per pc (`NOT_A_MARKER` elsewhere).
+    marker_ids: Vec<u32>,
+    /// Scheduling-point kind per pc. `Return` is classified
+    /// [`PointKind::ThreadExit`]; the machine downgrades it to `Local`
+    /// when the thread has caller frames below.
+    kinds: Vec<PointKind>,
     num_regs: usize,
     num_locals: usize,
 }
 
 impl<'p> FuncLayout<'p> {
-    fn new(func: &'p conair_ir::Function) -> Self {
+    fn new(func: &'p conair_ir::Function, interner: &mut MarkerInterner<'p>) -> Self {
         let layout = FlatLayout::new(func);
-        let insts = func.blocks.iter().flat_map(|b| b.insts.iter()).collect();
+        let insts: Vec<&'p Inst> = func.blocks.iter().flat_map(|b| b.insts.iter()).collect();
+        let marker_ids = insts
+            .iter()
+            .map(|i| match i {
+                Inst::Marker { name } => interner.intern(name.as_str()),
+                _ => NOT_A_MARKER,
+            })
+            .collect();
+        let kinds = insts.iter().map(|i| PointKind::of_inst(i)).collect();
         Self {
             insts,
             layout,
+            marker_ids,
+            kinds,
             num_regs: func.num_regs,
             num_locals: func.num_locals,
         }
@@ -45,6 +72,25 @@ impl<'p> FuncLayout<'p> {
     #[inline]
     pub fn get(&self, pc: u32) -> Option<&'p Inst> {
         self.insts.get(pc as usize).copied()
+    }
+
+    /// The interned marker id at `pc`, when the instruction there is a
+    /// marker (out-of-range pcs included).
+    #[inline]
+    pub fn marker_id(&self, pc: u32) -> Option<u32> {
+        match self.marker_ids.get(pc as usize) {
+            Some(&id) if id != NOT_A_MARKER => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The scheduling-point kind at `pc` (`Local` past the end).
+    #[inline]
+    pub fn point_kind(&self, pc: u32) -> PointKind {
+        self.kinds
+            .get(pc as usize)
+            .copied()
+            .unwrap_or(PointKind::Local)
     }
 
     /// Flat pc of a block's first instruction.
@@ -89,16 +135,42 @@ impl<'p> FuncLayout<'p> {
     }
 }
 
+/// Module-wide marker interner: first-seen order over functions in id
+/// order, so ids are deterministic for a given module.
+#[derive(Default)]
+struct MarkerInterner<'p> {
+    names: Vec<&'p str>,
+}
+
+impl<'p> MarkerInterner<'p> {
+    fn intern(&mut self, name: &'p str) -> u32 {
+        if let Some(i) = self.names.iter().position(|n| *n == name) {
+            return i as u32;
+        }
+        self.names.push(name);
+        (self.names.len() - 1) as u32
+    }
+}
+
 /// The pre-lowered instruction tables of every function in a module.
 pub struct DenseProgram<'p> {
     funcs: Vec<FuncLayout<'p>>,
+    /// Interned marker names, indexed by marker id.
+    markers: Vec<&'p str>,
 }
 
 impl<'p> DenseProgram<'p> {
     /// Lowers `module` (one pass, before execution starts).
     pub fn new(module: &'p Module) -> Self {
+        let mut interner = MarkerInterner::default();
+        let funcs = module
+            .functions
+            .iter()
+            .map(|f| FuncLayout::new(f, &mut interner))
+            .collect();
         Self {
-            funcs: module.functions.iter().map(FuncLayout::new).collect(),
+            funcs,
+            markers: interner.names,
         }
     }
 
@@ -110,6 +182,30 @@ impl<'p> DenseProgram<'p> {
     #[inline]
     pub fn func(&self, func: FuncId) -> &FuncLayout<'p> {
         &self.funcs[func.index()]
+    }
+
+    /// Distinct marker names in the module.
+    pub fn num_markers(&self) -> usize {
+        self.markers.len()
+    }
+
+    /// The interned id of a marker name, when the module contains it.
+    /// Linear scan — this is a compile-time (script/gate resolution)
+    /// lookup, never on the execution path.
+    pub fn marker_id(&self, name: &str) -> Option<u32> {
+        self.markers
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| i as u32)
+    }
+
+    /// The marker name for an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn marker_name(&self, id: u32) -> &'p str {
+        self.markers[id as usize]
     }
 }
 
@@ -149,5 +245,54 @@ mod tests {
         }
         assert_eq!(table.num_insts() as u32, flat);
         assert_eq!(table.get(flat), None);
+    }
+
+    #[test]
+    fn markers_are_interned_module_wide() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FuncBuilder::new("a", 0);
+        fb.marker("shared");
+        fb.marker("only_a");
+        fb.ret();
+        mb.function(fb.finish());
+        let mut fb = FuncBuilder::new("b", 0);
+        fb.marker("only_b");
+        fb.marker("shared");
+        fb.ret();
+        mb.function(fb.finish());
+        let module = mb.finish();
+
+        let dense = DenseProgram::new(&module);
+        assert_eq!(dense.num_markers(), 3);
+        let shared = dense.marker_id("shared").unwrap();
+        assert_eq!(dense.marker_name(shared), "shared");
+        assert_eq!(dense.marker_id("missing"), None);
+        // The same name gets the same id in both functions.
+        assert_eq!(dense.func(FuncId(0)).marker_id(0), Some(shared));
+        assert_eq!(dense.func(FuncId(1)).marker_id(1), Some(shared));
+        // Non-marker pcs and out-of-range pcs report no marker.
+        assert_eq!(dense.func(FuncId(0)).marker_id(2), None);
+        assert_eq!(dense.func(FuncId(0)).marker_id(999), None);
+    }
+
+    #[test]
+    fn point_kinds_are_prelowered() {
+        use crate::sched::PointKind;
+        let mut mb = ModuleBuilder::new("t");
+        let lk = mb.lock("l");
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.lock(lk);
+        fb.marker("m");
+        fb.unlock(lk);
+        fb.ret();
+        mb.function(fb.finish());
+        let module = mb.finish();
+        let dense = DenseProgram::new(&module);
+        let table = dense.func(FuncId(0));
+        assert_eq!(table.point_kind(0), PointKind::LockAcquire);
+        assert_eq!(table.point_kind(1), PointKind::Marker);
+        assert_eq!(table.point_kind(2), PointKind::LockRelease);
+        assert_eq!(table.point_kind(3), PointKind::ThreadExit);
+        assert_eq!(table.point_kind(999), PointKind::Local, "past the end");
     }
 }

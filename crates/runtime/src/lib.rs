@@ -70,7 +70,12 @@ pub use memory::{MemFault, Memory, DEFAULT_LOWER_BOUND, GLOBAL_BASE, HEAP_BASE};
 pub use metrics::{Histogram, RunMetrics};
 pub use outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 pub use program::{Program, ThreadSpec};
-pub use sched::{Gate, RoundRobin, SchedContext, ScheduleScript, Scheduler, SeededRandom};
+pub use sched::{
+    explore, minimize, run_replay, Consult, DecisionTrace, Divergence, ExploreConfig,
+    ExploreReport, ExploreStrategy, FoundSchedule, FrontierScheduler, Gate, MinimizeReport,
+    PctConfig, PctScheduler, PointKind, PointMask, ReplayScheduler, RoundRobin, SchedContext,
+    ScheduleScript, Scheduler, SeededRandom,
+};
 #[cfg(any(test, feature = "clone-oracle"))]
 pub use thread::CloneCheckpoint;
 pub use thread::{

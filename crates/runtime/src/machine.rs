@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use conair_ir::{FailureKind, Inst, LockId, Operand, Reg, SiteId};
+use conair_ir::{FailureKind, FuncId, Inst, LockId, Operand, Reg, SiteId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -32,7 +32,9 @@ use crate::memory::{Memory, DEFAULT_LOWER_BOUND};
 use crate::metrics::RunMetrics;
 use crate::outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 use crate::program::Program;
-use crate::sched::{SchedContext, ScheduleScript, Scheduler};
+use crate::sched::{
+    CompiledScript, DecisionTrace, PointKind, PointMask, SchedContext, ScheduleScript, Scheduler,
+};
 use crate::thread::{CompensationRecord, Frame, ThreadState, ThreadStatus, UndoRecord};
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -60,6 +62,9 @@ pub struct MachineConfig {
     /// Keep a ring buffer of each thread's last N executed locations and
     /// attach the failing thread's to the failure record (0 disables).
     pub trace_depth: usize,
+    /// Record every scheduler pick into a [`DecisionTrace`] attached to
+    /// the [`RunResult`] (replay/minimization input; off by default).
+    pub record_decisions: bool,
 }
 
 impl Default for MachineConfig {
@@ -73,14 +78,12 @@ impl Default for MachineConfig {
             backoff_seed: 0xC0A1,
             buffered_writes: false,
             trace_depth: 0,
+            record_decisions: false,
         }
     }
 }
 
 /// What the execution of one instruction asked the machine to do.
-/// The default (empty) schedule script a machine starts with.
-static EMPTY_SCRIPT: ScheduleScript = ScheduleScript { gates: Vec::new() };
-
 enum StepEffect {
     /// Continue normally.
     Continue,
@@ -102,13 +105,14 @@ pub struct Machine<'p> {
     memory: Memory,
     locks: LockTable,
     threads: Vec<ThreadState>,
-    /// Borrowed, not owned: trial harnesses share one script across
-    /// thousands of runs without cloning gate strings.
-    script: &'p ScheduleScript,
+    /// The schedule script compiled against the module's interned marker
+    /// ids: the per-step hold check is integer compares over the thread's
+    /// own gates, not string compares over every gate.
+    compiled_script: CompiledScript,
     outputs: Vec<OutputRecord>,
-    /// Marker hit counts, keyed by name borrowed from the program — no
-    /// per-execution `String` allocation.
-    marker_counts: HashMap<&'p str, u64>,
+    /// Marker hit counts, indexed by the dense lowering's interned marker
+    /// id — a `Vec` index on the hot path, no hashing.
+    marker_counts: Vec<u64>,
     site_recovery: HashMap<SiteId, SiteRecovery>,
     site_checks: HashMap<SiteId, u64>,
     wait_edges: Vec<WaitEdge>,
@@ -131,6 +135,9 @@ pub struct Machine<'p> {
     /// per-step timeout scan bail without touching the thread list. Set on
     /// every timed-lock block; cleared by a scan that finds no waiter.
     maybe_timed_waiter: bool,
+    /// Recorded scheduler picks (only when
+    /// [`MachineConfig::record_decisions`] is set).
+    decision_log: Vec<u32>,
     sink: Option<Box<dyn TraceSink>>,
 }
 
@@ -154,16 +161,18 @@ impl<'p> Machine<'p> {
             .collect();
         let backoff_seed = config.backoff_seed;
         let thread_count = program.threads.len();
+        let dense = DenseProgram::new(&program.module);
+        let marker_counts = vec![0u64; dense.num_markers()];
         Self {
             program,
-            dense: DenseProgram::new(&program.module),
+            dense,
             config,
             memory,
             locks,
             threads,
-            script: &EMPTY_SCRIPT,
+            compiled_script: CompiledScript::default(),
             outputs: Vec::new(),
-            marker_counts: HashMap::new(),
+            marker_counts,
             site_recovery: HashMap::new(),
             site_checks: HashMap::new(),
             wait_edges: Vec::new(),
@@ -176,14 +185,17 @@ impl<'p> Machine<'p> {
             pending_wait: None,
             eligible: Vec::with_capacity(thread_count),
             maybe_timed_waiter: false,
+            decision_log: Vec::new(),
             sink: None,
         }
     }
 
-    /// Installs a bug-forcing schedule script (borrowed for the program's
-    /// lifetime — repeated trials share one script).
+    /// Installs a bug-forcing schedule script. The script is compiled
+    /// against the module's interned marker ids here, once — repeated
+    /// trials share the source script and each run pays a small
+    /// per-construction resolve instead of per-step string compares.
     pub fn with_script(mut self, script: &'p ScheduleScript) -> Self {
-        self.script = script;
+        self.compiled_script = script.compile(self.threads.len(), &self.dense);
         self
     }
 
@@ -218,8 +230,29 @@ impl<'p> Machine<'p> {
                 });
             }
         }
-        let outcome = self.run_loop(scheduler);
+        let mask = scheduler.decision_mask();
+        let outcome = self.run_loop(scheduler, mask);
         let step = self.step;
+        let decisions = if self.config.record_decisions {
+            let mut trace = DecisionTrace::new(scheduler.name(), 0, mask);
+            trace.decisions = std::mem::take(&mut self.decision_log);
+            self.metrics.sched_decisions = trace.len() as u64;
+            self.metrics.decision_trace_hash = trace.hash();
+            if self.sink.is_some() {
+                let scheduler = trace.scheduler.clone();
+                let count = trace.len() as u64;
+                let trace_hash = trace.hash();
+                self.emit(|| TraceEvent::ScheduleInfo {
+                    step,
+                    scheduler,
+                    decisions: count,
+                    trace_hash,
+                });
+            }
+            Some(trace)
+        } else {
+            None
+        };
         let label = outcome.label().to_string();
         self.emit(|| TraceEvent::RunEnded {
             step,
@@ -251,10 +284,12 @@ impl<'p> Machine<'p> {
             outputs: self.outputs,
             stats,
             metrics: self.metrics,
+            decisions,
         }
     }
 
-    fn run_loop(&mut self, scheduler: &mut dyn Scheduler) -> RunOutcome {
+    fn run_loop(&mut self, scheduler: &mut dyn Scheduler, mask: PointMask) -> RunOutcome {
+        let consult_every_step = mask.is_all();
         loop {
             if self.step >= self.config.step_limit {
                 return RunOutcome::StepLimit;
@@ -307,12 +342,43 @@ impl<'p> Machine<'p> {
                 };
             }
 
-            // 3. Pick and execute.
-            let ctx = SchedContext {
-                eligible: &self.eligible,
-                step: self.step,
+            // 3. Pick and execute. Schedulers with narrow decision masks
+            // are only consulted when the running thread reaches a masked
+            // scheduling point (or stops being eligible); in between, the
+            // machine silently continues it. The ALL mask short-circuits
+            // to the historical consult-every-step behavior.
+            let consult = if consult_every_step {
+                Some(None)
+            } else {
+                match self.last_picked {
+                    Some(prev) if self.eligible.contains(&prev) => {
+                        let kind = self.point_kind(prev);
+                        if mask.contains(kind) {
+                            Some(Some(kind))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => Some(None),
+                }
             };
-            let tid = scheduler.pick(&ctx);
+            let tid = match consult {
+                Some(point) => {
+                    let ctx = SchedContext {
+                        eligible: &self.eligible,
+                        step: self.step,
+                        threads: self.threads.len(),
+                        last: self.last_picked,
+                        point,
+                    };
+                    let tid = scheduler.pick(&ctx);
+                    if self.config.record_decisions {
+                        self.decision_log.push(tid.index() as u32);
+                    }
+                    tid
+                }
+                None => self.last_picked.expect("continuation has a last thread"),
+            };
             debug_assert!(
                 self.eligible.contains(&tid),
                 "scheduler picked ineligible thread"
@@ -358,21 +424,30 @@ impl<'p> Machine<'p> {
     }
 
     fn is_gate_held(&self, t: &ThreadState) -> bool {
-        if self.script.gates.is_empty() || t.frames.is_empty() {
+        if !self.compiled_script.any() || t.frames.is_empty() {
             return false;
         }
         let frame = t.top();
-        let next_marker = self
-            .dense
-            .func(frame.func)
-            .get(frame.pc)
-            .and_then(|i| match i {
-                Inst::Marker { name } => Some(name.as_str()),
-                _ => None,
-            });
-        self.script.is_held(t.id.index(), next_marker, |m| {
-            self.marker_counts.get(m).copied().unwrap_or(0)
-        })
+        let Some(marker) = self.dense.func(frame.func).marker_id(frame.pc) else {
+            return false;
+        };
+        self.compiled_script
+            .is_held(t.id.index(), marker, &self.marker_counts)
+    }
+
+    /// The scheduling-point kind of `tid`'s next instruction.
+    fn point_kind(&self, tid: ThreadId) -> PointKind {
+        let t = &self.threads[tid.index()];
+        if t.stats.insts == 0 {
+            return PointKind::ThreadSpawn;
+        }
+        let frame = t.top();
+        match self.dense.func(frame.func).point_kind(frame.pc) {
+            // The table marks every `Return` as an exit; only a return
+            // from the bottom frame actually ends the thread.
+            PointKind::ThreadExit if t.frames.len() > 1 => PointKind::Local,
+            kind => kind,
+        }
     }
 
     /// Fires timed-lock timeouts; may end the run.
@@ -425,6 +500,23 @@ impl<'p> Machine<'p> {
                     }
                 }
                 RecoveryOutcome::Exhausted => {
+                    // Snapshot the wait-for graph (including the timed-out
+                    // thread's own edge) so the failure is diagnosable via
+                    // `find_wait_cycle`, like a hang.
+                    let mut edges = vec![WaitEdge {
+                        waiter: tid,
+                        lock,
+                        owner: self.locks.owner(lock),
+                    }];
+                    edges.extend(self.threads.iter().filter_map(|t| match t.status {
+                        ThreadStatus::BlockedOnLock { lock, .. } => Some(WaitEdge {
+                            waiter: t.id,
+                            lock,
+                            owner: self.locks.owner(lock),
+                        }),
+                        _ => None,
+                    }));
+                    self.wait_edges = edges;
                     return Some(RunOutcome::Failed(FailureRecord {
                         kind: FailureKind::Deadlock,
                         site: Some(site),
@@ -474,7 +566,7 @@ impl<'p> Machine<'p> {
         // Advance pc optimistically; control flow overwrites it.
         self.threads[tid.index()].top_mut().pc += 1;
 
-        let effect = self.exec(tid, inst);
+        let effect = self.exec(tid, inst, func_id, pc);
         match effect {
             StepEffect::Continue => None,
             StepEffect::Blocked(lock, site) => {
@@ -577,7 +669,7 @@ impl<'p> Machine<'p> {
         self.threads[tid.index()].top_mut().pc = pc;
     }
 
-    fn exec(&mut self, tid: ThreadId, inst: &'p Inst) -> StepEffect {
+    fn exec(&mut self, tid: ThreadId, inst: &'p Inst, func: FuncId, pc: u32) -> StepEffect {
         match inst {
             Inst::Copy { dst, src } => {
                 let v = self.eval(tid, *src);
@@ -808,8 +900,13 @@ impl<'p> Machine<'p> {
                 self.threads[tid.index()].frames.push(frame);
                 StepEffect::Continue
             }
-            Inst::Marker { name } => {
-                *self.marker_counts.entry(name.as_str()).or_insert(0) += 1;
+            Inst::Marker { .. } => {
+                let id = self
+                    .dense
+                    .func(func)
+                    .marker_id(pc)
+                    .expect("every marker is interned at lowering");
+                self.marker_counts[id as usize] += 1;
                 StepEffect::Continue
             }
             Inst::Nop => StepEffect::Continue,

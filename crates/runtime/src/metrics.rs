@@ -183,6 +183,13 @@ pub struct RunMetrics {
     /// Scheduler picks that switched away from the previously running
     /// thread.
     pub context_switches: u64,
+    /// Scheduler decisions recorded (0 unless
+    /// [`crate::MachineConfig::record_decisions`] was set).
+    pub sched_decisions: u64,
+    /// The recorded schedule's [`crate::DecisionTrace::hash`] (0 when not
+    /// recording) — two runs with the same hash executed the same
+    /// interleaving.
+    pub decision_trace_hash: u64,
 }
 
 impl RunMetrics {

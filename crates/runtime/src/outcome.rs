@@ -154,6 +154,10 @@ pub struct RunResult {
     /// Distributional metrics (always collected; see
     /// [`crate::RunMetrics`]).
     pub metrics: crate::RunMetrics,
+    /// The recorded schedule, when
+    /// [`crate::MachineConfig::record_decisions`] was set — replay it with
+    /// [`crate::run_replay`] to reproduce this run bit-identically.
+    pub decisions: Option<crate::DecisionTrace>,
 }
 
 impl RunResult {
@@ -247,6 +251,7 @@ mod tests {
             ],
             stats: RunStats::default(),
             metrics: crate::RunMetrics::default(),
+            decisions: None,
         };
         assert_eq!(result.outputs_for("a"), vec![1, 3]);
         assert_eq!(result.outputs_for("b"), vec![2]);

@@ -1,0 +1,187 @@
+//! The branching primitive of bounded-preemption systematic search.
+//!
+//! A [`FrontierScheduler`] executes a *forced prefix* of decisions, then
+//! continues non-preemptively (keep the running thread while it is
+//! eligible, else switch to the lowest-id eligible thread), recording every
+//! consult — eligible set, chosen thread, previously running thread. The
+//! explorer turns those consults into child schedules: at each decision at
+//! or past the frontier, every unchosen eligible thread becomes a new
+//! prefix, and switching away from a still-eligible running thread costs
+//! one unit of *preemption budget* (the CHESS insight: most concurrency
+//! bugs need very few preemptions, so bounding them makes the schedule
+//! tree small enough to enumerate).
+
+use super::point::PointMask;
+use super::{SchedContext, Scheduler};
+use crate::locks::ThreadId;
+
+/// One recorded scheduler consult.
+#[derive(Debug, Clone)]
+pub struct Consult {
+    /// Threads that were eligible, in thread-id order.
+    pub eligible: Vec<ThreadId>,
+    /// The thread the scheduler chose.
+    pub chosen: ThreadId,
+    /// The previously running thread (`None` on the first consult).
+    pub last: Option<ThreadId>,
+}
+
+impl Consult {
+    /// Whether choosing `pick` here would preempt a still-eligible running
+    /// thread.
+    pub fn is_preemption_for(&self, pick: ThreadId) -> bool {
+        match self.last {
+            Some(prev) => prev != pick && self.eligible.contains(&prev),
+            None => false,
+        }
+    }
+
+    /// Whether the recorded choice preempted the running thread.
+    pub fn is_preemption(&self) -> bool {
+        self.is_preemption_for(self.chosen)
+    }
+}
+
+/// Forced-prefix + non-preemptive-continuation scheduler.
+#[derive(Debug)]
+pub struct FrontierScheduler {
+    prefix: Vec<u32>,
+    mask: PointMask,
+    idx: usize,
+    consults: Vec<Consult>,
+    infeasible: bool,
+}
+
+impl FrontierScheduler {
+    /// A scheduler forcing `prefix` (thread indices, one per decision
+    /// point) and continuing non-preemptively past it.
+    pub fn new(prefix: Vec<u32>, mask: PointMask) -> Self {
+        Self {
+            prefix,
+            mask,
+            idx: 0,
+            consults: Vec::new(),
+            infeasible: false,
+        }
+    }
+
+    /// The recorded consults, in decision order.
+    pub fn consults(&self) -> &[Consult] {
+        &self.consults
+    }
+
+    /// Consumes the scheduler, returning its consults.
+    pub fn into_consults(self) -> Vec<Consult> {
+        self.consults
+    }
+
+    /// Length of the forced prefix.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Whether a forced decision named an ineligible thread. Never happens
+    /// when the prefix came from a prior run of the same program and
+    /// config — execution up to the frontier is bit-identical.
+    pub fn infeasible(&self) -> bool {
+        self.infeasible
+    }
+}
+
+impl Scheduler for FrontierScheduler {
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> ThreadId {
+        let forced = self.prefix.get(self.idx).map(|&d| ThreadId(d as usize));
+        self.idx += 1;
+        let chosen = match forced {
+            Some(want) if ctx.eligible.contains(&want) => want,
+            other => {
+                if other.is_some() {
+                    self.infeasible = true;
+                }
+                match ctx.last {
+                    Some(prev) if ctx.eligible.contains(&prev) => prev,
+                    _ => ctx.eligible[0],
+                }
+            }
+        };
+        self.consults.push(Consult {
+            eligible: ctx.eligible.to_vec(),
+            chosen,
+            last: ctx.last,
+        });
+        chosen
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded"
+    }
+
+    fn decision_mask(&self) -> PointMask {
+        self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_prefix_is_nonpreemptive_default() {
+        let mut s = FrontierScheduler::new(Vec::new(), PointMask::SYNC);
+        let all = [ThreadId(0), ThreadId(1)];
+        let mut ctx = SchedContext::simple(&all, 1);
+        assert_eq!(s.pick(&ctx), ThreadId(0), "no last: lowest id");
+        ctx.last = Some(ThreadId(1));
+        assert_eq!(s.pick(&ctx), ThreadId(1), "keeps the running thread");
+        let only0 = [ThreadId(0)];
+        let mut ctx = SchedContext::simple(&only0, 2);
+        ctx.last = Some(ThreadId(1));
+        assert_eq!(s.pick(&ctx), ThreadId(0), "last ineligible: lowest id");
+        assert!(!s.infeasible());
+        assert_eq!(s.consults().len(), 3);
+    }
+
+    #[test]
+    fn forced_prefix_overrides_default() {
+        let mut s = FrontierScheduler::new(vec![1, 0], PointMask::SYNC);
+        let all = [ThreadId(0), ThreadId(1)];
+        let mut ctx = SchedContext::simple(&all, 1);
+        assert_eq!(s.pick(&ctx), ThreadId(1));
+        ctx.last = Some(ThreadId(1));
+        assert_eq!(s.pick(&ctx), ThreadId(0), "forced preemption");
+        assert_eq!(s.pick(&ctx), ThreadId(1), "past prefix: keep running");
+        let consults = s.into_consults();
+        assert!(!consults[0].is_preemption(), "first pick never preempts");
+        assert!(consults[1].is_preemption());
+        assert!(!consults[2].is_preemption());
+    }
+
+    #[test]
+    fn infeasible_forced_decision_falls_back() {
+        let mut s = FrontierScheduler::new(vec![7], PointMask::SYNC);
+        let all = [ThreadId(0)];
+        assert_eq!(s.pick(&SchedContext::simple(&all, 1)), ThreadId(0));
+        assert!(s.infeasible());
+    }
+
+    #[test]
+    fn preemption_cost_of_alternatives() {
+        let c = Consult {
+            eligible: vec![ThreadId(0), ThreadId(1), ThreadId(2)],
+            chosen: ThreadId(1),
+            last: Some(ThreadId(1)),
+        };
+        assert!(!c.is_preemption_for(ThreadId(1)));
+        assert!(c.is_preemption_for(ThreadId(0)));
+        assert!(c.is_preemption_for(ThreadId(2)));
+        let blocked_last = Consult {
+            eligible: vec![ThreadId(0), ThreadId(2)],
+            chosen: ThreadId(0),
+            last: Some(ThreadId(1)),
+        };
+        assert!(
+            !blocked_last.is_preemption_for(ThreadId(2)),
+            "switching away from a blocked thread is free"
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Schedule-space exploration: drive many schedules at a program until one
+//! fails, with deterministic parallel fan-out.
+//!
+//! Two strategies share one engine:
+//!
+//! * **PCT** — independent randomized-priority runs seeded `seed+1,
+//!   seed+2, …` after a probe run that measures `k` (decisions per run).
+//! * **Bounded preemption** — systematic breadth-first enumeration of the
+//!   schedule tree: each executed schedule's consults spawn children that
+//!   replay the decisions up to a branch point and pick a different
+//!   eligible thread there, as long as the path's preemption count stays
+//!   within budget.
+//!
+//! Schedules execute in fixed-size waves fanned across a
+//! [`TrialPool`](crate::TrialPool); results merge in schedule-index order
+//! and the engine stops after the first wave containing a failure. Wave
+//! size is independent of `--jobs`, so the explored set, the failure
+//! counts and the first failing schedule are **bit-identical across job
+//! counts** — parallelism changes wall time only.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use super::bounded::FrontierScheduler;
+use super::decision::DecisionTrace;
+use super::pct::{PctConfig, PctScheduler};
+use super::point::PointMask;
+use crate::harness::TrialPool;
+use crate::machine::{Machine, MachineConfig};
+use crate::outcome::RunOutcome;
+use crate::program::Program;
+
+/// Schedules per wave. A constant (never derived from `jobs`): the
+/// explored schedule set depends only on the strategy and budget.
+const WAVE: usize = 16;
+
+/// Which search strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExploreStrategy {
+    /// PCT randomized priorities with the given bug depth.
+    Pct {
+        /// Bug depth `d` (see [`PctConfig::depth`]).
+        depth: usize,
+    },
+    /// Bounded-preemption systematic search.
+    Bounded {
+        /// Maximum preemptions per schedule.
+        preemptions: usize,
+    },
+}
+
+impl ExploreStrategy {
+    /// A stable report label.
+    pub fn label(&self) -> String {
+        match self {
+            ExploreStrategy::Pct { depth } => format!("pct(d={depth})"),
+            ExploreStrategy::Bounded { preemptions } => format!("bounded(k={preemptions})"),
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// The strategy.
+    pub strategy: ExploreStrategy,
+    /// Base seed (PCT run `i` uses `seed + i`).
+    pub seed: u64,
+    /// Maximum schedules to execute.
+    pub budget: usize,
+    /// Worker threads for the wave fan-out (wall time only — results are
+    /// identical across job counts).
+    pub jobs: usize,
+    /// The decision mask schedules run under.
+    pub mask: PointMask,
+    /// Stop at the end of the first wave that contains a failure (the
+    /// default). `false` exhausts the budget — for measuring failure
+    /// density and throughput.
+    pub stop_at_first: bool,
+    /// Override PCT's `k` instead of probing for it.
+    pub pct_k: Option<u64>,
+}
+
+impl ExploreConfig {
+    /// Defaults: seed 1, budget 256, sequential, sync mask, stop at first
+    /// failure.
+    pub fn new(strategy: ExploreStrategy) -> Self {
+        Self {
+            strategy,
+            seed: 1,
+            budget: 256,
+            jobs: 1,
+            mask: PointMask::SYNC,
+            stop_at_first: true,
+            pct_k: None,
+        }
+    }
+}
+
+/// A failing schedule the exploration found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoundSchedule {
+    /// Schedule index within the exploration (0 = the probe / root).
+    pub index: usize,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The recorded decisions — replayable and minimizable.
+    pub trace: DecisionTrace,
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreReport {
+    /// Strategy label (e.g. `pct(d=3)`).
+    pub strategy: String,
+    /// Decision-mask bits the exploration ran under.
+    pub mask: u8,
+    /// The schedule budget.
+    pub budget: usize,
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Executed schedules that failed (failure, hang, or step-limit).
+    pub failures: usize,
+    /// The first failing schedule, by schedule index.
+    pub first_failure: Option<FoundSchedule>,
+    /// Bounded search only: branch points still queued when the
+    /// exploration stopped (0 = tree exhausted within budget).
+    pub frontier: usize,
+    /// Decisions the probe (schedule 0, the non-preemptive default run)
+    /// made — PCT's measured `k`.
+    pub probe_decisions: u64,
+    /// Wall-clock milliseconds (the only nondeterministic field).
+    pub wall_ms: u64,
+}
+
+impl ExploreReport {
+    /// Failures per thousand executed schedules.
+    pub fn failures_per_1k(&self) -> f64 {
+        if self.schedules == 0 {
+            0.0
+        } else {
+            self.failures as f64 * 1000.0 / self.schedules as f64
+        }
+    }
+
+    /// Decision depth of the first failing schedule.
+    pub fn first_failure_depth(&self) -> Option<usize> {
+        self.first_failure.as_ref().map(|f| f.trace.len())
+    }
+
+    /// A copy with the nondeterministic wall time zeroed — equal across
+    /// `--jobs` values by construction (asserted in tests and CI).
+    pub fn normalized(&self) -> Self {
+        Self {
+            wall_ms: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// One executed schedule: outcome + recorded decisions (+ consults when a
+/// frontier scheduler ran it).
+struct Executed {
+    outcome: RunOutcome,
+    trace: DecisionTrace,
+    consults: Vec<super::bounded::Consult>,
+}
+
+fn run_frontier(
+    program: &Program,
+    config: &MachineConfig,
+    prefix: Vec<u32>,
+    mask: PointMask,
+) -> Executed {
+    let mut sched = FrontierScheduler::new(prefix, mask);
+    let result = Machine::new(program, *config).run(&mut sched);
+    debug_assert!(!sched.infeasible(), "prefixes come from recorded runs");
+    Executed {
+        outcome: result.outcome,
+        trace: result
+            .decisions
+            .unwrap_or_else(|| DecisionTrace::new("bounded", 0, mask)),
+        consults: sched.into_consults(),
+    }
+}
+
+fn run_pct(program: &Program, config: &MachineConfig, seed: u64, cfg: PctConfig) -> Executed {
+    let mut sched = PctScheduler::new(seed, cfg);
+    let result = Machine::new(program, *config).run(&mut sched);
+    let mut trace = result
+        .decisions
+        .unwrap_or_else(|| DecisionTrace::new("pct", seed, cfg.mask));
+    trace.seed = seed;
+    Executed {
+        outcome: result.outcome,
+        trace,
+        consults: Vec::new(),
+    }
+}
+
+/// Explores schedules of `program` under `config` per `ec`.
+///
+/// No schedule script is involved: exploration exists to find
+/// failure-inducing interleavings *without* hand-written gates.
+pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) -> ExploreReport {
+    let start = Instant::now();
+    let mut cfg = *config;
+    cfg.record_decisions = true;
+
+    let mut report = ExploreReport {
+        strategy: ec.strategy.label(),
+        mask: ec.mask.bits(),
+        budget: ec.budget,
+        schedules: 0,
+        failures: 0,
+        first_failure: None,
+        frontier: 0,
+        probe_decisions: 0,
+        wall_ms: 0,
+    };
+
+    // Schedule 0 in both strategies: the probe — the non-preemptive
+    // default schedule (empty forced prefix). It measures PCT's `k`, is
+    // the root of the bounded search tree, and catches bugs that need no
+    // preemption at all.
+    let probe = run_frontier(program, &cfg, Vec::new(), ec.mask);
+    report.probe_decisions = probe.trace.len() as u64;
+    let record = |report: &mut ExploreReport, index: usize, ex: &Executed| {
+        report.schedules += 1;
+        if ex.outcome.is_failure() {
+            report.failures += 1;
+            if report.first_failure.is_none() {
+                report.first_failure = Some(FoundSchedule {
+                    index,
+                    outcome: ex.outcome.clone(),
+                    trace: ex.trace.clone(),
+                });
+            }
+        }
+    };
+    record(&mut report, 0, &probe);
+
+    let pool = TrialPool::new(ec.jobs);
+    let done = |report: &ExploreReport| {
+        report.schedules >= ec.budget || (ec.stop_at_first && report.first_failure.is_some())
+    };
+
+    match ec.strategy {
+        ExploreStrategy::Pct { depth } => {
+            let pct = PctConfig {
+                depth,
+                k: ec.pct_k.unwrap_or_else(|| report.probe_decisions.max(16)),
+                mask: ec.mask,
+            };
+            while !done(&report) {
+                let base = report.schedules;
+                let count = WAVE.min(ec.budget - base);
+                let wave = pool.map(count, |j| {
+                    run_pct(program, &cfg, ec.seed + (base + j) as u64, pct)
+                });
+                for (j, ex) in wave.iter().enumerate() {
+                    record(&mut report, base + j, ex);
+                }
+            }
+        }
+        ExploreStrategy::Bounded { preemptions } => {
+            // Breadth-first over branch points; children are enqueued in
+            // (parent schedule index, decision index, thread id) order, so
+            // the visit order is deterministic.
+            let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
+            push_children(&mut queue, &probe, 0, preemptions);
+            while !done(&report) && !queue.is_empty() {
+                let base = report.schedules;
+                let count = WAVE.min(ec.budget - base).min(queue.len());
+                let batch: Vec<Vec<u32>> = queue.drain(..count).collect();
+                let wave = pool.map(count, |j| {
+                    run_frontier(program, &cfg, batch[j].clone(), ec.mask)
+                });
+                for (j, ex) in wave.iter().enumerate() {
+                    record(&mut report, base + j, ex);
+                    push_children(&mut queue, ex, batch[j].len(), preemptions);
+                }
+            }
+            report.frontier = queue.len();
+        }
+    }
+
+    report.wall_ms = start.elapsed().as_millis() as u64;
+    report
+}
+
+/// Enqueues every within-budget child of an executed schedule: for each
+/// consult at or past the forced frontier, each unchosen eligible thread
+/// becomes a new prefix.
+fn push_children(
+    queue: &mut VecDeque<Vec<u32>>,
+    ex: &Executed,
+    frontier: usize,
+    preemptions: usize,
+) {
+    let mut used = 0usize;
+    for (i, c) in ex.consults.iter().enumerate() {
+        if i >= frontier {
+            for &alt in &c.eligible {
+                if alt == c.chosen {
+                    continue;
+                }
+                let cost = used + usize::from(c.is_preemption_for(alt));
+                if cost <= preemptions {
+                    let mut prefix = ex.trace.decisions[..i].to_vec();
+                    prefix.push(alt.index() as u32);
+                    queue.push_back(prefix);
+                }
+            }
+        }
+        used += usize::from(c.is_preemption());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+
+    /// reader asserts a flag that writer sets — fails only when the
+    /// reader's load runs before the writer's store.
+    fn order_violation() -> Program {
+        let mut mb = ModuleBuilder::new("ov");
+        let flag = mb.global("flag", 0);
+        let mut fb = FuncBuilder::new("reader", 0);
+        let v = fb.load_global(flag);
+        let ok = fb.cmp(CmpKind::Ne, v, 0);
+        fb.assert(ok, "writer must have published");
+        fb.ret();
+        mb.function(fb.finish());
+        let mut fb = FuncBuilder::new("writer", 0);
+        fb.store_global(flag, 1);
+        fb.ret();
+        mb.function(fb.finish());
+        Program::from_entry_names(mb.finish(), &["reader", "writer"])
+    }
+
+    fn assert_finds_and_replays(strategy: ExploreStrategy, mask: PointMask) {
+        let program = order_violation();
+        let mut ec = ExploreConfig::new(strategy);
+        ec.mask = mask;
+        ec.budget = 64;
+        let report = explore(&program, &MachineConfig::default(), &ec);
+        let found = report.first_failure.as_ref().expect("bug found");
+        assert!(found.outcome.is_failure());
+        // Replay reproduces the outcome bit-identically.
+        let cfg = MachineConfig {
+            record_decisions: true,
+            ..MachineConfig::default()
+        };
+        let (replayed, div) = super::super::replay::run_replay(&program, &cfg, &found.trace);
+        assert_eq!(div, None, "clean replay");
+        assert_eq!(replayed.outcome, found.outcome);
+    }
+
+    #[test]
+    fn bounded_finds_order_violation() {
+        assert_finds_and_replays(ExploreStrategy::Bounded { preemptions: 1 }, PointMask::SYNC);
+    }
+
+    #[test]
+    fn pct_finds_order_violation() {
+        assert_finds_and_replays(ExploreStrategy::Pct { depth: 3 }, PointMask::SYNC_SHARED);
+    }
+
+    #[test]
+    fn results_identical_across_jobs() {
+        let program = order_violation();
+        for strategy in [
+            ExploreStrategy::Pct { depth: 3 },
+            ExploreStrategy::Bounded { preemptions: 2 },
+        ] {
+            let mut ec = ExploreConfig::new(strategy);
+            ec.mask = PointMask::SYNC_SHARED;
+            ec.budget = 48;
+            ec.stop_at_first = false;
+            let reports: Vec<ExploreReport> = [1usize, 2, 4]
+                .iter()
+                .map(|&jobs| {
+                    let mut ec = ec.clone();
+                    ec.jobs = jobs;
+                    explore(&program, &MachineConfig::default(), &ec).normalized()
+                })
+                .collect();
+            assert_eq!(reports[0], reports[1], "{strategy:?}: 1 vs 2 jobs");
+            assert_eq!(reports[0], reports[2], "{strategy:?}: 1 vs 4 jobs");
+        }
+    }
+
+    #[test]
+    fn budget_caps_schedules() {
+        let program = order_violation();
+        // PCT generates schedules indefinitely, so the budget is the only cap.
+        let mut ec = ExploreConfig::new(ExploreStrategy::Pct { depth: 3 });
+        ec.mask = PointMask::SYNC_SHARED;
+        ec.budget = 5;
+        ec.stop_at_first = false;
+        let report = explore(&program, &MachineConfig::default(), &ec);
+        assert_eq!(report.schedules, 5);
+    }
+
+    #[test]
+    fn bounded_search_exhausts_small_trees_under_budget() {
+        let program = order_violation();
+        let mut ec = ExploreConfig::new(ExploreStrategy::Bounded { preemptions: 2 });
+        ec.mask = PointMask::SYNC_SHARED;
+        ec.budget = 10_000;
+        ec.stop_at_first = false;
+        let report = explore(&program, &MachineConfig::default(), &ec);
+        // The whole tree fits well under the budget and the frontier drains.
+        assert!(report.schedules < ec.budget);
+        assert_eq!(report.frontier, 0);
+        assert!(report.failures >= 1);
+    }
+
+    #[test]
+    fn report_derived_stats() {
+        let mut report = ExploreReport {
+            strategy: "pct(d=3)".into(),
+            mask: PointMask::SYNC.bits(),
+            budget: 100,
+            schedules: 50,
+            failures: 2,
+            first_failure: None,
+            frontier: 0,
+            probe_decisions: 10,
+            wall_ms: 123,
+        };
+        assert!((report.failures_per_1k() - 40.0).abs() < 1e-9);
+        assert_eq!(report.first_failure_depth(), None);
+        assert_eq!(report.normalized().wall_ms, 0);
+        report.schedules = 0;
+        assert_eq!(report.failures_per_1k(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Delta-debugging minimization of failing decision traces.
+//!
+//! A failing schedule found by exploration may carry hundreds of decisions
+//! that have nothing to do with the bug. The minimizer shrinks the trace
+//! while preserving the *failure signature* (outcome class, failure kind,
+//! site and thread), in two phases:
+//!
+//! 1. **Prefix truncation** — binary-search the shortest failing prefix
+//!    (decisions after the bug triggers are dead weight; dropping the tail
+//!    usually removes most of the trace at `log n` cost).
+//! 2. **ddmin chunk removal** — classic delta debugging over the
+//!    remaining decisions at progressively finer granularity.
+//!
+//! Every candidate executes under a lenient [`ReplayScheduler`] with
+//! re-recording on; a candidate is accepted only if its failure signature
+//! matches **and** its re-recorded trace is no longer than the current
+//! one. The accepted re-recording becomes the new current trace, so the
+//! final result is always the exact decision log of a real failing run —
+//! strictly replayable, never longer than the input.
+
+use serde::{Deserialize, Serialize};
+
+use super::decision::DecisionTrace;
+use super::replay::run_replay;
+use crate::machine::MachineConfig;
+use crate::outcome::RunOutcome;
+use crate::program::Program;
+
+/// What a minimization did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinimizeReport {
+    /// Decisions in the input trace.
+    pub original_len: usize,
+    /// Decisions in the minimized trace.
+    pub minimized_len: usize,
+    /// Candidate replays executed.
+    pub candidates: usize,
+    /// The minimized trace (the decision log of a real failing run).
+    pub trace: DecisionTrace,
+    /// The failing outcome the minimized trace reproduces.
+    pub outcome: RunOutcome,
+}
+
+/// The equivalence class minimization preserves: two runs fail "the same
+/// way" when their outcome class, failure kind, site and thread agree.
+fn signature(outcome: &RunOutcome) -> Option<String> {
+    match outcome {
+        RunOutcome::Completed => None,
+        RunOutcome::Failed(f) => Some(format!(
+            "failed:{:?}:{:?}:{}",
+            f.kind,
+            f.site,
+            f.thread.index()
+        )),
+        RunOutcome::Hang { .. } => Some("hang".into()),
+        RunOutcome::StepLimit => Some("step-limit".into()),
+    }
+}
+
+/// Minimizes `trace` (a failing schedule of `program` under `config`),
+/// executing at most `budget` candidate replays.
+///
+/// Errors if the input trace does not fail when replayed.
+pub fn minimize(
+    program: &Program,
+    config: &MachineConfig,
+    trace: &DecisionTrace,
+    budget: usize,
+) -> Result<MinimizeReport, String> {
+    let mut cfg = *config;
+    cfg.record_decisions = true;
+    let candidates = std::cell::Cell::new(0usize);
+    let run = |decisions: &[u32]| {
+        candidates.set(candidates.get() + 1);
+        let cand = DecisionTrace {
+            scheduler: trace.scheduler.clone(),
+            seed: trace.seed,
+            mask: trace.mask,
+            decisions: decisions.to_vec(),
+        };
+        let (result, _divergence) = run_replay(program, &cfg, &cand);
+        let recorded = result.decisions.unwrap_or(cand);
+        (result.outcome, recorded)
+    };
+
+    let (outcome, recorded) = run(&trace.decisions);
+    let Some(sig) = signature(&outcome) else {
+        return Err("trace does not fail under replay; nothing to minimize".into());
+    };
+    // The baseline re-recording is the canonical form of the input (a
+    // failing run stops at the failure, so it is never longer — but clamp
+    // to the input anyway to keep the no-longer-than-original guarantee).
+    let (mut current, mut current_outcome) = if recorded.len() <= trace.len() {
+        (recorded, outcome)
+    } else {
+        (trace.clone(), outcome)
+    };
+
+    let matches = |o: &RunOutcome| signature(o).as_deref() == Some(sig.as_str());
+
+    // Phase 1: shortest failing prefix by binary search.
+    let mut lo = 0usize;
+    let mut hi = current.len();
+    while lo < hi && candidates.get() < budget {
+        let mid = lo + (hi - lo) / 2;
+        let (o, rec) = run(&current.decisions[..mid]);
+        if matches(&o) && rec.len() <= current.len() {
+            hi = mid.min(rec.len());
+            current = rec;
+            current_outcome = o;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    // Phase 2: ddmin-style chunk removal.
+    let mut n = 2usize;
+    while current.len() >= 2 && candidates.get() < budget {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && candidates.get() < budget {
+            let mut cand: Vec<u32> = current.decisions[..start].to_vec();
+            cand.extend_from_slice(&current.decisions[(start + chunk).min(current.len())..]);
+            let (o, rec) = run(&cand);
+            if matches(&o) && rec.len() <= current.len() {
+                current = rec;
+                current_outcome = o;
+                reduced = true;
+                // Stay at the same offset: the next chunk slid into place.
+            } else {
+                start += chunk;
+            }
+        }
+        if reduced {
+            n = n.saturating_sub(1).max(2);
+        } else if chunk <= 1 {
+            break;
+        } else {
+            n = (n * 2).min(current.len());
+        }
+    }
+
+    Ok(MinimizeReport {
+        original_len: trace.len(),
+        minimized_len: current.len(),
+        candidates: candidates.get(),
+        trace: current,
+        outcome: current_outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore, ExploreConfig, ExploreStrategy, PointMask};
+    use conair_ir::{CmpKind, FuncBuilder, ModuleBuilder};
+
+    fn order_violation() -> Program {
+        let mut mb = ModuleBuilder::new("ov");
+        let flag = mb.global("flag", 0);
+        let mut fb = FuncBuilder::new("reader", 0);
+        // Busy filler before the racy load, so traces have slack to shrink.
+        for _ in 0..4 {
+            fb.marker("spin");
+        }
+        let v = fb.load_global(flag);
+        let ok = fb.cmp(CmpKind::Ne, v, 0);
+        fb.assert(ok, "writer must have published");
+        fb.ret();
+        mb.function(fb.finish());
+        let mut fb = FuncBuilder::new("writer", 0);
+        for _ in 0..4 {
+            fb.marker("wspin");
+        }
+        fb.store_global(flag, 1);
+        fb.ret();
+        mb.function(fb.finish());
+        Program::from_entry_names(mb.finish(), &["reader", "writer"])
+    }
+
+    #[test]
+    fn minimized_trace_still_fails_and_is_no_longer() {
+        let program = order_violation();
+        let config = MachineConfig::default();
+        let mut ec = ExploreConfig::new(ExploreStrategy::Pct { depth: 3 });
+        ec.mask = PointMask::SYNC_SHARED;
+        let report = explore(&program, &config, &ec);
+        let found = report.first_failure.expect("bug found");
+        let min = minimize(&program, &config, &found.trace, 256).unwrap();
+        assert_eq!(signature(&min.outcome), signature(&found.outcome));
+        assert!(min.minimized_len <= min.original_len);
+        assert_eq!(min.trace.len(), min.minimized_len);
+        // The minimized trace replays to the same failure, cleanly.
+        let mut cfg = config;
+        cfg.record_decisions = true;
+        let (replayed, div) = run_replay(&program, &cfg, &min.trace);
+        assert_eq!(div, None);
+        assert_eq!(replayed.outcome, min.outcome);
+    }
+
+    #[test]
+    fn completing_trace_is_an_error() {
+        let program = order_violation();
+        let config = MachineConfig::default();
+        // An empty trace replays as the default continuation: reader runs
+        // first and fails — so force the benign order instead by letting
+        // the writer go first.
+        let mut benign = DecisionTrace::new("test", 0, PointMask::SYNC_SHARED);
+        for _ in 0..64 {
+            benign.decisions.push(1);
+        }
+        let (result, _div) = run_replay(&program, &config, &benign);
+        assert!(result.outcome.is_completed(), "writer-first completes");
+        assert!(minimize(&program, &config, &benign, 64).is_err());
+    }
+}

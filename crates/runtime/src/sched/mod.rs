@@ -1,0 +1,110 @@
+//! Scheduling: strategies, schedule scripts, and schedule exploration.
+//!
+//! The interpreter executes one instruction per step, choosing the thread
+//! via a [`Scheduler`]. Determinism is the point: every experiment seeds
+//! its scheduler, and every pick the machine asks for can be recorded into
+//! a [`DecisionTrace`] and replayed bit-identically later.
+//!
+//! The subsystem is layered:
+//!
+//! * [`point`](self) — *scheduling points*. The machine classifies the next
+//!   instruction of the running thread into a [`PointKind`] (lock
+//!   acquire/release, shared-memory access, marker, thread spawn/exit, or
+//!   plain local work) and consults the scheduler only at the kinds the
+//!   strategy's [`Scheduler::decision_mask`] selects. A mask of
+//!   [`PointMask::ALL`] reproduces the historical pick-every-step behavior
+//!   exactly; sync-only masks keep decision logs compact enough to
+//!   enumerate.
+//! * strategies — [`RoundRobin`] and [`SeededRandom`] (the original
+//!   workhorses), [`PctScheduler`] (randomized priorities with `d`
+//!   priority-change points), and the [`FrontierScheduler`] primitive the
+//!   bounded-preemption explorer branches with.
+//! * [`ReplayScheduler`] — re-executes any recorded [`DecisionTrace`];
+//!   [`minimize`] — delta-debugs a failing trace down while preserving the
+//!   failure; [`explore`] — drives whole schedule-space searches, fanned
+//!   across a [`crate::TrialPool`] with index-ordered deterministic merge.
+//! * [`ScheduleScript`] *gates* — the analog of the sleeps the paper
+//!   injects into buggy code regions to force failure-inducing
+//!   interleavings (Section 5). Gates are evaluated by the machine before
+//!   scheduling, so they compose with any scheduler. Exploration exists to
+//!   find the same interleavings *without* hand-written gates.
+
+mod basic;
+mod bounded;
+mod decision;
+mod explore;
+mod minimize;
+mod pct;
+mod point;
+mod replay;
+mod script;
+
+pub use basic::{RoundRobin, SeededRandom};
+pub use bounded::{Consult, FrontierScheduler};
+pub use decision::DecisionTrace;
+pub use explore::{explore, ExploreConfig, ExploreReport, ExploreStrategy, FoundSchedule};
+pub use minimize::{minimize, MinimizeReport};
+pub use pct::{PctConfig, PctScheduler};
+pub use point::{PointKind, PointMask};
+pub use replay::{run_replay, Divergence, ReplayScheduler};
+pub use script::{Gate, ScheduleScript};
+
+pub(crate) use script::CompiledScript;
+
+use crate::locks::ThreadId;
+
+/// Scheduling context handed to a scheduler at each decision point.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Threads eligible to run this step (runnable, un-gated, lock
+    /// available if blocked on one).
+    pub eligible: &'a [ThreadId],
+    /// The global step counter.
+    pub step: u64,
+    /// Total threads in the program (eligible or not).
+    pub threads: usize,
+    /// The thread that ran last step (`None` before the first pick).
+    pub last: Option<ThreadId>,
+    /// The [`PointKind`] of the decision point, when the machine computed
+    /// one (schedulers with [`PointMask::ALL`] masks are consulted every
+    /// step and see `None`).
+    pub point: Option<PointKind>,
+}
+
+impl<'a> SchedContext<'a> {
+    /// A context for tests and standalone scheduler use: every thread in
+    /// `eligible` exists, nothing ran before, no point kind.
+    pub fn simple(eligible: &'a [ThreadId], step: u64) -> Self {
+        let threads = eligible.iter().map(|t| t.index() + 1).max().unwrap_or(0);
+        Self {
+            eligible,
+            step,
+            threads,
+            last: None,
+            point: None,
+        }
+    }
+}
+
+/// Picks the next thread to execute.
+pub trait Scheduler {
+    /// Chooses one of `ctx.eligible` (guaranteed non-empty).
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> ThreadId;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+
+    /// Which scheduling points this strategy wants to decide at.
+    ///
+    /// With the default [`PointMask::ALL`] the machine consults the
+    /// scheduler before every instruction (the historical behavior).
+    /// Narrower masks make the machine continue the previously running
+    /// thread silently between masked points — the scheduler is then only
+    /// consulted when the running thread reaches a masked point, blocks,
+    /// or exits, which is what keeps [`DecisionTrace`]s compact.
+    fn decision_mask(&self) -> PointMask {
+        PointMask::ALL
+    }
+}

@@ -202,6 +202,20 @@ pub enum TraceEvent {
         /// Steps from first failure detection to this pass.
         latency: u64,
     },
+    /// The recorded schedule's identity, emitted once at the end of a run
+    /// with [`crate::MachineConfig::record_decisions`] set. `trace_hash`
+    /// is [`crate::DecisionTrace::hash`]: two runs with equal hashes
+    /// executed the same interleaving.
+    ScheduleInfo {
+        /// Final step.
+        step: u64,
+        /// Scheduler name (e.g. `round-robin`, `pct`, `replay`).
+        scheduler: String,
+        /// Decisions recorded.
+        decisions: u64,
+        /// FNV-1a hash of the decision trace.
+        trace_hash: u64,
+    },
     /// The run ended.
     RunEnded {
         /// Final step.
@@ -231,6 +245,7 @@ impl TraceEvent {
             | RecoveryExhausted { step, .. }
             | BackoffSleep { step, .. }
             | RecoveryCompleted { step, .. }
+            | ScheduleInfo { step, .. }
             | RunEnded { step, .. } => *step,
         }
     }
@@ -254,7 +269,7 @@ impl TraceEvent {
             | RecoveryExhausted { thread, .. }
             | BackoffSleep { thread, .. }
             | RecoveryCompleted { thread, .. } => Some(*thread),
-            RunEnded { .. } => None,
+            ScheduleInfo { .. } | RunEnded { .. } => None,
         }
     }
 
@@ -277,6 +292,7 @@ impl TraceEvent {
             RecoveryExhausted { .. } => "recovery-exhausted",
             BackoffSleep { .. } => "backoff",
             RecoveryCompleted { .. } => "recovery-completed",
+            ScheduleInfo { .. } => "schedule-info",
             RunEnded { .. } => "run-ended",
         }
     }
@@ -430,6 +446,14 @@ pub fn summarize_events(events: &[TraceEvent]) -> RunMetrics {
             }
             TraceEvent::RecoveryCompleted { latency, .. } => {
                 m.rollback_latency.record(*latency);
+            }
+            TraceEvent::ScheduleInfo {
+                decisions,
+                trace_hash,
+                ..
+            } => {
+                m.sched_decisions = *decisions;
+                m.decision_trace_hash = *trace_hash;
             }
             _ => {}
         }

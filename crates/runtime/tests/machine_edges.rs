@@ -141,15 +141,9 @@ fn schedulers_have_names_and_respect_eligibility() {
     assert_eq!(rr.name(), "round-robin");
     assert_eq!(sr.name(), "seeded-random");
     let eligible = [conair_runtime::ThreadId(5)];
-    let ctx = conair_runtime::SchedContext {
-        eligible: &eligible,
-        step: 0,
-    };
+    let ctx = conair_runtime::SchedContext::simple(&eligible, 0);
     assert_eq!(rr.pick(&ctx).index(), 5);
-    let ctx = conair_runtime::SchedContext {
-        eligible: &eligible,
-        step: 1,
-    };
+    let ctx = conair_runtime::SchedContext::simple(&eligible, 1);
     assert_eq!(sr.pick(&ctx).index(), 5);
 }
 

@@ -1,0 +1,79 @@
+//! Per-workload schedule-exploration hints: the documented strategy and
+//! budget under which `conair_runtime::explore` finds each Table-2 bug
+//! *without* the workload's hand-written gate script.
+//!
+//! Budgets come from an exhaustive strategy scan (bounded-preemption
+//! K ∈ {1, 2} and PCT d = 3, over `sync` and `sync+shared` decision
+//! points, budget 512): every catalog bug is reachable with a single
+//! preemption at sync points, so the hints all use the deterministic
+//! bounded-preemption explorer — the schedule index that first fails is
+//! then a reproducible fact, and each budget below is that index padded
+//! with headroom. `tests/exploration.rs` holds the engine to these
+//! numbers.
+
+use conair_runtime::{ExploreStrategy, PointMask};
+
+/// How to find a workload's bug by schedule search alone.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreHint {
+    /// Search strategy that finds the bug.
+    pub strategy: ExploreStrategy,
+    /// Decision-point mask to explore under.
+    pub mask: PointMask,
+    /// Schedule budget that suffices (with headroom over the observed
+    /// first-failure index).
+    pub budget: usize,
+    /// Exploration seed (only consulted by randomized strategies).
+    pub seed: u64,
+}
+
+impl ExploreHint {
+    const fn bounded(budget: usize) -> ExploreHint {
+        ExploreHint {
+            strategy: ExploreStrategy::Bounded { preemptions: 1 },
+            mask: PointMask::SYNC,
+            budget,
+            seed: 1,
+        }
+    }
+}
+
+/// The exploration hint for a registered workload, or `None` for names
+/// outside the Table-2 catalog.
+///
+/// The comment on each arm records the observed first-failure index the
+/// budget pads.
+pub fn explore_hint(name: &str) -> Option<ExploreHint> {
+    Some(match name {
+        // The order violations and the use-after-free manifest on the
+        // non-preemptive probe itself (schedule #0): their buggy order
+        // is the default creation order.
+        "FFT" => ExploreHint::bounded(8),     // first failure at #0
+        "HTTrack" => ExploreHint::bounded(8), // first failure at #0
+        "MozillaXP" => ExploreHint::bounded(8), // first failure at #0
+        "Transmission" => ExploreHint::bounded(8), // first failure at #0
+        "ZSNES" => ExploreHint::bounded(8),   // first failure at #0
+        // The deadlocks and atomicity violations need one adverse
+        // preemption between acquire/release (or read/write) pairs.
+        "MySQL1" => ExploreHint::bounded(16), // first failure at #2
+        "SQLite" => ExploreHint::bounded(32), // first failure at #7
+        "HawkNL" => ExploreHint::bounded(32), // first failure at #9
+        "MozillaJS" => ExploreHint::bounded(64), // first failure at #23
+        "MySQL2" => ExploreHint::bounded(128), // first failure at #50
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::WORKLOAD_NAMES;
+
+    #[test]
+    fn every_catalog_workload_has_a_hint() {
+        for name in WORKLOAD_NAMES {
+            assert!(explore_hint(name).is_some(), "no hint for {name}");
+        }
+        assert!(explore_hint("NotAWorkload").is_none());
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+mod explore;
 mod filler;
 mod meta;
 mod micro;
@@ -34,6 +35,7 @@ mod registry;
 mod spec;
 mod stress;
 
+pub use explore::{explore_hint, ExploreHint};
 pub use filler::{emit_filler, Filler, SiteProfile, WorkProfile};
 pub use meta::{meta_by_name, RootCause, Symptom, WorkloadMeta, TABLE2};
 pub use micro::{build_micro, AtomicityPattern, MicroWorkload};

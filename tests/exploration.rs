@@ -1,0 +1,149 @@
+//! Schedule exploration closes the loop on the Table-2 catalog: every
+//! workload's bug is found by searching the schedule space — *no gate
+//! script* — within the budget documented in
+//! `conair_workloads::explore_hint`, the found decision trace replays
+//! bit-identically, and delta-debugging it yields a shorter-or-equal
+//! trace that still fails.
+
+use conair_runtime::{explore, minimize, run_replay, ExploreConfig, MachineConfig, RunOutcome};
+use conair_workloads::{explore_hint, workload_by_name, WORKLOAD_NAMES};
+
+/// Exploration bounds: hang-prone schedules must terminate promptly
+/// (deadlocks surface as timed-out `Hang`s, runaways as `StepLimit`).
+fn machine() -> MachineConfig {
+    MachineConfig {
+        lock_timeout: 200,
+        step_limit: 2_000_000,
+        ..MachineConfig::default()
+    }
+}
+
+/// Candidate replays granted to the minimizer. Deliberately small: even
+/// a tiny budget must produce a valid (real failing run) trace, the
+/// shrink is best-effort within it.
+const MINIMIZE_BUDGET: usize = 16;
+
+fn hint_config(name: &str) -> ExploreConfig {
+    let hint = explore_hint(name).expect("catalog workload has a hint");
+    let mut ec = ExploreConfig::new(hint.strategy);
+    ec.mask = hint.mask;
+    ec.budget = hint.budget;
+    ec.seed = hint.seed;
+    ec
+}
+
+/// The acceptance path for one workload: explore → replay → minimize →
+/// replay the minimized trace.
+fn explore_finds_and_replays(name: &str) {
+    let w = workload_by_name(name).expect("registered workload");
+    let config = machine();
+    let report = explore(&w.program, &config, &hint_config(name));
+    let found = report.first_failure.unwrap_or_else(|| {
+        panic!(
+            "{name}: no failing schedule in {} (budget {})",
+            report.strategy, report.budget
+        )
+    });
+    assert!(found.outcome.is_failure(), "{name}: {:?}", found.outcome);
+
+    // The recorded decision trace replays bit-identically: no
+    // divergence, and the *same* RunOutcome value.
+    let (replayed, divergence) = run_replay(&w.program, &config, &found.trace);
+    assert_eq!(divergence, None, "{name}: replay diverged");
+    assert_eq!(replayed.outcome, found.outcome, "{name}: replay drifted");
+
+    // Minimization never grows the trace and still fails the same way
+    // when replayed (it re-records, so the result is a real run's log).
+    let min = minimize(&w.program, &config, &found.trace, MINIMIZE_BUDGET)
+        .unwrap_or_else(|e| panic!("{name}: minimize failed: {e}"));
+    assert_eq!(min.original_len, found.trace.len());
+    assert!(
+        min.minimized_len <= min.original_len,
+        "{name}: minimization grew the trace ({} -> {})",
+        min.original_len,
+        min.minimized_len
+    );
+    assert_eq!(min.trace.len(), min.minimized_len);
+    let (replayed, divergence) = run_replay(&w.program, &config, &min.trace);
+    assert_eq!(divergence, None, "{name}: minimized replay diverged");
+    assert!(
+        replayed.outcome.is_failure(),
+        "{name}: minimized trace no longer fails: {:?}",
+        replayed.outcome
+    );
+    assert_eq!(
+        replayed.outcome, min.outcome,
+        "{name}: minimize misreported"
+    );
+}
+
+macro_rules! catalog_test {
+    ($test:ident, $name:literal) => {
+        #[test]
+        fn $test() {
+            explore_finds_and_replays($name);
+        }
+    };
+}
+
+catalog_test!(finds_fft, "FFT");
+catalog_test!(finds_hawknl, "HawkNL");
+catalog_test!(finds_httrack, "HTTrack");
+catalog_test!(finds_mozilla_xp, "MozillaXP");
+catalog_test!(finds_mozilla_js, "MozillaJS");
+catalog_test!(finds_mysql1, "MySQL1");
+catalog_test!(finds_mysql2, "MySQL2");
+catalog_test!(finds_transmission, "Transmission");
+catalog_test!(finds_sqlite, "SQLite");
+catalog_test!(finds_zsnes, "ZSNES");
+
+#[test]
+fn every_catalog_name_is_covered_above() {
+    // Guards the macro list against catalog growth: a new workload must
+    // document an exploration budget and get a finder test.
+    assert_eq!(WORKLOAD_NAMES.len(), 10, "update tests/exploration.rs");
+    for name in WORKLOAD_NAMES {
+        assert!(explore_hint(name).is_some(), "no hint for {name}");
+    }
+}
+
+#[test]
+fn explorer_reports_are_job_count_invariant() {
+    // The same search fanned over different worker counts must report
+    // identical results (only the wall clock may differ) — the same
+    // merge discipline `tests/parallel_trials.rs` enforces for trials.
+    let config = machine();
+    for name in ["HawkNL", "Transmission"] {
+        let w = workload_by_name(name).expect("registered workload");
+        let mut ec = hint_config(name);
+        let baseline = explore(&w.program, &config, &ec).normalized();
+        for jobs in [2, 3] {
+            ec.jobs = jobs;
+            let fanned = explore(&w.program, &config, &ec).normalized();
+            assert_eq!(baseline, fanned, "{name}: --jobs {jobs} diverged");
+        }
+    }
+}
+
+#[test]
+fn exhausting_budgets_counts_every_failure() {
+    // keep_going mode: the full (tiny) budget runs, failure counts and
+    // the first failure agree with the stop-at-first search.
+    let w = workload_by_name("ZSNES").expect("registered workload");
+    let config = machine();
+    let mut ec = hint_config("ZSNES");
+    let first = explore(&w.program, &config, &ec);
+    ec.stop_at_first = false;
+    let full = explore(&w.program, &config, &ec);
+    assert!(full.schedules >= first.schedules);
+    assert!(full.failures >= 1);
+    assert_eq!(
+        full.first_failure.as_ref().map(|f| f.index),
+        first.first_failure.as_ref().map(|f| f.index),
+    );
+    let hang_free = matches!(
+        full.first_failure.as_ref().map(|f| &f.outcome),
+        Some(RunOutcome::Failed(_))
+    );
+    assert!(hang_free, "ZSNES fails by assertion, not hang");
+}
