@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench_explore [--out BENCH_explore.json] [--label NAME] [--app NAME]
-//!               [--jobs N] [--budget N] [--reps N]
+//!               [--jobs N] [--budget N] [--reps N] [--snapshot-budget N]
 //! ```
 //!
 //! Every figure runs the *full* budget (`stop_at_first` off) so each rep
@@ -29,6 +29,7 @@ fn main() {
     let mut jobs = 4usize;
     let mut budget = 256usize;
     let mut reps = 3usize;
+    let mut snapshot_budget = 256usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -56,6 +57,12 @@ fn main() {
                     .filter(|&n: &usize| n >= 1)
                     .expect("--reps needs a number >= 1")
             }
+            "--snapshot-budget" => {
+                snapshot_budget = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--snapshot-budget needs a number (0 disables)")
+            }
             other => panic!("unknown flag `{other}`"),
         }
     }
@@ -77,6 +84,7 @@ fn main() {
             ec.budget = budget;
             ec.jobs = jobs;
             ec.stop_at_first = false;
+            ec.snapshot_budget = snapshot_budget;
             let start = Instant::now();
             let report = explore(&w.program, &machine, &ec);
             // Bounded trees can exhaust below the budget; rate what ran.
@@ -99,6 +107,7 @@ fn main() {
         pair("app", Value::Str(app.clone())),
         pair("budget", Value::UInt(budget as u64)),
         pair("jobs", Value::UInt(jobs as u64)),
+        pair("snapshot_budget", Value::UInt(snapshot_budget as u64)),
         pair("pct_schedules_per_sec", Value::Float(pct_seq)),
         pair("pct_schedules_per_sec_parallel", Value::Float(pct_par)),
         pair("bounded_schedules_per_sec", Value::Float(bounded_seq)),

@@ -167,6 +167,11 @@ pub struct ExploreOptions {
     pub out: Option<String>,
     /// Write the exploration report as JSON here.
     pub report_out: Option<String>,
+    /// Retained snapshots in the prefix-sharing tree (0 disables it;
+    /// reports are bit-identical at any value).
+    pub snapshot_budget: usize,
+    /// Pin the wave width instead of the adaptive ramp.
+    pub wave: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -187,6 +192,8 @@ impl Default for ExploreOptions {
             keep_going: false,
             out: None,
             report_out: None,
+            snapshot_budget: 256,
+            wave: None,
         }
     }
 }
@@ -279,6 +286,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut minimize = false;
     let mut keep_going = false;
     let mut report_out: Option<String> = None;
+    let mut snapshot_budget = 256usize;
+    let mut wave: Option<usize> = None;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -406,6 +415,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--minimize" => minimize = true,
             "--keep-going" => keep_going = true,
+            "--snapshot-budget" => {
+                snapshot_budget = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::new("--snapshot-budget needs a number (0 disables)"))?
+            }
+            "--wave" => {
+                wave = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError::new("--wave needs a number >= 1"))?,
+                )
+            }
             "--report-out" => {
                 report_out = Some(
                     it.next()
@@ -473,6 +496,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 keep_going,
                 out: output,
                 report_out,
+                snapshot_budget,
+                wave,
             },
         },
         "report" => Command::Report {
@@ -505,10 +530,14 @@ pub const USAGE: &str =
           [--scheduler pct|bounded] [--budget N] [--preemptions K]
           [--depth D] [--points sync|shared|all] [--seed N] [--jobs N]
           [--minimize] [--keep-going] [-o trace.json]
-          [--report-out report.json]
+          [--report-out report.json] [--snapshot-budget N] [--wave N]
           searches schedules for a failing interleaving; the first failing
           trace is written to -o (delta-debugged first with --minimize);
-          --keep-going exhausts the budget and counts every failure
+          --keep-going exhausts the budget and counts every failure;
+          --snapshot-budget bounds the prefix-sharing snapshot tree the
+          bounded search resumes schedules from (0 disables it; reports
+          are bit-identical at any value); --wave pins the fan-out wave
+          width instead of the adaptive 16..256 ramp
   report  <trace.jsonl|report.json|trace.json> [--limit N]
           [--chrome out.json]";
 
@@ -970,6 +999,8 @@ pub fn cmd_explore(
     ec.jobs = opts.jobs;
     ec.seed = opts.seed;
     ec.stop_at_first = !opts.keep_going;
+    ec.snapshot_budget = opts.snapshot_budget;
+    ec.wave = opts.wave;
 
     let report = explore(&program, &config, &ec);
     let _ = writeln!(
@@ -1028,6 +1059,20 @@ pub fn cmd_explore(
             }
         }
     }
+    if report.snapshots_taken > 0 || report.snapshot_hits > 0 {
+        let _ = writeln!(
+            out,
+            "snapshot tree: {} taken, {} schedules resumed, {} steps saved",
+            report.snapshots_taken, report.snapshot_hits, report.steps_saved
+        );
+    }
+    if report.dedup_skips > 0 || report.independence_skips > 0 {
+        let _ = writeln!(
+            out,
+            "pruned: {} duplicate traces, {} independent alternatives",
+            report.dedup_skips, report.independence_skips
+        );
+    }
     let _ = writeln!(out, "wall time: {} ms", report.wall_ms);
 
     if let Some(path) = &opts.report_out {
@@ -1077,6 +1122,20 @@ fn render_explore_report(report: &ExploreReport) -> String {
         let _ = writeln!(out, "  unexplored frontier: {} prefixes", report.frontier);
     }
     let _ = writeln!(out, "  probe decisions: {}", report.probe_decisions);
+    if report.snapshots_taken > 0 || report.snapshot_hits > 0 {
+        let _ = writeln!(
+            out,
+            "  snapshot tree: {} taken, {} hits, {} steps saved",
+            report.snapshots_taken, report.snapshot_hits, report.steps_saved
+        );
+    }
+    if report.dedup_skips > 0 || report.independence_skips > 0 {
+        let _ = writeln!(
+            out,
+            "  pruned: {} duplicate traces, {} independent alternatives",
+            report.dedup_skips, report.independence_skips
+        );
+    }
     let _ = writeln!(out, "  wall time: {} ms", report.wall_ms);
     out
 }
@@ -1691,6 +1750,10 @@ bb0:
                 "t.json",
                 "--report-out",
                 "r.json",
+                "--snapshot-budget",
+                "64",
+                "--wave",
+                "8",
             ]))
             .unwrap(),
             Command::Explore {
@@ -1705,10 +1768,13 @@ bb0:
                     keep_going: true,
                     out: Some("t.json".into()),
                     report_out: Some("r.json".into()),
+                    snapshot_budget: 64,
+                    wave: Some(8),
                     ..ExploreOptions::default()
                 },
             }
         );
+        assert!(parse_args(&args(&["explore", "a.cir", "--wave", "0"])).is_err());
         assert_eq!(
             parse_args(&args(&[
                 "run",
@@ -1867,6 +1933,41 @@ bb0:
         let (rendered, _) = cmd_report(trace_json, 0, false).unwrap();
         assert!(rendered.contains("decision trace:"), "{rendered}");
         assert!(rendered.contains("replay with: "), "{rendered}");
+    }
+
+    #[test]
+    fn explore_bounded_renders_snapshot_tree_stats() {
+        let opts = ExploreOptions {
+            threads: vec!["reader".into(), "writer".into()],
+            scheduler: "bounded".into(),
+            points: "shared".into(),
+            budget: 64,
+            keep_going: true,
+            report_out: Some("report.json".into()),
+            ..ExploreOptions::default()
+        };
+        let (out, files) = cmd_explore(DEMO, &opts).unwrap();
+        assert!(out.contains("snapshot tree: "), "{out}");
+        let report_json = &files.iter().find(|(p, _)| p == "report.json").unwrap().1;
+        let (rendered, _) = cmd_report(report_json, 0, false).unwrap();
+        assert!(rendered.contains("snapshot tree: "), "{rendered}");
+
+        // With the cache disabled the report is identical apart from the
+        // wall clock and the snapshot counters.
+        let off = ExploreOptions {
+            snapshot_budget: 0,
+            ..opts
+        };
+        let (off_out, off_files) = cmd_explore(DEMO, &off).unwrap();
+        assert!(!off_out.contains("snapshot tree: "), "{off_out}");
+        let off_json = &off_files
+            .iter()
+            .find(|(p, _)| p == "report.json")
+            .unwrap()
+            .1;
+        let on: ExploreReport = serde_json::from_str(report_json).unwrap();
+        let off: ExploreReport = serde_json::from_str(off_json).unwrap();
+        assert_eq!(on.normalized(), off.normalized());
     }
 
     #[test]

@@ -65,16 +65,16 @@ pub use harness::{
     run_trials_parallel, run_with, OverheadReport, RestartReport, TrialPool, TrialSummary,
 };
 pub use locks::{AcquireResult, LockTable, ThreadId, UnlockError};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, MachineSnapshot};
 pub use memory::{MemFault, Memory, DEFAULT_LOWER_BOUND, GLOBAL_BASE, HEAP_BASE};
 pub use metrics::{Histogram, RunMetrics};
 pub use outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 pub use program::{Program, ThreadSpec};
 pub use sched::{
     explore, minimize, run_replay, Consult, DecisionTrace, Divergence, ExploreConfig,
-    ExploreReport, ExploreStrategy, FoundSchedule, FrontierScheduler, Gate, MinimizeReport,
-    PctConfig, PctScheduler, PointKind, PointMask, ReplayScheduler, RoundRobin, SchedContext,
-    ScheduleScript, Scheduler, SeededRandom,
+    ExploreReport, ExploreStrategy, Footprint, FoundSchedule, FrontierScheduler, Gate,
+    MinimizeReport, PctConfig, PctScheduler, PointKind, PointMask, ReplayScheduler, RoundRobin,
+    SchedContext, ScheduleScript, Scheduler, SeededRandom,
 };
 #[cfg(any(test, feature = "clone-oracle"))]
 pub use thread::CloneCheckpoint;

@@ -18,6 +18,7 @@
 //! * Otherwise the original failure fires, exactly as in the untransformed
 //!   program.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use conair_ir::{FailureKind, FuncId, Inst, LockId, Operand, Reg, SiteId};
@@ -33,7 +34,8 @@ use crate::metrics::RunMetrics;
 use crate::outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 use crate::program::Program;
 use crate::sched::{
-    CompiledScript, DecisionTrace, PointKind, PointMask, SchedContext, ScheduleScript, Scheduler,
+    CompiledScript, DecisionTrace, Footprint, PointKind, PointMask, SchedContext, ScheduleScript,
+    Scheduler,
 };
 use crate::thread::{CompensationRecord, Frame, ThreadState, ThreadStatus, UndoRecord};
 use crate::trace::{TraceEvent, TraceSink};
@@ -95,12 +97,69 @@ enum StepEffect {
     Fail(FailureKind, Option<SiteId>, String),
 }
 
+/// A deep copy of one machine mid-run, taken at a scheduler decision
+/// point (just before the pick). Restoring it into a fresh machine for
+/// the same program and config and re-entering the step loop reproduces
+/// the donor run bit-for-bit from that decision onwards — the invariant
+/// `tests/snapshot_fork.rs` enforces and the explorer's prefix-sharing
+/// snapshot tree is built on.
+///
+/// The image is complete: shared memory, lock table, every thread's
+/// frames/undo-log/compensation state, outputs, marker counts, per-site
+/// recovery books, the backoff RNG, metrics, and the decision log so far.
+/// What it deliberately excludes is re-derivable from the program and
+/// config: the dense lowering, the compiled schedule script, and the
+/// scratch eligibility buffers.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    memory: Memory,
+    locks: LockTable,
+    threads: Vec<ThreadState>,
+    outputs: Vec<OutputRecord>,
+    marker_counts: Vec<u64>,
+    site_recovery: HashMap<SiteId, SiteRecovery>,
+    site_checks: HashMap<SiteId, u64>,
+    wait_edges: Vec<WaitEdge>,
+    step: u64,
+    aux_work: u64,
+    backoff_rng: SmallRng,
+    metrics: RunMetrics,
+    last_picked: Option<ThreadId>,
+    rolled_back: Vec<bool>,
+    pending_wait: Option<(LockId, u64)>,
+    maybe_timed_waiter: bool,
+    decision_log: Vec<u32>,
+}
+
+impl MachineSnapshot {
+    /// The step counter at capture (what resuming from here saves).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Scheduler decisions made before the capture point — the snapshot's
+    /// depth in the decision tree.
+    pub fn decisions(&self) -> usize {
+        self.decision_log.len()
+    }
+}
+
+/// In-flight snapshot capture: one image per decision index in
+/// `[from, from + limit)`, in ascending depth order.
+struct CaptureState {
+    from: usize,
+    limit: usize,
+    out: Vec<(usize, MachineSnapshot)>,
+}
+
 /// The interpreter for one program run.
 pub struct Machine<'p> {
     program: &'p Program,
-    /// Pre-lowered flat instruction tables, built once in [`Machine::new`]:
-    /// the step loop fetches `&Inst` by `u32` pc with no per-step cloning.
-    dense: DenseProgram<'p>,
+    /// Pre-lowered flat instruction tables: the step loop fetches `&Inst`
+    /// by `u32` pc with no per-step cloning. Behind an `Arc` so harness
+    /// layers that run the same program thousands of times (the explorer)
+    /// can share one lowering instead of rebuilding it per run.
+    dense: Arc<DenseProgram<'p>>,
     config: MachineConfig,
     memory: Memory,
     locks: LockTable,
@@ -138,12 +197,31 @@ pub struct Machine<'p> {
     /// Recorded scheduler picks (only when
     /// [`MachineConfig::record_decisions`] is set).
     decision_log: Vec<u32>,
+    /// Reused footprint buffer, aligned with `eligible` — filled at each
+    /// consult of a decision-recording run, empty otherwise.
+    footprints: Vec<Footprint>,
+    /// Snapshot capture plan for this run (`None` outside
+    /// [`Machine::run_captured`]).
+    capture: Option<CaptureState>,
     sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<'p> Machine<'p> {
-    /// Creates a machine for `program`.
+    /// Creates a machine for `program`, lowering it on the spot.
     pub fn new(program: &'p Program, config: MachineConfig) -> Self {
+        let dense = Arc::new(DenseProgram::new(&program.module));
+        Self::with_shared_dense(program, dense, config)
+    }
+
+    /// Creates a machine reusing a pre-built lowering of `program`'s
+    /// module — the per-run construction cost is then allocation of the
+    /// run state only. The caller must pass a lowering of the *same*
+    /// module.
+    pub fn with_shared_dense(
+        program: &'p Program,
+        dense: Arc<DenseProgram<'p>>,
+        config: MachineConfig,
+    ) -> Self {
         let memory = Memory::new(&program.module);
         let locks = LockTable::new(program.module.locks.len());
         let threads = program
@@ -161,7 +239,6 @@ impl<'p> Machine<'p> {
             .collect();
         let backoff_seed = config.backoff_seed;
         let thread_count = program.threads.len();
-        let dense = DenseProgram::new(&program.module);
         let marker_counts = vec![0u64; dense.num_markers()];
         Self {
             program,
@@ -186,8 +263,68 @@ impl<'p> Machine<'p> {
             eligible: Vec::with_capacity(thread_count),
             maybe_timed_waiter: false,
             decision_log: Vec::new(),
+            footprints: Vec::with_capacity(thread_count),
+            capture: None,
             sink: None,
         }
+    }
+
+    /// Captures a deep copy of the run state. Meaningful at a decision
+    /// point (the explorer captures just before each scheduler pick);
+    /// restoring mid-step is not supported.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            memory: self.memory.clone(),
+            locks: self.locks.clone(),
+            threads: self.threads.clone(),
+            outputs: self.outputs.clone(),
+            marker_counts: self.marker_counts.clone(),
+            site_recovery: self.site_recovery.clone(),
+            site_checks: self.site_checks.clone(),
+            wait_edges: self.wait_edges.clone(),
+            step: self.step,
+            aux_work: self.aux_work,
+            backoff_rng: self.backoff_rng.clone(),
+            metrics: self.metrics.clone(),
+            last_picked: self.last_picked,
+            rolled_back: self.rolled_back.clone(),
+            pending_wait: self.pending_wait,
+            maybe_timed_waiter: self.maybe_timed_waiter,
+            decision_log: self.decision_log.clone(),
+        }
+    }
+
+    /// Overwrites this machine's run state with `snap`'s. The machine must
+    /// have been built for the same program and config as the snapshot's
+    /// donor; re-entering [`Machine::run`] then continues the donor run
+    /// bit-identically from the capture point.
+    pub fn restore_from(&mut self, snap: &MachineSnapshot) {
+        self.memory = snap.memory.clone();
+        self.locks = snap.locks.clone();
+        self.threads = snap.threads.clone();
+        self.outputs = snap.outputs.clone();
+        self.marker_counts = snap.marker_counts.clone();
+        self.site_recovery = snap.site_recovery.clone();
+        self.site_checks = snap.site_checks.clone();
+        self.wait_edges = snap.wait_edges.clone();
+        self.step = snap.step;
+        self.aux_work = snap.aux_work;
+        self.backoff_rng = snap.backoff_rng.clone();
+        self.metrics = snap.metrics.clone();
+        self.last_picked = snap.last_picked;
+        self.rolled_back = snap.rolled_back.clone();
+        self.pending_wait = snap.pending_wait;
+        self.maybe_timed_waiter = snap.maybe_timed_waiter;
+        self.decision_log = snap.decision_log.clone();
+        self.eligible.clear();
+        self.footprints.clear();
+    }
+
+    /// [`Machine::new`] + [`Machine::restore_from`] in one step.
+    pub fn resume(program: &'p Program, config: MachineConfig, snap: &MachineSnapshot) -> Self {
+        let mut m = Self::new(program, config);
+        m.restore_from(snap);
+        m
     }
 
     /// Installs a bug-forcing schedule script. The script is compiled
@@ -218,7 +355,40 @@ impl<'p> Machine<'p> {
     }
 
     /// Runs the program to completion under `scheduler`.
-    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> RunResult {
+    pub fn run(self, scheduler: &mut dyn Scheduler) -> RunResult {
+        self.run_inner(scheduler).0
+    }
+
+    /// Runs like [`Machine::run`], additionally capturing a
+    /// [`MachineSnapshot`] just before each scheduler decision with index
+    /// in `[capture_from, capture_from + capture_limit)`. Returned pairs
+    /// are `(decision index, image)` in ascending order. Capture keys on
+    /// the decision log, so [`MachineConfig::record_decisions`] must be
+    /// set.
+    pub fn run_captured(
+        mut self,
+        scheduler: &mut dyn Scheduler,
+        capture_from: usize,
+        capture_limit: usize,
+    ) -> (RunResult, Vec<(usize, MachineSnapshot)>) {
+        assert!(
+            self.config.record_decisions,
+            "snapshot capture keys on the decision log"
+        );
+        if capture_limit > 0 {
+            self.capture = Some(CaptureState {
+                from: capture_from,
+                limit: capture_limit,
+                out: Vec::new(),
+            });
+        }
+        self.run_inner(scheduler)
+    }
+
+    fn run_inner(
+        mut self,
+        scheduler: &mut dyn Scheduler,
+    ) -> (RunResult, Vec<(usize, MachineSnapshot)>) {
         let start = Instant::now();
         if self.sink.is_some() {
             for i in 0..self.threads.len() {
@@ -279,13 +449,15 @@ impl<'p> Machine<'p> {
             wait_edges: self.wait_edges,
         };
         stats.wall = start.elapsed();
-        RunResult {
+        let captured = self.capture.map(|c| c.out).unwrap_or_default();
+        let result = RunResult {
             outcome,
             outputs: self.outputs,
             stats,
             metrics: self.metrics,
             decisions,
-        }
+        };
+        (result, captured)
     }
 
     fn run_loop(&mut self, scheduler: &mut dyn Scheduler, mask: PointMask) -> RunOutcome {
@@ -364,12 +536,17 @@ impl<'p> Machine<'p> {
             };
             let tid = match consult {
                 Some(point) => {
+                    if self.config.record_decisions {
+                        self.fill_footprints();
+                        self.maybe_capture();
+                    }
                     let ctx = SchedContext {
                         eligible: &self.eligible,
                         step: self.step,
                         threads: self.threads.len(),
                         last: self.last_picked,
                         point,
+                        footprints: &self.footprints,
                     };
                     let tid = scheduler.pick(&ctx);
                     if self.config.record_decisions {
@@ -421,6 +598,59 @@ impl<'p> Machine<'p> {
             }
         }
         self.eligible = out;
+    }
+
+    /// Refills the footprint buffer for the current eligible set (decision
+    /// recording runs only — the explorer's independence check reads them
+    /// out of the consult log).
+    fn fill_footprints(&mut self) {
+        let mut out = std::mem::take(&mut self.footprints);
+        out.clear();
+        for i in 0..self.eligible.len() {
+            let fp = self.footprint_of(self.eligible[i]);
+            out.push(fp);
+        }
+        self.footprints = out;
+    }
+
+    /// The first shared effect `tid`'s next instruction would have.
+    fn footprint_of(&self, tid: ThreadId) -> Footprint {
+        let frame = self.threads[tid.index()].top();
+        match self.dense.func(frame.func).inst(frame.pc) {
+            Inst::Lock { lock } | Inst::TimedLock { lock, .. } | Inst::Unlock { lock } => {
+                Footprint::Lock(lock.0)
+            }
+            Inst::LoadGlobal { global, .. } => Footprint::Read(self.memory.global_addr(*global)),
+            Inst::StoreGlobal { global, .. } => Footprint::Write(self.memory.global_addr(*global)),
+            Inst::LoadPtr { ptr, .. } => Footprint::Read(self.eval(tid, *ptr)),
+            Inst::StorePtr { ptr, .. } => Footprint::Write(self.eval(tid, *ptr)),
+            _ => Footprint::Opaque,
+        }
+    }
+
+    /// Captures a snapshot when the capture plan covers the current
+    /// decision index. The stored step is decremented by one so that
+    /// re-entering the step loop after a restore re-increments it to the
+    /// current value — the resumed run then repeats this very consult
+    /// (timeout scan and eligibility recomputation included, both of which
+    /// are idempotent at a decision point) and proceeds bit-identically.
+    fn maybe_capture(&mut self) {
+        let depth = self.decision_log.len();
+        let due = self
+            .capture
+            .as_ref()
+            .is_some_and(|c| depth >= c.from && depth < c.from + c.limit);
+        if !due {
+            return;
+        }
+        self.metrics.snapshots_taken += 1;
+        let mut snap = self.snapshot();
+        snap.step -= 1;
+        self.capture
+            .as_mut()
+            .expect("checked above")
+            .out
+            .push((depth, snap));
     }
 
     fn is_gate_held(&self, t: &ThreadState) -> bool {

@@ -190,6 +190,10 @@ pub struct RunMetrics {
     /// recording) — two runs with the same hash executed the same
     /// interleaving.
     pub decision_trace_hash: u64,
+    /// Machine snapshots captured during this run (0 outside
+    /// [`crate::Machine::run_captured`]). A run resumed from a snapshot
+    /// inherits the donor's count at the capture point.
+    pub snapshots_taken: u64,
 }
 
 impl RunMetrics {

@@ -97,7 +97,7 @@ impl SiteRecovery {
 }
 
 /// Aggregate statistics of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Scheduler steps taken (= instructions executed, plus timeout
     /// processing steps).

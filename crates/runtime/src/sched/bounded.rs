@@ -11,7 +11,7 @@
 //! bugs need very few preemptions, so bounding them makes the schedule
 //! tree small enough to enumerate).
 
-use super::point::PointMask;
+use super::point::{Footprint, PointMask};
 use super::{SchedContext, Scheduler};
 use crate::locks::ThreadId;
 
@@ -20,6 +20,9 @@ use crate::locks::ThreadId;
 pub struct Consult {
     /// Threads that were eligible, in thread-id order.
     pub eligible: Vec<ThreadId>,
+    /// Footprints of the eligible threads' next instructions, aligned with
+    /// `eligible` (empty when the machine did not compute them).
+    pub footprints: Vec<Footprint>,
     /// The thread the scheduler chose.
     pub chosen: ThreadId,
     /// The previously running thread (`None` on the first consult).
@@ -27,6 +30,16 @@ pub struct Consult {
 }
 
 impl Consult {
+    /// The recorded footprint of `pick`'s next instruction
+    /// ([`Footprint::Opaque`] when none was recorded).
+    pub fn footprint_for(&self, pick: ThreadId) -> Footprint {
+        self.eligible
+            .iter()
+            .position(|&t| t == pick)
+            .and_then(|i| self.footprints.get(i).copied())
+            .unwrap_or(Footprint::Opaque)
+    }
+
     /// Whether choosing `pick` here would preempt a still-eligible running
     /// thread.
     pub fn is_preemption_for(&self, pick: ThreadId) -> bool {
@@ -56,10 +69,18 @@ impl FrontierScheduler {
     /// A scheduler forcing `prefix` (thread indices, one per decision
     /// point) and continuing non-preemptively past it.
     pub fn new(prefix: Vec<u32>, mask: PointMask) -> Self {
+        Self::resume(prefix, 0, mask)
+    }
+
+    /// A scheduler resuming a run whose first `start` decisions already
+    /// happened (the machine was restored from a snapshot at that depth):
+    /// forcing starts at `prefix[start]`, and consults are recorded from
+    /// there — the caller accounts for the skipped ones.
+    pub fn resume(prefix: Vec<u32>, start: usize, mask: PointMask) -> Self {
         Self {
             prefix,
             mask,
-            idx: 0,
+            idx: start,
             consults: Vec::new(),
             infeasible: false,
         }
@@ -106,6 +127,7 @@ impl Scheduler for FrontierScheduler {
         };
         self.consults.push(Consult {
             eligible: ctx.eligible.to_vec(),
+            footprints: ctx.footprints.to_vec(),
             chosen,
             last: ctx.last,
         });
@@ -168,6 +190,7 @@ mod tests {
     fn preemption_cost_of_alternatives() {
         let c = Consult {
             eligible: vec![ThreadId(0), ThreadId(1), ThreadId(2)],
+            footprints: Vec::new(),
             chosen: ThreadId(1),
             last: Some(ThreadId(1)),
         };
@@ -176,6 +199,7 @@ mod tests {
         assert!(c.is_preemption_for(ThreadId(2)));
         let blocked_last = Consult {
             eligible: vec![ThreadId(0), ThreadId(2)],
+            footprints: Vec::new(),
             chosen: ThreadId(0),
             last: Some(ThreadId(1)),
         };

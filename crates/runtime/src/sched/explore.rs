@@ -1,5 +1,6 @@
 //! Schedule-space exploration: drive many schedules at a program until one
-//! fails, with deterministic parallel fan-out.
+//! fails, with deterministic parallel fan-out and prefix-sharing snapshot
+//! reuse.
 //!
 //! Two strategies share one engine:
 //!
@@ -11,30 +12,59 @@
 //!   eligible thread there, as long as the path's preemption count stays
 //!   within budget.
 //!
-//! Schedules execute in fixed-size waves fanned across a
-//! [`TrialPool`](crate::TrialPool); results merge in schedule-index order
-//! and the engine stops after the first wave containing a failure. Wave
-//! size is independent of `--jobs`, so the explored set, the failure
-//! counts and the first failing schedule are **bit-identical across job
-//! counts** — parallelism changes wall time only.
+//! Schedules execute in waves fanned across a
+//! [`TrialPool`](crate::TrialPool); results merge in schedule-index order.
+//! Wave widths ramp 16 → 256 as a function of the wave index only (never
+//! of `--jobs`), so the explored set, the failure counts and the first
+//! failing schedule are **bit-identical across job counts** — parallelism
+//! changes wall time only.
+//!
+//! Three layers make the bounded search cheap without changing what it
+//! reports (all deterministic, all enforced bit-identical by tests):
+//!
+//! * **Prefix-sharing snapshot tree** — bounded/CHESS neighbors share long
+//!   decision prefixes by construction, so executed runs deposit
+//!   [`MachineSnapshot`]s keyed by decision prefix into a [`SnapshotTree`]
+//!   (LRU-bounded by `--snapshot-budget`), and each candidate resumes from
+//!   its deepest retained ancestor instead of interpreting from step zero.
+//! * **Decision-trace dedup** — past its forced prefix a candidate
+//!   continues deterministically, so every forced-or-longer prefix of an
+//!   executed trace identifies a schedule whose whole run is already
+//!   known. Candidates hashing into that set are skipped, not re-run.
+//! * **Independence pruning** (masks that include shared accesses only,
+//!   where a consult's transition is exactly one instruction wide) — an
+//!   alternative whose next instruction provably commutes with the chosen
+//!   thread's is not enqueued as a preemption point.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use super::bounded::FrontierScheduler;
+use super::bounded::{Consult, FrontierScheduler};
 use super::decision::DecisionTrace;
 use super::pct::{PctConfig, PctScheduler};
-use super::point::PointMask;
+use super::point::{PointKind, PointMask};
+use crate::dense::DenseProgram;
 use crate::harness::TrialPool;
-use crate::machine::{Machine, MachineConfig};
+use crate::machine::{Machine, MachineConfig, MachineSnapshot};
 use crate::outcome::RunOutcome;
 use crate::program::Program;
 
-/// Schedules per wave. A constant (never derived from `jobs`): the
-/// explored schedule set depends only on the strategy and budget.
-const WAVE: usize = 16;
+/// First-wave width; widths double each wave up to [`WAVE_MAX`]. Small
+/// early waves keep stop-at-first searches from overshooting the first
+/// failure; large late waves amortize the fan-out barrier (the fixed
+/// 16-wide waves of the first engine cost PCT its parallel speedup).
+const WAVE_BASE: usize = 16;
+
+/// Wave-width ceiling.
+const WAVE_MAX: usize = 256;
+
+/// Snapshots one run may deposit into the tree: captures cover decision
+/// indices `[frontier, frontier + CAPTURE_PER_RUN)`, exactly where the
+/// run's own children branch.
+const CAPTURE_PER_RUN: usize = 64;
 
 /// Which search strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,11 +111,17 @@ pub struct ExploreConfig {
     pub stop_at_first: bool,
     /// Override PCT's `k` instead of probing for it.
     pub pct_k: Option<u64>,
+    /// Retained snapshots the prefix tree may hold (bounded search only;
+    /// `0` disables the cache entirely). Pure perf: reports are
+    /// bit-identical at any value.
+    pub snapshot_budget: usize,
+    /// Pin every wave to this width instead of the 16 → 256 ramp.
+    pub wave: Option<usize>,
 }
 
 impl ExploreConfig {
     /// Defaults: seed 1, budget 256, sequential, sync mask, stop at first
-    /// failure.
+    /// failure, 256 retained snapshots, ramped wave widths.
     pub fn new(strategy: ExploreStrategy) -> Self {
         Self {
             strategy,
@@ -95,6 +131,8 @@ impl ExploreConfig {
             mask: PointMask::SYNC,
             stop_at_first: true,
             pct_k: None,
+            snapshot_budget: 256,
+            wave: None,
         }
     }
 }
@@ -131,6 +169,21 @@ pub struct ExploreReport {
     /// Decisions the probe (schedule 0, the non-preemptive default run)
     /// made — PCT's measured `k`.
     pub probe_decisions: u64,
+    /// Snapshots deposited into the prefix tree (0 with the cache off).
+    pub snapshots_taken: u64,
+    /// Executed schedules that resumed from a retained ancestor snapshot
+    /// instead of interpreting from step zero.
+    pub snapshot_hits: u64,
+    /// Interpreter steps those resumes skipped (sum of resumed snapshots'
+    /// step counters).
+    pub steps_saved: u64,
+    /// Candidate schedules skipped because their decision trace was
+    /// provably already executed (cache-independent, so *not* zeroed by
+    /// [`ExploreReport::normalized`]).
+    pub dedup_skips: u64,
+    /// Branch alternatives never enqueued because their footprint provably
+    /// commuted with the chosen thread's (cache-independent).
+    pub independence_skips: u64,
     /// Wall-clock milliseconds (the only nondeterministic field).
     pub wall_ms: u64,
 }
@@ -150,32 +203,71 @@ impl ExploreReport {
         self.first_failure.as_ref().map(|f| f.trace.len())
     }
 
-    /// A copy with the nondeterministic wall time zeroed — equal across
-    /// `--jobs` values by construction (asserted in tests and CI).
+    /// A copy with the nondeterministic wall time and the cache-dependent
+    /// perf counters zeroed — equal across `--jobs` values *and* across
+    /// snapshot budgets by construction (asserted in tests and CI).
+    /// `dedup_skips`/`independence_skips` are kept: they are functions of
+    /// the search alone, not of the cache.
     pub fn normalized(&self) -> Self {
         Self {
             wall_ms: 0,
+            snapshots_taken: 0,
+            snapshot_hits: 0,
+            steps_saved: 0,
             ..self.clone()
         }
     }
 }
 
-/// One executed schedule: outcome + recorded decisions (+ consults when a
-/// frontier scheduler ran it).
+/// One executed schedule: outcome + recorded decisions (+ consults and
+/// captured snapshots when a frontier scheduler ran it).
 struct Executed {
     outcome: RunOutcome,
     trace: DecisionTrace,
-    consults: Vec<super::bounded::Consult>,
+    consults: Vec<Consult>,
+    /// Decision index of the first recorded consult: the snapshot depth
+    /// when the run resumed mid-tree, 0 from scratch.
+    consult_base: usize,
+    /// Preemptions spent by the decisions before `consult_base`.
+    base_preemptions: usize,
+    /// Captured snapshots `(decision depth, image)`, ascending depth.
+    snaps: Vec<(usize, MachineSnapshot)>,
 }
 
-fn run_frontier(
-    program: &Program,
-    config: &MachineConfig,
+/// How to execute one candidate schedule.
+struct RunPlan {
+    /// Forced decision prefix.
     prefix: Vec<u32>,
+    /// Deepest retained ancestor `(image, depth, preemptions before it)`,
+    /// when the tree held one.
+    resume: Option<(Arc<MachineSnapshot>, usize, usize)>,
+    /// Maximum snapshots this run may capture (0 = none).
+    capture: usize,
+}
+
+fn run_frontier<'p>(
+    program: &'p Program,
+    config: &MachineConfig,
+    dense: &Arc<DenseProgram<'p>>,
+    plan: &RunPlan,
     mask: PointMask,
 ) -> Executed {
-    let mut sched = FrontierScheduler::new(prefix, mask);
-    let result = Machine::new(program, *config).run(&mut sched);
+    let mut machine = Machine::with_shared_dense(program, dense.clone(), *config);
+    let (mut sched, consult_base, base_preemptions) = match &plan.resume {
+        Some((snap, depth, pre)) => {
+            machine.restore_from(snap);
+            (
+                FrontierScheduler::resume(plan.prefix.clone(), *depth, mask),
+                *depth,
+                *pre,
+            )
+        }
+        None => (FrontierScheduler::new(plan.prefix.clone(), mask), 0, 0),
+    };
+    // Capture where this run's own children will branch: at and past the
+    // forced frontier (the depth-0 root state saves nothing — skip it).
+    let capture_from = plan.prefix.len().max(1);
+    let (result, snaps) = machine.run_captured(&mut sched, capture_from, plan.capture);
     debug_assert!(!sched.infeasible(), "prefixes come from recorded runs");
     Executed {
         outcome: result.outcome,
@@ -183,12 +275,21 @@ fn run_frontier(
             .decisions
             .unwrap_or_else(|| DecisionTrace::new("bounded", 0, mask)),
         consults: sched.into_consults(),
+        consult_base,
+        base_preemptions,
+        snaps,
     }
 }
 
-fn run_pct(program: &Program, config: &MachineConfig, seed: u64, cfg: PctConfig) -> Executed {
+fn run_pct<'p>(
+    program: &'p Program,
+    config: &MachineConfig,
+    dense: &Arc<DenseProgram<'p>>,
+    seed: u64,
+    cfg: PctConfig,
+) -> Executed {
     let mut sched = PctScheduler::new(seed, cfg);
-    let result = Machine::new(program, *config).run(&mut sched);
+    let result = Machine::with_shared_dense(program, dense.clone(), *config).run(&mut sched);
     let mut trace = result
         .decisions
         .unwrap_or_else(|| DecisionTrace::new("pct", seed, cfg.mask));
@@ -197,7 +298,154 @@ fn run_pct(program: &Program, config: &MachineConfig, seed: u64, cfg: PctConfig)
         outcome: result.outcome,
         trace,
         consults: Vec::new(),
+        consult_base: 0,
+        base_preemptions: 0,
+        snaps: Vec::new(),
     }
+}
+
+/// Retained snapshots keyed by decision prefix — a trie over the
+/// [`DecisionTrace`] u32 log, stored flat (the keys *are* the paths).
+///
+/// All lookups and inserts happen on the exploring thread in
+/// schedule-index order, so hits, evictions and the LRU clock are
+/// deterministic and identical across `--jobs`. Workers only ever read
+/// images through the `Arc`.
+struct SnapshotTree {
+    budget: usize,
+    nodes: HashMap<Vec<u32>, TreeNode>,
+    clock: u64,
+}
+
+struct TreeNode {
+    snap: Arc<MachineSnapshot>,
+    /// Preemptions spent by the first `depth` decisions of any schedule
+    /// through this node (a function of the prefix alone).
+    preemptions: usize,
+    last_used: u64,
+}
+
+impl SnapshotTree {
+    fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            nodes: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// The deepest retained ancestor of `prefix` (depth `1..=len`),
+    /// LRU-touched. Depth `len` is the prefix itself — a full hit.
+    fn lookup(&mut self, prefix: &[u32]) -> Option<(Arc<MachineSnapshot>, usize, usize)> {
+        if self.budget == 0 {
+            return None;
+        }
+        for depth in (1..=prefix.len()).rev() {
+            if let Some(node) = self.nodes.get_mut(&prefix[..depth]) {
+                self.clock += 1;
+                node.last_used = self.clock;
+                return Some((node.snap.clone(), depth, node.preemptions));
+            }
+        }
+        None
+    }
+
+    /// Retains `snap` under `key` unless present; at capacity the
+    /// least-recently-used node is evicted first. Subtrees the search has
+    /// exhausted stop being looked up, so their nodes age out naturally.
+    /// Returns whether a new node was added.
+    fn insert(&mut self, key: &[u32], snap: MachineSnapshot, preemptions: usize) -> bool {
+        if self.budget == 0 || self.nodes.contains_key(key) {
+            return false;
+        }
+        if self.nodes.len() >= self.budget {
+            // The clock is strictly increasing, so the minimum is unique
+            // and eviction is deterministic despite the map's iteration
+            // order.
+            let victim = self
+                .nodes
+                .iter()
+                .min_by_key(|(_, n)| n.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("tree at capacity is non-empty");
+            self.nodes.remove(&victim);
+        }
+        self.clock += 1;
+        self.nodes.insert(
+            key.to_vec(),
+            TreeNode {
+                snap: Arc::new(snap),
+                preemptions,
+                last_used: self.clock,
+            },
+        );
+        true
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_push(mut h: u64, word: u32) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn prefix_hash(decisions: &[u32]) -> u64 {
+    decisions.iter().fold(FNV_OFFSET, |h, &d| fnv_push(h, d))
+}
+
+/// Marks every forced-or-longer prefix of an executed run's trace as
+/// seen. Past its forced prefix a frontier run continues deterministically
+/// (non-preemptive default), so a future candidate whose whole forced
+/// prefix equals one of these trace prefixes would reproduce this very
+/// run decision-for-decision — skipping it loses nothing.
+fn note_executed(seen: &mut HashSet<u64>, forced: usize, decisions: &[u32]) {
+    let mut h = FNV_OFFSET;
+    if forced == 0 {
+        seen.insert(h);
+    }
+    for (i, &d) in decisions.iter().enumerate() {
+        h = fnv_push(h, d);
+        if i + 1 >= forced {
+            seen.insert(h);
+        }
+    }
+}
+
+/// Preemptions spent by the first `depth` decisions of an executed run.
+fn preemptions_before(ex: &Executed, depth: usize) -> usize {
+    debug_assert!(depth >= ex.consult_base, "capture precedes resume point");
+    let local = depth - ex.consult_base;
+    ex.base_preemptions
+        + ex.consults[..local]
+            .iter()
+            .filter(|c| c.is_preemption())
+            .count()
+}
+
+/// Deposits an executed run's captured snapshots into the tree, in
+/// ascending depth order.
+fn absorb_snapshots(tree: &mut SnapshotTree, report: &mut ExploreReport, ex: &mut Executed) {
+    let snaps = std::mem::take(&mut ex.snaps);
+    for (depth, snap) in snaps {
+        let pre = preemptions_before(ex, depth);
+        if tree.insert(&ex.trace.decisions[..depth], snap, pre) {
+            report.snapshots_taken += 1;
+        }
+    }
+}
+
+/// Width of wave `i`: the 16 → 256 ramp, or the `--wave` override. A
+/// function of the wave index only — never of `jobs` or the stop mode —
+/// so the explored schedule set is invariant across both.
+fn wave_width(ec: &ExploreConfig, wave: usize) -> usize {
+    ec.wave
+        .unwrap_or_else(|| (WAVE_BASE << wave.min(4)).min(WAVE_MAX))
+        .max(1)
 }
 
 /// Explores schedules of `program` under `config` per `ec`.
@@ -208,6 +456,8 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
     let start = Instant::now();
     let mut cfg = *config;
     cfg.record_decisions = true;
+    // One lowering shared by every run of the search (and every worker).
+    let dense = Arc::new(DenseProgram::new(&program.module));
 
     let mut report = ExploreReport {
         strategy: ec.strategy.label(),
@@ -218,14 +468,31 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
         first_failure: None,
         frontier: 0,
         probe_decisions: 0,
+        snapshots_taken: 0,
+        snapshot_hits: 0,
+        steps_saved: 0,
+        dedup_skips: 0,
+        independence_skips: 0,
         wall_ms: 0,
+    };
+
+    // Snapshots only pay off for the bounded tree (PCT runs share no
+    // forced prefixes).
+    let capture = match ec.strategy {
+        ExploreStrategy::Bounded { .. } if ec.snapshot_budget > 0 => CAPTURE_PER_RUN,
+        _ => 0,
     };
 
     // Schedule 0 in both strategies: the probe — the non-preemptive
     // default schedule (empty forced prefix). It measures PCT's `k`, is
     // the root of the bounded search tree, and catches bugs that need no
     // preemption at all.
-    let probe = run_frontier(program, &cfg, Vec::new(), ec.mask);
+    let probe_plan = RunPlan {
+        prefix: Vec::new(),
+        resume: None,
+        capture,
+    };
+    let mut probe = run_frontier(program, &cfg, &dense, &probe_plan, ec.mask);
     report.probe_decisions = probe.trace.len() as u64;
     let record = |report: &mut ExploreReport, index: usize, ex: &Executed| {
         report.schedules += 1;
@@ -242,7 +509,7 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
     };
     record(&mut report, 0, &probe);
 
-    let pool = TrialPool::new(ec.jobs);
+    let pool = TrialPool::auto(ec.jobs);
     let done = |report: &ExploreReport| {
         report.schedules >= ec.budget || (ec.stop_at_first && report.first_failure.is_some())
     };
@@ -254,33 +521,92 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
                 k: ec.pct_k.unwrap_or_else(|| report.probe_decisions.max(16)),
                 mask: ec.mask,
             };
+            let mut wave = 0usize;
             while !done(&report) {
                 let base = report.schedules;
-                let count = WAVE.min(ec.budget - base);
-                let wave = pool.map(count, |j| {
-                    run_pct(program, &cfg, ec.seed + (base + j) as u64, pct)
+                let count = wave_width(ec, wave).min(ec.budget - base);
+                wave += 1;
+                let results = pool.map(count, |j| {
+                    run_pct(program, &cfg, &dense, ec.seed + (base + j) as u64, pct)
                 });
-                for (j, ex) in wave.iter().enumerate() {
+                for (j, ex) in results.iter().enumerate() {
                     record(&mut report, base + j, ex);
                 }
             }
         }
         ExploreStrategy::Bounded { preemptions } => {
+            // Independence pruning is only sound when a consult's
+            // transition is a single instruction wide: under sync-only
+            // masks the silent continuation between consults performs
+            // shared accesses the footprints don't see.
+            let prune = ec.mask.contains(PointKind::SharedAccess);
             // Breadth-first over branch points; children are enqueued in
             // (parent schedule index, decision index, thread id) order, so
             // the visit order is deterministic.
             let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
-            push_children(&mut queue, &probe, 0, preemptions);
-            while !done(&report) && !queue.is_empty() {
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut tree = SnapshotTree::new(ec.snapshot_budget);
+            note_executed(&mut seen, 0, &probe.trace.decisions);
+            absorb_snapshots(&mut tree, &mut report, &mut probe);
+            push_children(&mut queue, &probe, 0, preemptions, prune, &mut report);
+            let mut wave = 0usize;
+            while !done(&report) {
                 let base = report.schedules;
-                let count = WAVE.min(ec.budget - base).min(queue.len());
-                let batch: Vec<Vec<u32>> = queue.drain(..count).collect();
-                let wave = pool.map(count, |j| {
-                    run_frontier(program, &cfg, batch[j].clone(), ec.mask)
+                let room = wave_width(ec, wave).min(ec.budget - base);
+                wave += 1;
+                // Once the frontier outgrows the tree budget, FIFO pops
+                // lag inserts by more than the LRU can span: every capture
+                // would be evicted unused. Stop capturing; while the queue
+                // is still small, cap the wave's total inserts near the
+                // tree budget so one wide wave cannot evict the ancestors
+                // the next wave is about to resume from. Both knobs read
+                // only wave-boundary state, so they stay jobs-invariant.
+                let wave_capture = if queue.len() <= ec.snapshot_budget {
+                    capture.min((ec.snapshot_budget / room.max(1)).max(1))
+                } else {
+                    0
+                };
+                // Assemble the wave on this thread: dedup, then ancestor
+                // lookup — both in candidate order, so the cache behaves
+                // identically whatever executes the batch.
+                let mut batch: Vec<RunPlan> = Vec::with_capacity(room);
+                while batch.len() < room {
+                    let Some(prefix) = queue.pop_front() else {
+                        break;
+                    };
+                    if seen.contains(&prefix_hash(&prefix)) {
+                        report.dedup_skips += 1;
+                        continue;
+                    }
+                    let resume = tree.lookup(&prefix);
+                    if let Some((snap, _, _)) = &resume {
+                        report.snapshot_hits += 1;
+                        report.steps_saved += snap.step();
+                    }
+                    batch.push(RunPlan {
+                        prefix,
+                        resume,
+                        capture: wave_capture,
+                    });
+                }
+                if batch.is_empty() {
+                    break;
+                }
+                let results = pool.map(batch.len(), |j| {
+                    run_frontier(program, &cfg, &dense, &batch[j], ec.mask)
                 });
-                for (j, ex) in wave.iter().enumerate() {
-                    record(&mut report, base + j, ex);
-                    push_children(&mut queue, ex, batch[j].len(), preemptions);
+                for (j, mut ex) in results.into_iter().enumerate() {
+                    record(&mut report, base + j, &ex);
+                    note_executed(&mut seen, batch[j].prefix.len(), &ex.trace.decisions);
+                    absorb_snapshots(&mut tree, &mut report, &mut ex);
+                    push_children(
+                        &mut queue,
+                        &ex,
+                        batch[j].prefix.len(),
+                        preemptions,
+                        prune,
+                        &mut report,
+                    );
                 }
             }
             report.frontier = queue.len();
@@ -293,26 +619,39 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
 
 /// Enqueues every within-budget child of an executed schedule: for each
 /// consult at or past the forced frontier, each unchosen eligible thread
-/// becomes a new prefix.
+/// becomes a new prefix — unless pruned as independent of the chosen
+/// thread's step.
 fn push_children(
     queue: &mut VecDeque<Vec<u32>>,
     ex: &Executed,
     frontier: usize,
     preemptions: usize,
+    prune: bool,
+    report: &mut ExploreReport,
 ) {
-    let mut used = 0usize;
-    for (i, c) in ex.consults.iter().enumerate() {
+    debug_assert!(frontier >= ex.consult_base, "resume point is an ancestor");
+    let mut used = ex.base_preemptions;
+    for (j, c) in ex.consults.iter().enumerate() {
+        let i = ex.consult_base + j;
         if i >= frontier {
             for &alt in &c.eligible {
                 if alt == c.chosen {
                     continue;
                 }
                 let cost = used + usize::from(c.is_preemption_for(alt));
-                if cost <= preemptions {
-                    let mut prefix = ex.trace.decisions[..i].to_vec();
-                    prefix.push(alt.index() as u32);
-                    queue.push_back(prefix);
+                if cost > preemptions {
+                    continue;
                 }
+                if prune
+                    && c.is_preemption_for(alt)
+                    && c.footprint_for(c.chosen).independent(c.footprint_for(alt))
+                {
+                    report.independence_skips += 1;
+                    continue;
+                }
+                let mut prefix = ex.trace.decisions[..i].to_vec();
+                prefix.push(alt.index() as u32);
+                queue.push_back(prefix);
             }
         }
         used += usize::from(c.is_preemption());
@@ -395,6 +734,51 @@ mod tests {
     }
 
     #[test]
+    fn results_identical_with_cache_off() {
+        let program = order_violation();
+        let mut ec = ExploreConfig::new(ExploreStrategy::Bounded { preemptions: 2 });
+        ec.mask = PointMask::SYNC_SHARED;
+        ec.budget = 64;
+        ec.stop_at_first = false;
+        let cached = explore(&program, &MachineConfig::default(), &ec);
+        ec.snapshot_budget = 0;
+        let uncached = explore(&program, &MachineConfig::default(), &ec);
+        assert_eq!(uncached.snapshots_taken, 0);
+        assert_eq!(uncached.snapshot_hits, 0);
+        assert_eq!(uncached.steps_saved, 0);
+        assert_eq!(cached.normalized(), uncached.normalized());
+        assert!(cached.snapshot_hits > 0, "the tree explores deep prefixes");
+    }
+
+    #[test]
+    fn dedup_guard_confirms_schedule_uniqueness() {
+        // The frontier discipline (children only at-or-past the forced
+        // prefix, deterministic default continuation) generates each
+        // distinct schedule at most once — the seen-set is the *runtime
+        // enforcement* of that invariant, and this test pins it: on an
+        // exhausted tree the guard found nothing to skip, i.e. every
+        // executed schedule really was unique.
+        let program = order_violation();
+        let mut ec = ExploreConfig::new(ExploreStrategy::Bounded { preemptions: 2 });
+        ec.mask = PointMask::SYNC_SHARED;
+        ec.budget = 10_000;
+        ec.stop_at_first = false;
+        let report = explore(&program, &MachineConfig::default(), &ec);
+        assert_eq!(report.frontier, 0, "tree exhausted");
+        assert_eq!(report.dedup_skips, 0, "enumeration is duplicate-free");
+    }
+
+    #[test]
+    fn pinned_wave_width_still_finds_the_bug() {
+        let program = order_violation();
+        let mut ec = ExploreConfig::new(ExploreStrategy::Bounded { preemptions: 1 });
+        ec.wave = Some(4);
+        ec.budget = 64;
+        let report = explore(&program, &MachineConfig::default(), &ec);
+        assert!(report.first_failure.is_some());
+    }
+
+    #[test]
     fn budget_caps_schedules() {
         let program = order_violation();
         // PCT generates schedules indefinitely, so the budget is the only cap.
@@ -421,6 +805,39 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_tree_lru_evicts_deterministically() {
+        use crate::sched::basic::RoundRobin;
+        // Build a real snapshot to populate entries with.
+        let program = order_violation();
+        let cfg = MachineConfig {
+            record_decisions: true,
+            ..MachineConfig::default()
+        };
+        let mut sched = RoundRobin::default();
+        let (_, snaps) = Machine::new(&program, cfg).run_captured(&mut sched, 1, 1);
+        let (_, snap) = snaps.into_iter().next().expect("one capture");
+
+        let mut tree = SnapshotTree::new(2);
+        assert!(tree.insert(&[0], snap.clone(), 0));
+        assert!(tree.insert(&[0, 1], snap.clone(), 1));
+        assert!(!tree.insert(&[0, 1], snap.clone(), 1), "no duplicate keys");
+        // Touch [0] so [0, 1] is the LRU victim.
+        assert!(tree.lookup(&[0, 7]).is_some());
+        assert!(tree.insert(&[1], snap.clone(), 0));
+        assert!(
+            tree.lookup(&[0, 1]).map(|(_, d, _)| d) == Some(1),
+            "evicted to ancestor"
+        );
+        // Deepest ancestor wins and carries its preemption count.
+        assert!(tree.insert(&[1, 2], snap, 1));
+        let (_, depth, pre) = tree.lookup(&[1, 2, 3]).expect("ancestor");
+        assert_eq!((depth, pre), (2, 1));
+        // Budget 0 disables everything.
+        let mut off = SnapshotTree::new(0);
+        assert!(off.lookup(&[0]).is_none());
+    }
+
+    #[test]
     fn report_derived_stats() {
         let mut report = ExploreReport {
             strategy: "pct(d=3)".into(),
@@ -431,11 +848,22 @@ mod tests {
             first_failure: None,
             frontier: 0,
             probe_decisions: 10,
+            snapshots_taken: 7,
+            snapshot_hits: 5,
+            steps_saved: 900,
+            dedup_skips: 3,
+            independence_skips: 2,
             wall_ms: 123,
         };
         assert!((report.failures_per_1k() - 40.0).abs() < 1e-9);
         assert_eq!(report.first_failure_depth(), None);
-        assert_eq!(report.normalized().wall_ms, 0);
+        let norm = report.normalized();
+        assert_eq!(norm.wall_ms, 0);
+        assert_eq!(norm.snapshots_taken, 0);
+        assert_eq!(norm.snapshot_hits, 0);
+        assert_eq!(norm.steps_saved, 0);
+        assert_eq!(norm.dedup_skips, 3, "search-shape counters survive");
+        assert_eq!(norm.independence_skips, 2);
         report.schedules = 0;
         assert_eq!(report.failures_per_1k(), 0.0);
     }

@@ -45,7 +45,7 @@ pub use decision::DecisionTrace;
 pub use explore::{explore, ExploreConfig, ExploreReport, ExploreStrategy, FoundSchedule};
 pub use minimize::{minimize, MinimizeReport};
 pub use pct::{PctConfig, PctScheduler};
-pub use point::{PointKind, PointMask};
+pub use point::{Footprint, PointKind, PointMask};
 pub use replay::{run_replay, Divergence, ReplayScheduler};
 pub use script::{Gate, ScheduleScript};
 
@@ -69,6 +69,11 @@ pub struct SchedContext<'a> {
     /// one (schedulers with [`PointMask::ALL`] masks are consulted every
     /// step and see `None`).
     pub point: Option<PointKind>,
+    /// Per-eligible-thread [`Footprint`]s (aligned with `eligible`), when
+    /// the machine computed them — only during decision-recording runs,
+    /// where the explorer's independence check consumes them. Empty
+    /// otherwise.
+    pub footprints: &'a [point::Footprint],
 }
 
 impl<'a> SchedContext<'a> {
@@ -82,6 +87,7 @@ impl<'a> SchedContext<'a> {
             threads,
             last: None,
             point: None,
+            footprints: &[],
         }
     }
 }

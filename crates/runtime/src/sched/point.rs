@@ -144,6 +144,41 @@ impl Default for PointMask {
     }
 }
 
+/// The first shared effect a thread's next instruction would have — the
+/// evidence the explorer's independence check works from. Two adjacent
+/// decisions with provably disjoint footprints commute, so only one of
+/// them needs exploring as a preemption point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Footprint {
+    /// Acquire or release of one specific lock.
+    Lock(u32),
+    /// Read of one specific shared address.
+    Read(i64),
+    /// Write of one specific shared address.
+    Write(i64),
+    /// Unknown or compound effect — conservatively conflicts with
+    /// everything.
+    #[default]
+    Opaque,
+}
+
+impl Footprint {
+    /// Whether two footprints provably commute: distinct locks, reads of
+    /// anything, or memory operations on distinct addresses. `Opaque`
+    /// never commutes.
+    pub fn independent(self, other: Footprint) -> bool {
+        use Footprint::*;
+        match (self, other) {
+            (Lock(a), Lock(b)) => a != b,
+            (Read(_), Read(_)) => true,
+            (Read(a), Write(b)) | (Write(a), Read(b)) | (Write(a), Write(b)) => a != b,
+            // Lock words and memory words live in disjoint state.
+            (Lock(_), Read(_) | Write(_)) | (Read(_) | Write(_), Lock(_)) => true,
+            (Opaque, _) | (_, Opaque) => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -147,3 +147,64 @@ fn exhausting_budgets_counts_every_failure() {
     );
     assert!(hang_free, "ZSNES fails by assertion, not hang");
 }
+
+#[test]
+fn snapshot_cache_never_changes_the_report() {
+    // The prefix-sharing snapshot tree is a pure perf layer: with the
+    // cache on (default budget), off (budget 0), or fanned across
+    // workers, every report field except the wall clock and the cache's
+    // own perf counters must be bit-identical.
+    let config = machine();
+    for name in ["FFT", "SQLite"] {
+        let w = workload_by_name(name).expect("registered workload");
+        let mut ec = hint_config(name);
+        ec.stop_at_first = false;
+        let cached = explore(&w.program, &config, &ec);
+        assert!(
+            cached.snapshot_hits > 0,
+            "{name}: bounded search resumes from retained ancestors"
+        );
+        assert!(
+            cached.steps_saved > 0,
+            "{name}: resumed suffixes skip steps"
+        );
+
+        ec.snapshot_budget = 0;
+        let uncached = explore(&w.program, &config, &ec);
+        assert_eq!(uncached.snapshots_taken, 0, "{name}: budget 0 disables");
+        assert_eq!(uncached.snapshot_hits, 0);
+        assert_eq!(uncached.steps_saved, 0);
+        assert_eq!(
+            cached.normalized(),
+            uncached.normalized(),
+            "{name}: cache on/off diverged"
+        );
+        ec.snapshot_budget = 256;
+
+        // Cache *counters* are themselves jobs-invariant: lookups and
+        // inserts happen on the exploring thread in schedule order.
+        for jobs in [2, 4] {
+            ec.jobs = jobs;
+            let fanned = explore(&w.program, &config, &ec);
+            assert_eq!(
+                cached.normalized(),
+                fanned.normalized(),
+                "{name}: --jobs {jobs} diverged"
+            );
+            assert_eq!(
+                (
+                    cached.snapshots_taken,
+                    cached.snapshot_hits,
+                    cached.steps_saved
+                ),
+                (
+                    fanned.snapshots_taken,
+                    fanned.snapshot_hits,
+                    fanned.steps_saved
+                ),
+                "{name}: --jobs {jobs} changed cache behavior"
+            );
+        }
+        ec.jobs = 1;
+    }
+}
