@@ -13,8 +13,11 @@
 //! conair-cli explore <file.cir> [--scheduler pct|bounded] [--budget <n>]
 //!                    [--preemptions <k>] [--depth <d>] [--points <mask>]
 //!                    [--jobs <n>] [--minimize] [-o <trace.json>]
+//!                    [--progress[=<ms>]] [--progress-out <p.jsonl>]
+//!                    [--metrics-out <m.prom>]
 //! conair-cli report  <trace.jsonl | trace.json | report.json> [--limit <n>]
 //!                    [--chrome <out.json>]
+//! conair-cli stats   <progress.jsonl>
 //! ```
 //!
 //! `run --trace` records the structured [`conair_runtime::TraceEvent`]
@@ -28,6 +31,15 @@
 //! trace bit-identically, and `run --record` captures any run's schedule.
 //! `report` also renders decision traces and `--report-out` JSON.
 //!
+//! The exploration observatory watches a search without changing it:
+//! `explore --progress` prints a live stderr ticker, `--progress-out`
+//! records the sampled [`conair_runtime::TraceEvent::ExploreProgress`] /
+//! [`conair_runtime::TraceEvent::ExploreWave`] stream as JSONL (rendered
+//! later by `stats` or `report --chrome`), and `--metrics-out` dumps the
+//! final [`conair_runtime::MetricsRegistry`] in Prometheus text format.
+//! Reports stay bit-identical (modulo wall-clock fields) whether or not
+//! any of the three flags are set.
+//!
 //! The library half holds the (easily testable) command implementations;
 //! the binary is a thin argument parser around them.
 
@@ -39,10 +51,11 @@ use std::fmt::Write as _;
 use conair::{Conair, ConairConfig, Mode};
 use conair_ir::{parse_module, validate, validate_hardened, FailureKind, Module};
 use conair_runtime::{
-    explore, from_jsonl, minimize, run_replay, run_trials_parallel, run_with, summarize_events,
-    to_chrome_trace, to_jsonl, DecisionTrace, EventBuffer, ExploreConfig, ExploreReport,
-    ExploreStrategy, MachineConfig, PctConfig, PctScheduler, PointMask, Program, RoundRobin,
-    RunOutcome, RunResult, ScheduleScript, Scheduler, SeededRandom, TraceEvent,
+    explore_observed, from_jsonl, minimize, run_replay, run_trials_parallel, run_with,
+    summarize_events, to_chrome_trace, to_jsonl, DecisionTrace, EventBuffer, ExploreConfig,
+    ExploreObserver, ExploreReport, ExploreStrategy, MachineConfig, MetricsRegistry, PctConfig,
+    PctScheduler, PointMask, Program, RoundRobin, RunOutcome, RunResult, ScheduleScript, Scheduler,
+    SeededRandom, TraceEvent, TraceSink,
 };
 
 /// A CLI failure: message plus suggested exit code.
@@ -80,6 +93,10 @@ pub const DEFAULT_TRACE_DEPTH: usize = 16;
 
 /// Default number of timeline lines `report` prints before eliding.
 pub const DEFAULT_REPORT_LIMIT: usize = 200;
+
+/// Default milliseconds between `--progress` ticker lines (bare
+/// `--progress`; `--progress=<ms>` overrides, 0 samples every wave).
+pub const DEFAULT_PROGRESS_INTERVAL_MS: u64 = 500;
 
 /// Options of the `run` command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +189,13 @@ pub struct ExploreOptions {
     pub snapshot_budget: usize,
     /// Pin the wave width instead of the adaptive ramp.
     pub wave: Option<usize>,
+    /// Print a live progress ticker to stderr, sampled at most every this
+    /// many milliseconds (0 = every wave).
+    pub progress: Option<u64>,
+    /// Record the sampled progress/wave event stream as JSONL here.
+    pub progress_out: Option<String>,
+    /// Write the final metrics registry in Prometheus text format here.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for ExploreOptions {
@@ -194,6 +218,9 @@ impl Default for ExploreOptions {
             report_out: None,
             snapshot_budget: 256,
             wave: None,
+            progress: None,
+            progress_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -250,6 +277,11 @@ pub enum Command {
         /// Also write Chrome trace-event JSON here.
         chrome: Option<String>,
     },
+    /// Summarize a recorded exploration progress stream.
+    Stats {
+        /// Progress stream path (JSONL from `explore --progress-out`).
+        input: String,
+    },
 }
 
 /// Parses `argv[1..]`.
@@ -288,6 +320,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut report_out: Option<String> = None;
     let mut snapshot_budget = 256usize;
     let mut wave: Option<usize> = None;
+    let mut progress: Option<u64> = None;
+    let mut progress_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -436,6 +471,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .clone(),
                 )
             }
+            "--progress" => progress = Some(DEFAULT_PROGRESS_INTERVAL_MS),
+            "--progress-out" => {
+                progress_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--progress-out needs a path"))?
+                        .clone(),
+                )
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--metrics-out needs a path"))?
+                        .clone(),
+                )
+            }
+            other if other.starts_with("--progress=") => {
+                progress =
+                    Some(other["--progress=".len()..].parse().map_err(|_| {
+                        CliError::new("--progress=<ms> needs a number of milliseconds")
+                    })?)
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::new(format!("unknown flag `{other}`\n{USAGE}")))
             }
@@ -498,6 +554,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 report_out,
                 snapshot_budget,
                 wave,
+                progress,
+                progress_out,
+                metrics_out,
             },
         },
         "report" => Command::Report {
@@ -505,13 +564,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             limit,
             chrome,
         },
+        "stats" => Command::Stats { input },
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
     })
 }
 
 /// Usage text.
 pub const USAGE: &str =
-    "usage: conair-cli <print|analyze|harden|run|explore|report> <file> [options]
+    "usage: conair-cli <print|analyze|harden|run|explore|report|stats> <file> [options]
   print   <file.cir>                     parse, validate, pretty-print
   analyze <file.cir> [--fix M]... [--no-optimize] [--no-interproc]
   harden  <file.cir> [--fix M]... [-o out.cir]
@@ -531,15 +591,24 @@ pub const USAGE: &str =
           [--depth D] [--points sync|shared|all] [--seed N] [--jobs N]
           [--minimize] [--keep-going] [-o trace.json]
           [--report-out report.json] [--snapshot-budget N] [--wave N]
+          [--progress[=MS]] [--progress-out p.jsonl] [--metrics-out m.prom]
           searches schedules for a failing interleaving; the first failing
           trace is written to -o (delta-debugged first with --minimize);
           --keep-going exhausts the budget and counts every failure;
           --snapshot-budget bounds the prefix-sharing snapshot tree the
           bounded search resumes schedules from (0 disables it; reports
           are bit-identical at any value); --wave pins the fan-out wave
-          width instead of the adaptive 16..256 ramp
+          width instead of the adaptive 16..256 ramp;
+          --progress prints a live stderr ticker (sampled every MS ms,
+          default 500, 0 = every wave); --progress-out records the
+          progress/wave event stream as JSONL for `stats` or `report`;
+          --metrics-out writes the final metrics registry in Prometheus
+          text format; none of the three changes the search or the report
   report  <trace.jsonl|report.json|trace.json> [--limit N]
-          [--chrome out.json]";
+          [--chrome out.json]
+  stats   <progress.jsonl>               summarize a recorded progress
+          stream: schedules/throughput, failures, snapshot reuse and the
+          self-profiling phase breakdown";
 
 fn load(text: &str) -> Result<Module, CliError> {
     let module = parse_module(text).map_err(|e| CliError::new(format!("parse error: {e}")))?;
@@ -949,6 +1018,56 @@ fn finish_recording(
     Ok(())
 }
 
+/// A [`TraceSink`] rendering [`TraceEvent::ExploreProgress`] samples as a
+/// live stderr ticker (`explore --progress`).
+struct ProgressTicker;
+
+impl TraceSink for ProgressTicker {
+    fn record(&mut self, event: TraceEvent) {
+        if let TraceEvent::ExploreProgress {
+            step,
+            schedules,
+            budget,
+            failures,
+            frontier,
+            snapshot_nodes,
+            steps_saved,
+            wave,
+            ..
+        } = event
+        {
+            eprintln!(
+                "[explore {step:>6} ms] wave {wave}: {schedules}/{budget} schedules, \
+                 {failures} failures, frontier {frontier}, {snapshot_nodes} snapshots, \
+                 {steps_saved} steps saved"
+            );
+        }
+    }
+}
+
+/// Fans one event stream out to several sinks.
+struct Tee(Vec<Box<dyn TraceSink>>);
+
+impl Tee {
+    /// The cheapest sink equivalent to `sinks`: `None` for zero, the sink
+    /// itself for one, a `Tee` otherwise.
+    fn flatten(mut sinks: Vec<Box<dyn TraceSink>>) -> Option<Box<dyn TraceSink>> {
+        match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => Some(Box::new(Tee(sinks))),
+        }
+    }
+}
+
+impl TraceSink for Tee {
+    fn record(&mut self, event: TraceEvent) {
+        for sink in &mut self.0 {
+            sink.record(event.clone());
+        }
+    }
+}
+
 /// Executes `explore` on module text. Returns the report text and the
 /// output files to write as `(path, contents)` pairs.
 pub fn cmd_explore(
@@ -1002,7 +1121,31 @@ pub fn cmd_explore(
     ec.snapshot_budget = opts.snapshot_budget;
     ec.wave = opts.wave;
 
-    let report = explore(&program, &config, &ec);
+    // The observatory: allocate a registry + observer only when asked, so
+    // the plain path keeps the zero-cost discipline.
+    let observing =
+        opts.progress.is_some() || opts.progress_out.is_some() || opts.metrics_out.is_some();
+    let buffer = EventBuffer::new();
+    let mut observer = if observing {
+        let mut obs = ExploreObserver::new(MetricsRegistry::new());
+        if let Some(ms) = opts.progress {
+            obs = obs.with_interval_ms(ms);
+        }
+        let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+        if opts.progress_out.is_some() {
+            sinks.push(Box::new(buffer.clone()));
+        }
+        if opts.progress.is_some() {
+            sinks.push(Box::new(ProgressTicker));
+        }
+        if let Some(sink) = Tee::flatten(sinks) {
+            obs = obs.with_sink(sink);
+        }
+        Some(obs)
+    } else {
+        None
+    };
+    let mut report = explore_observed(&program, &config, &ec, observer.as_mut());
     let _ = writeln!(
         out,
         "explored {} schedules ({}, points {}, budget {}, {} jobs)",
@@ -1032,8 +1175,14 @@ pub fn cmd_explore(
             }
             let _ = writeln!(out, "trace hash: {:#018x}", found.trace.hash());
             let final_trace = if opts.minimize {
+                let minimize_start = std::time::Instant::now();
                 let min = minimize(&program, &config, &found.trace, opts.budget)
                     .map_err(|e| CliError::new(format!("explore: minimize failed: {e}")))?;
+                let minimize_us = minimize_start.elapsed().as_micros() as u64;
+                report.phases.minimize_us += minimize_us;
+                if let Some(obs) = &observer {
+                    obs.registry().phase_minimize_us.add(minimize_us);
+                }
                 let _ = writeln!(
                     out,
                     "minimized: {} -> {} decisions ({} candidate replays)",
@@ -1073,11 +1222,26 @@ pub fn cmd_explore(
             report.dedup_skips, report.independence_skips
         );
     }
+    if report.phases.total_us() > 0 {
+        let p = &report.phases;
+        let _ = writeln!(
+            out,
+            "phases (us): capture {}, restore {}, interpret {}, merge {}, minimize {}",
+            p.capture_us, p.restore_us, p.interpret_us, p.merge_us, p.minimize_us
+        );
+    }
     let _ = writeln!(out, "wall time: {} ms", report.wall_ms);
 
     if let Some(path) = &opts.report_out {
         let json = serde_json::to_string_pretty(&report).expect("explore report serializes");
         files.push((path.clone(), json));
+    }
+    if let Some(path) = &opts.metrics_out {
+        let obs = observer.as_ref().expect("--metrics-out builds an observer");
+        files.push((path.clone(), obs.registry().render_prometheus()));
+    }
+    if let Some(path) = &opts.progress_out {
+        files.push((path.clone(), to_jsonl(&buffer.take())));
     }
     Ok((out, files))
 }
@@ -1134,6 +1298,14 @@ fn render_explore_report(report: &ExploreReport) -> String {
             out,
             "  pruned: {} duplicate traces, {} independent alternatives",
             report.dedup_skips, report.independence_skips
+        );
+    }
+    if report.phases.total_us() > 0 {
+        let p = &report.phases;
+        let _ = writeln!(
+            out,
+            "  phases (us): capture {}, restore {}, interpret {}, merge {}, minimize {}",
+            p.capture_us, p.restore_us, p.interpret_us, p.merge_us, p.minimize_us
         );
     }
     let _ = writeln!(out, "  wall time: {} ms", report.wall_ms);
@@ -1267,6 +1439,26 @@ fn render_event(e: &TraceEvent) -> String {
             "schedule recorded: {scheduler}, {decisions} decisions, hash {trace_hash:#018x}"
         ),
         RunEnded { outcome, .. } => format!("run ended: {outcome}"),
+        // For explore events `step` is elapsed milliseconds, not a machine
+        // step — the timeline prefix still orders them correctly.
+        ExploreProgress {
+            schedules,
+            budget,
+            failures,
+            frontier,
+            wave,
+            ..
+        } => format!(
+            "explore progress: wave {wave}, {schedules}/{budget} schedules, \
+             {failures} failures, frontier {frontier}"
+        ),
+        ExploreWave {
+            wave,
+            width,
+            executed,
+            wall_us,
+            ..
+        } => format!("explore wave {wave}: {executed}/{width} schedules in {wall_us} us"),
     };
     format!("  step {:>7}  {body}", e.step())
 }
@@ -1369,6 +1561,122 @@ pub fn cmd_report(
     Ok((out, chrome_json))
 }
 
+/// Executes `stats` on a recorded exploration progress stream (`explore
+/// --progress-out` JSONL), returning the summary text.
+///
+/// # Errors
+///
+/// Fails on unparseable input and on streams without exploration events
+/// (e.g. a `run --trace` JSONL).
+pub fn cmd_stats(jsonl: &str) -> Result<String, CliError> {
+    let events = from_jsonl(jsonl).map_err(|e| CliError::new(format!("trace parse error: {e}")))?;
+    let mut wave_count = 0u64;
+    let mut progress_count = 0u64;
+    let mut executed = 0u64;
+    let mut widths: Vec<u64> = Vec::new();
+    let mut elapsed_ms = 0u64;
+    let (mut capture, mut restore, mut interpret, mut merge) = (0u64, 0u64, 0u64, 0u64);
+    let mut last_progress: Option<&TraceEvent> = None;
+    for e in &events {
+        match e {
+            TraceEvent::ExploreWave {
+                step,
+                width,
+                executed: ex,
+                capture_us,
+                restore_us,
+                interpret_us,
+                merge_us,
+                ..
+            } => {
+                wave_count += 1;
+                executed += ex;
+                widths.push(*width);
+                elapsed_ms = elapsed_ms.max(*step);
+                capture += capture_us;
+                restore += restore_us;
+                interpret += interpret_us;
+                merge += merge_us;
+            }
+            TraceEvent::ExploreProgress { step, .. } => {
+                progress_count += 1;
+                elapsed_ms = elapsed_ms.max(*step);
+                last_progress = Some(e);
+            }
+            _ => {}
+        }
+    }
+    if wave_count == 0 && progress_count == 0 {
+        return Err(CliError::new(
+            "stats: no exploration events in input (record a stream with \
+             `explore --progress-out p.jsonl`)",
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exploration stream: {wave_count} waves, {progress_count} progress samples, \
+         {elapsed_ms} ms"
+    );
+    if let Some(TraceEvent::ExploreProgress {
+        schedules,
+        budget,
+        failures,
+        first_failure,
+        frontier,
+        snapshot_nodes,
+        steps_saved,
+        ..
+    }) = last_progress
+    {
+        let _ = writeln!(out, "schedules: {schedules} of {budget} budget");
+        if elapsed_ms > 0 {
+            let _ = writeln!(
+                out,
+                "throughput: {:.1} schedules/s",
+                *schedules as f64 * 1000.0 / elapsed_ms as f64
+            );
+        }
+        match first_failure {
+            Some(first) => {
+                let _ = writeln!(out, "failures: {failures} (first at schedule #{first})");
+            }
+            None => {
+                let _ = writeln!(out, "failures: {failures}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "frontier: {frontier} prefixes, snapshot tree: {snapshot_nodes} nodes, \
+             {steps_saved} steps saved"
+        );
+    }
+    if wave_count > 0 {
+        let _ = writeln!(
+            out,
+            "waves: {} executed over {} waves, width {}..{}",
+            executed,
+            wave_count,
+            widths.iter().min().copied().unwrap_or(0),
+            widths.iter().max().copied().unwrap_or(0)
+        );
+    }
+    let attributed = capture + restore + interpret + merge;
+    if attributed > 0 {
+        let pct = |v: u64| 100.0 * v as f64 / attributed as f64;
+        let _ = writeln!(out, "phase breakdown ({attributed} us attributed):");
+        let _ = writeln!(out, "  capture:   {capture:>10} us ({:.1}%)", pct(capture));
+        let _ = writeln!(out, "  restore:   {restore:>10} us ({:.1}%)", pct(restore));
+        let _ = writeln!(
+            out,
+            "  interpret: {interpret:>10} us ({:.1}%)",
+            pct(interpret)
+        );
+        let _ = writeln!(out, "  merge:     {merge:>10} us ({:.1}%)", pct(merge));
+    }
+    Ok(out)
+}
+
 /// Dispatches a parsed command, reading/writing files as needed.
 ///
 /// # Errors
@@ -1436,6 +1744,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             }
             Ok(report)
         }
+        Command::Stats { input } => cmd_stats(&read(input)?),
     }
 }
 
@@ -1968,6 +2277,125 @@ bb0:
         let on: ExploreReport = serde_json::from_str(report_json).unwrap();
         let off: ExploreReport = serde_json::from_str(off_json).unwrap();
         assert_eq!(on.normalized(), off.normalized());
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        assert_eq!(
+            parse_args(&args(&[
+                "explore",
+                "a.cir",
+                "--progress",
+                "--progress-out",
+                "p.jsonl",
+                "--metrics-out",
+                "m.prom",
+            ]))
+            .unwrap(),
+            Command::Explore {
+                input: "a.cir".into(),
+                opts: ExploreOptions {
+                    progress: Some(DEFAULT_PROGRESS_INTERVAL_MS),
+                    progress_out: Some("p.jsonl".into()),
+                    metrics_out: Some("m.prom".into()),
+                    ..ExploreOptions::default()
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["explore", "a.cir", "--progress=250"])).unwrap(),
+            Command::Explore {
+                input: "a.cir".into(),
+                opts: ExploreOptions {
+                    progress: Some(250),
+                    ..ExploreOptions::default()
+                },
+            }
+        );
+        assert!(parse_args(&args(&["explore", "a.cir", "--progress=fast"])).is_err());
+        assert!(parse_args(&args(&["explore", "a.cir", "--metrics-out"])).is_err());
+        assert_eq!(
+            parse_args(&args(&["stats", "p.jsonl"])).unwrap(),
+            Command::Stats {
+                input: "p.jsonl".into()
+            }
+        );
+    }
+
+    #[test]
+    fn explore_observability_leaves_report_identical() {
+        let base = ExploreOptions {
+            threads: vec!["reader".into(), "writer".into()],
+            scheduler: "bounded".into(),
+            points: "shared".into(),
+            budget: 64,
+            keep_going: true,
+            report_out: Some("report.json".into()),
+            ..ExploreOptions::default()
+        };
+        let observed = ExploreOptions {
+            progress_out: Some("p.jsonl".into()),
+            metrics_out: Some("m.prom".into()),
+            jobs: 4,
+            ..base.clone()
+        };
+        let (out, files) = cmd_explore(DEMO, &observed).unwrap();
+        assert!(out.contains("phases (us): "), "{out}");
+        let file = |name: &str, files: &[(String, String)]| {
+            files
+                .iter()
+                .find(|(p, _)| p == name)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_else(|| panic!("missing output file {name}"))
+        };
+
+        // The Prometheus dump carries search totals, phase timers and the
+        // snapshot-tree gauges.
+        let prom = file("m.prom", &files);
+        assert!(
+            prom.contains("# TYPE conair_explore_schedules_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("conair_explore_phase_seconds_total{phase=\"interpret\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("conair_explore_snapshot_nodes"), "{prom}");
+
+        // The recorded stream parses and feeds both `stats` and `report`.
+        let stream = file("p.jsonl", &files);
+        let events = from_jsonl(&stream).unwrap();
+        assert!(events.iter().any(|e| e.kind_name() == "explore-wave"));
+        assert!(events.iter().any(|e| e.kind_name() == "explore-progress"));
+        let stats = cmd_stats(&stream).unwrap();
+        assert!(stats.contains("schedules: "), "{stats}");
+        assert!(stats.contains("phase breakdown"), "{stats}");
+        let (timeline, _) = cmd_report(&stream, 0, false).unwrap();
+        assert!(timeline.contains("explore wave"), "{timeline}");
+
+        // Observability must not change the search: the report is
+        // identical (modulo wall-clock fields) to a run with every flag
+        // off at a different job count.
+        let (plain_out, plain_files) = cmd_explore(DEMO, &base).unwrap();
+        assert!(!plain_out.is_empty());
+        let on: ExploreReport = serde_json::from_str(&file("report.json", &files)).unwrap();
+        let off: ExploreReport = serde_json::from_str(&file("report.json", &plain_files)).unwrap();
+        assert_eq!(on.normalized(), off.normalized());
+    }
+
+    #[test]
+    fn stats_rejects_streams_without_explore_events() {
+        let opts = RunOptions {
+            harden: true,
+            seed: 3,
+            steps: 100_000,
+            trace: Some("t.jsonl".into()),
+            ..RunOptions::default()
+        };
+        let (_, files) = cmd_run(DEMO, &opts, None).unwrap();
+        let err = cmd_stats(&files[0].1).unwrap_err();
+        assert!(err.message.contains("no exploration events"), "{err}");
+        assert!(cmd_stats("not json").is_err());
     }
 
     #[test]

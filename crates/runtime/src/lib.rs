@@ -67,14 +67,14 @@ pub use harness::{
 pub use locks::{AcquireResult, LockTable, ThreadId, UnlockError};
 pub use machine::{Machine, MachineConfig, MachineSnapshot};
 pub use memory::{MemFault, Memory, DEFAULT_LOWER_BOUND, GLOBAL_BASE, HEAP_BASE};
-pub use metrics::{Histogram, RunMetrics};
+pub use metrics::{AtomicHistogram, Counter, Gauge, Histogram, MetricsRegistry, RunMetrics};
 pub use outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 pub use program::{Program, ThreadSpec};
 pub use sched::{
-    explore, minimize, run_replay, Consult, DecisionTrace, Divergence, ExploreConfig,
-    ExploreReport, ExploreStrategy, Footprint, FoundSchedule, FrontierScheduler, Gate,
-    MinimizeReport, PctConfig, PctScheduler, PointKind, PointMask, ReplayScheduler, RoundRobin,
-    SchedContext, ScheduleScript, Scheduler, SeededRandom,
+    explore, explore_observed, minimize, run_replay, Consult, DecisionTrace, Divergence,
+    ExploreConfig, ExploreObserver, ExplorePhases, ExploreReport, ExploreStrategy, Footprint,
+    FoundSchedule, FrontierScheduler, Gate, MinimizeReport, PctConfig, PctScheduler, PointKind,
+    PointMask, ReplayScheduler, RoundRobin, SchedContext, ScheduleScript, Scheduler, SeededRandom,
 };
 #[cfg(any(test, feature = "clone-oracle"))]
 pub use thread::CloneCheckpoint;

@@ -19,7 +19,7 @@
 //!   program.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use conair_ir::{FailureKind, FuncId, Inst, LockId, Operand, Reg, SiteId};
 use rand::rngs::SmallRng;
@@ -203,6 +203,9 @@ pub struct Machine<'p> {
     /// Snapshot capture plan for this run (`None` outside
     /// [`Machine::run_captured`]).
     capture: Option<CaptureState>,
+    /// Wall time spent inside [`Machine::snapshot`] by this run's capture
+    /// plan — the explorer's self-profiling "capture" phase.
+    capture_wall: Duration,
     sink: Option<Box<dyn TraceSink>>,
 }
 
@@ -265,6 +268,7 @@ impl<'p> Machine<'p> {
             decision_log: Vec::new(),
             footprints: Vec::with_capacity(thread_count),
             capture: None,
+            capture_wall: Duration::ZERO,
             sink: None,
         }
     }
@@ -446,6 +450,7 @@ impl<'p> Machine<'p> {
             site_recovery: self.site_recovery,
             site_checks: self.site_checks,
             wall: start.elapsed(),
+            snapshot_wall: self.capture_wall,
             wait_edges: self.wait_edges,
         };
         stats.wall = start.elapsed();
@@ -644,7 +649,9 @@ impl<'p> Machine<'p> {
             return;
         }
         self.metrics.snapshots_taken += 1;
+        let capture_start = Instant::now();
         let mut snap = self.snapshot();
+        self.capture_wall += capture_start.elapsed();
         snap.step -= 1;
         self.capture
             .as_mut()

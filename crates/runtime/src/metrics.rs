@@ -1,11 +1,25 @@
 //! Run metrics: low-cost aggregate distributions collected by the machine
-//! alongside [`crate::RunStats`], and the bucketed [`Histogram`] they are
-//! built from.
+//! alongside [`crate::RunStats`], the bucketed [`Histogram`] they are
+//! built from, and the exploration [`MetricsRegistry`] — typed atomic
+//! counters/gauges/histograms sampled at wave boundaries and exported in
+//! Prometheus text format.
 //!
 //! Metrics differ from [`crate::RunStats`] in two ways: they are
 //! distributional (histograms with percentiles, not single counters), and
 //! every field is serde-serializable so the CLI and bench exporters can
 //! embed them in JSON reports without projection glue.
+//!
+//! The registry follows the same zero-cost-when-disabled discipline as the
+//! [`crate::TraceSink`] layer: an unobserved exploration constructs no
+//! registry and performs no atomic traffic at all (pinned by a test via
+//! [`MetricsRegistry::instances`]), and observing one never changes what
+//! it reports — registry updates read wave-boundary state the search
+//! already computed.
+
+use std::fmt::Write as _;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use conair_ir::SiteId;
 use serde::{Deserialize, Serialize};
@@ -209,6 +223,319 @@ impl RunMetrics {
     }
 }
 
+/// A monotone atomic counter.
+///
+/// All operations use relaxed ordering: registry values are sampled at wave
+/// boundaries for telemetry, never used for synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the counter with an absolute running total computed
+    /// elsewhere (e.g. an [`crate::ExploreReport`] field). The stored value
+    /// must be monotone across calls for Prometheus counter semantics to
+    /// hold; the explorer only stores totals that grow wave over wave.
+    pub fn store(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic counterpart of [`Histogram`]: same power-of-two bucketing, but
+/// every cell is an `AtomicU64` so wave-boundary merges never need a lock.
+/// The bucket array is fixed-size, so recording and merging allocate
+/// nothing.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 65],
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds a per-run [`Histogram`] into this one. Bucket boundaries are
+    /// identical (bit-length bucketing), so counts transfer exactly; each
+    /// bucket's samples are attributed its lower bound when updating `sum`,
+    /// which under-estimates by at most 2×.
+    pub fn merge(&self, h: &Histogram) {
+        for (lo, _, count) in h.buckets() {
+            self.buckets[bucket(lo)].fetch_add(count, Ordering::Relaxed);
+        }
+        self.total.fetch_add(h.count(), Ordering::Relaxed);
+        self.sum.fetch_add(
+            h.buckets().map(|(lo, _, c)| lo.saturating_mul(c)).sum(),
+            Ordering::Relaxed,
+        );
+        self.max.fetch_max(h.max().unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (bucket lower bounds for merged histograms).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_hi(b), c))
+            })
+            .collect()
+    }
+}
+
+/// Count of [`MetricsRegistry`] allocations over the process lifetime.
+/// Exists so tests can pin the zero-cost invariant: an unobserved
+/// exploration must not construct a registry.
+static REGISTRY_INSTANCES: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes tests that allocate registries or probe
+/// [`MetricsRegistry::instances`] — the counter is process-global and the
+/// test harness runs tests concurrently.
+#[cfg(test)]
+pub(crate) static REGISTRY_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Acquires [`REGISTRY_TEST_LOCK`], surviving poisoning from a failed
+/// test.
+#[cfg(test)]
+pub(crate) fn registry_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The exploration metrics registry: one typed field per metric, all
+/// atomic, shared by cloning the handle. Construction is the only
+/// allocation; updates are relaxed atomic stores on fixed fields, so an
+/// attached registry adds no per-schedule allocation to the explorer.
+///
+/// The explorer writes it only at wave boundaries (see
+/// [`crate::ExploreObserver`]); anything — a ticker, an exporter, the
+/// future daemon — may read it concurrently.
+#[derive(Debug, Default)]
+pub struct RegistryInner {
+    /// Schedules executed so far.
+    pub schedules: Counter,
+    /// Failing schedules found so far.
+    pub failures: Counter,
+    /// Exploration waves completed.
+    pub waves: Counter,
+    /// Planned width of the most recent wave (the 16→256 ramp).
+    pub wave_width: Gauge,
+    /// Frontier queue depth after the most recent wave (bounded search).
+    pub frontier_depth: Gauge,
+    /// Live nodes in the prefix-sharing snapshot tree.
+    pub snapshot_nodes: Gauge,
+    /// Snapshot-tree LRU evictions so far.
+    pub snapshot_evictions: Counter,
+    /// Machine snapshots captured so far.
+    pub snapshots_taken: Counter,
+    /// Runs that resumed from a snapshot instead of replaying from the
+    /// root.
+    pub snapshot_hits: Counter,
+    /// Interpreter steps skipped thanks to snapshot resume.
+    pub steps_saved: Counter,
+    /// Schedule prefixes skipped by decision-trace dedup.
+    pub dedup_skips: Counter,
+    /// Schedule prefixes skipped by footprint-independence pruning.
+    pub independence_skips: Counter,
+    /// Live scheduler decisions made by bounded (frontier) schedulers.
+    pub decisions_bounded: Counter,
+    /// Live scheduler decisions made by PCT schedulers.
+    pub decisions_pct: Counter,
+    /// PCT priority demotions applied at change points.
+    pub pct_demotions: Counter,
+    /// Register undo-log depth per rollback, across all executed schedules
+    /// (schedules sharing a resumed prefix each count the prefix's
+    /// rollbacks).
+    pub undo_depth: AtomicHistogram,
+    /// Explorer wall-time spent capturing machine snapshots, µs.
+    pub phase_capture_us: Counter,
+    /// Explorer wall-time spent restoring machine snapshots, µs.
+    pub phase_restore_us: Counter,
+    /// Explorer wall-time spent interpreting schedules, µs.
+    pub phase_interpret_us: Counter,
+    /// Explorer wall-time spent assembling and merging waves, µs.
+    pub phase_merge_us: Counter,
+    /// Wall-time spent minimizing the first failure, µs (filled by the
+    /// CLI, which owns minimization).
+    pub phase_minimize_us: Counter,
+}
+
+/// Shared handle to a [`RegistryInner`]; clone to hand the same registry to
+/// the explorer and a reader.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for MetricsRegistry {
+    type Target = RegistryInner;
+
+    fn deref(&self) -> &RegistryInner {
+        &self.inner
+    }
+}
+
+impl MetricsRegistry {
+    /// Allocates a fresh all-zero registry.
+    pub fn new() -> Self {
+        REGISTRY_INSTANCES.fetch_add(1, Ordering::Relaxed);
+        Self {
+            inner: Arc::new(RegistryInner::default()),
+        }
+    }
+
+    /// Registries allocated so far in this process. Tests use the
+    /// difference across an unobserved exploration to pin the zero-cost
+    /// invariant.
+    pub fn instances() -> u64 {
+        REGISTRY_INSTANCES.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        };
+        counter("conair_explore_schedules_total", self.schedules.get());
+        counter("conair_explore_failures_total", self.failures.get());
+        counter("conair_explore_waves_total", self.waves.get());
+        counter(
+            "conair_explore_snapshot_evictions_total",
+            self.snapshot_evictions.get(),
+        );
+        counter(
+            "conair_explore_snapshots_taken_total",
+            self.snapshots_taken.get(),
+        );
+        counter(
+            "conair_explore_snapshot_hits_total",
+            self.snapshot_hits.get(),
+        );
+        counter("conair_explore_steps_saved_total", self.steps_saved.get());
+        counter("conair_explore_dedup_skips_total", self.dedup_skips.get());
+        counter(
+            "conair_explore_independence_skips_total",
+            self.independence_skips.get(),
+        );
+        counter(
+            "conair_explore_pct_demotions_total",
+            self.pct_demotions.get(),
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE conair_explore_decisions_total counter\n\
+             conair_explore_decisions_total{{scheduler=\"bounded\"}} {}\n\
+             conair_explore_decisions_total{{scheduler=\"pct\"}} {}",
+            self.decisions_bounded.get(),
+            self.decisions_pct.get(),
+        );
+        let _ = writeln!(out, "# TYPE conair_explore_phase_seconds_total counter");
+        for (phase, us) in [
+            ("capture", self.phase_capture_us.get()),
+            ("restore", self.phase_restore_us.get()),
+            ("interpret", self.phase_interpret_us.get()),
+            ("merge", self.phase_merge_us.get()),
+            ("minimize", self.phase_minimize_us.get()),
+        ] {
+            let _ = writeln!(
+                out,
+                "conair_explore_phase_seconds_total{{phase=\"{phase}\"}} {:.6}",
+                us as f64 / 1e6
+            );
+        }
+        let mut gauge = |name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        };
+        gauge("conair_explore_wave_width", self.wave_width.get());
+        gauge("conair_explore_frontier_depth", self.frontier_depth.get());
+        gauge("conair_explore_snapshot_nodes", self.snapshot_nodes.get());
+        let _ = writeln!(out, "# TYPE conair_explore_undo_depth histogram");
+        let mut cumulative = 0u64;
+        for (hi, count) in self.undo_depth.nonempty_buckets() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "conair_explore_undo_depth_bucket{{le=\"{hi}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "conair_explore_undo_depth_bucket{{le=\"+Inf\"}} {}\n\
+             conair_explore_undo_depth_sum {}\n\
+             conair_explore_undo_depth_count {}",
+            self.undo_depth.count(),
+            self.undo_depth.sum(),
+            self.undo_depth.count(),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +590,73 @@ mod tests {
         assert_eq!(a.min(), Some(0));
         assert_eq!(a.max(), Some(1024));
         assert_eq!(a.buckets().count(), 3);
+    }
+
+    #[test]
+    fn registry_renders_prometheus() {
+        let _guard = registry_test_guard();
+        let reg = MetricsRegistry::new();
+        reg.schedules.add(5);
+        reg.schedules.add(3);
+        reg.failures.store(2);
+        reg.wave_width.set(64);
+        reg.decisions_bounded.add(17);
+        reg.phase_capture_us.add(1_500_000);
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        reg.undo_depth.merge(&h);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE conair_explore_schedules_total counter"));
+        assert!(text.contains("conair_explore_schedules_total 8"));
+        assert!(text.contains("conair_explore_failures_total 2"));
+        assert!(text.contains("# TYPE conair_explore_wave_width gauge"));
+        assert!(text.contains("conair_explore_wave_width 64"));
+        assert!(text.contains("conair_explore_decisions_total{scheduler=\"bounded\"} 17"));
+        assert!(text.contains("conair_explore_phase_seconds_total{phase=\"capture\"} 1.500000"));
+        assert!(text.contains("conair_explore_undo_depth_bucket{le=\"3\"} 2"));
+        assert!(text.contains("conair_explore_undo_depth_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("conair_explore_undo_depth_count 3"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in line: {line}"
+            );
+            assert!(parts.next().unwrap().starts_with("conair_explore_"));
+        }
+    }
+
+    #[test]
+    fn registry_instance_probe_counts_allocations() {
+        let _guard = registry_test_guard();
+        let before = MetricsRegistry::instances();
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.schedules.add(1);
+        // Clones share the same inner registry and do not count as new
+        // allocations.
+        assert_eq!(MetricsRegistry::instances(), before + 1);
+        assert_eq!(reg.schedules.get(), 1);
+    }
+
+    #[test]
+    fn atomic_histogram_merge_matches_bucketing() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 7, 900] {
+            h.record(v);
+        }
+        let a = AtomicHistogram::default();
+        a.merge(&h);
+        a.record(7);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), Some(900));
+        let buckets = a.nonempty_buckets();
+        // 0 → le=0, 1 → le=1, 7×2 → le=7, 900 → le=1023.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (7, 2), (1023, 1)]);
     }
 
     #[test]

@@ -122,6 +122,11 @@ pub struct RunStats {
     pub site_checks: HashMap<SiteId, u64>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Portion of `wall` spent capturing machine snapshots (zero outside
+    /// [`crate::Machine::run_captured`]) — lets the explorer's
+    /// self-profiler attribute capture cost separately from
+    /// interpretation.
+    pub snapshot_wall: Duration,
     /// The wait-for graph at the moment of a hang (empty otherwise):
     /// feed to [`crate::find_wait_cycle`] to diagnose the circular wait.
     pub wait_edges: Vec<WaitEdge>,

@@ -63,6 +63,7 @@ pub struct FrontierScheduler {
     idx: usize,
     consults: Vec<Consult>,
     infeasible: bool,
+    picks: u64,
 }
 
 impl FrontierScheduler {
@@ -83,7 +84,15 @@ impl FrontierScheduler {
             idx: start,
             consults: Vec::new(),
             infeasible: false,
+            picks: 0,
         }
+    }
+
+    /// Decisions this scheduler made live (excluding decisions skipped by
+    /// resuming from a snapshot) — the registry's per-scheduler decision
+    /// count.
+    pub fn picks(&self) -> u64 {
+        self.picks
     }
 
     /// The recorded consults, in decision order.
@@ -125,6 +134,7 @@ impl Scheduler for FrontierScheduler {
                 }
             }
         };
+        self.picks += 1;
         self.consults.push(Consult {
             eligible: ctx.eligible.to_vec(),
             footprints: ctx.footprints.to_vec(),
@@ -161,6 +171,7 @@ mod tests {
         assert_eq!(s.pick(&ctx), ThreadId(0), "last ineligible: lowest id");
         assert!(!s.infeasible());
         assert_eq!(s.consults().len(), 3);
+        assert_eq!(s.picks(), 3);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -49,8 +49,10 @@ use super::point::{PointKind, PointMask};
 use crate::dense::DenseProgram;
 use crate::harness::TrialPool;
 use crate::machine::{Machine, MachineConfig, MachineSnapshot};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::outcome::RunOutcome;
 use crate::program::Program;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// First-wave width; widths double each wave up to [`WAVE_MAX`]. Small
 /// early waves keep stop-at-first searches from overshooting the first
@@ -148,8 +150,54 @@ pub struct FoundSchedule {
     pub trace: DecisionTrace,
 }
 
+/// The explorer's self-profiling phase breakdown: wall-time attributed to
+/// snapshot capture, snapshot restore, schedule interpretation, and wave
+/// assembly/merge, in microseconds. `minimize_us` is filled by the caller
+/// that owns minimization (the CLI); the explorer leaves it zero. All
+/// fields are wall-clock and therefore nondeterministic — they are zeroed
+/// by [`ExploreReport::normalized`] alongside `wall_ms`.
+///
+/// Timers are collected unconditionally (two `Instant` reads per run and
+/// per wave, next to the ones the machine already takes for
+/// [`crate::RunStats::wall`]), so the breakdown is present in every report
+/// whether or not an observer is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplorePhases {
+    /// µs spent capturing machine snapshots (inside executed runs).
+    pub capture_us: u64,
+    /// µs spent restoring machine snapshots before resumed runs.
+    pub restore_us: u64,
+    /// µs spent interpreting schedules (run wall minus capture).
+    pub interpret_us: u64,
+    /// µs the exploring thread spent assembling waves (dedup + ancestor
+    /// lookup) and merging their results.
+    pub merge_us: u64,
+    /// µs spent minimizing the first failure (CLI-owned; 0 in reports
+    /// written by [`explore`] itself).
+    pub minimize_us: u64,
+}
+
+impl ExplorePhases {
+    /// Field-wise difference `self − prev` (saturating) — the per-wave
+    /// delta the observer emits.
+    fn delta_since(&self, prev: &ExplorePhases) -> ExplorePhases {
+        ExplorePhases {
+            capture_us: self.capture_us.saturating_sub(prev.capture_us),
+            restore_us: self.restore_us.saturating_sub(prev.restore_us),
+            interpret_us: self.interpret_us.saturating_sub(prev.interpret_us),
+            merge_us: self.merge_us.saturating_sub(prev.merge_us),
+            minimize_us: self.minimize_us.saturating_sub(prev.minimize_us),
+        }
+    }
+
+    /// Sum of all phases, µs.
+    pub fn total_us(&self) -> u64 {
+        self.capture_us + self.restore_us + self.interpret_us + self.merge_us + self.minimize_us
+    }
+}
+
 /// What an exploration did.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExploreReport {
     /// Strategy label (e.g. `pct(d=3)`).
     pub strategy: String,
@@ -184,8 +232,54 @@ pub struct ExploreReport {
     /// Branch alternatives never enqueued because their footprint provably
     /// commuted with the chosen thread's (cache-independent).
     pub independence_skips: u64,
-    /// Wall-clock milliseconds (the only nondeterministic field).
+    /// Wall-clock milliseconds (nondeterministic, like `phases`).
     pub wall_ms: u64,
+    /// Self-profiling wall-time breakdown (nondeterministic; zeroed by
+    /// [`ExploreReport::normalized`]).
+    pub phases: ExplorePhases,
+}
+
+/// Hand-written so reports recorded before the `phases`/self-profiling
+/// fields existed keep loading: the PR 4/5-era core fields stay required
+/// (which also keeps `conair report`'s format sniffing from mistaking
+/// other JSON shapes for a report), while the newer perf counters and the
+/// phase breakdown default to zero when absent.
+impl serde::Deserialize for ExploreReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = v
+            .as_object_slice()
+            .ok_or_else(|| serde::Error::custom("ExploreReport: expected object"))?;
+        let opt_u64 = |name: &str| -> Result<u64, serde::Error> {
+            match pairs.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => u64::from_value(v),
+                None => Ok(0),
+            }
+        };
+        let phases = match pairs.iter().find(|(k, _)| k == "phases") {
+            Some((_, v)) => ExplorePhases::from_value(v)?,
+            None => ExplorePhases::default(),
+        };
+        Ok(Self {
+            strategy: String::from_value(serde::field(pairs, "strategy")?)?,
+            mask: u8::from_value(serde::field(pairs, "mask")?)?,
+            budget: usize::from_value(serde::field(pairs, "budget")?)?,
+            schedules: usize::from_value(serde::field(pairs, "schedules")?)?,
+            failures: usize::from_value(serde::field(pairs, "failures")?)?,
+            first_failure: Option::<FoundSchedule>::from_value(serde::field(
+                pairs,
+                "first_failure",
+            )?)?,
+            frontier: usize::from_value(serde::field(pairs, "frontier")?)?,
+            probe_decisions: u64::from_value(serde::field(pairs, "probe_decisions")?)?,
+            snapshots_taken: opt_u64("snapshots_taken")?,
+            snapshot_hits: opt_u64("snapshot_hits")?,
+            steps_saved: opt_u64("steps_saved")?,
+            dedup_skips: opt_u64("dedup_skips")?,
+            independence_skips: opt_u64("independence_skips")?,
+            wall_ms: u64::from_value(serde::field(pairs, "wall_ms")?)?,
+            phases,
+        })
+    }
 }
 
 impl ExploreReport {
@@ -203,17 +297,18 @@ impl ExploreReport {
         self.first_failure.as_ref().map(|f| f.trace.len())
     }
 
-    /// A copy with the nondeterministic wall time and the cache-dependent
-    /// perf counters zeroed — equal across `--jobs` values *and* across
-    /// snapshot budgets by construction (asserted in tests and CI).
-    /// `dedup_skips`/`independence_skips` are kept: they are functions of
-    /// the search alone, not of the cache.
+    /// A copy with the nondeterministic wall time (total and per-phase)
+    /// and the cache-dependent perf counters zeroed — equal across
+    /// `--jobs` values *and* across snapshot budgets by construction
+    /// (asserted in tests and CI). `dedup_skips`/`independence_skips` are
+    /// kept: they are functions of the search alone, not of the cache.
     pub fn normalized(&self) -> Self {
         Self {
             wall_ms: 0,
             snapshots_taken: 0,
             snapshot_hits: 0,
             steps_saved: 0,
+            phases: ExplorePhases::default(),
             ..self.clone()
         }
     }
@@ -232,6 +327,19 @@ struct Executed {
     base_preemptions: usize,
     /// Captured snapshots `(decision depth, image)`, ascending depth.
     snaps: Vec<(usize, MachineSnapshot)>,
+    /// The run's wall time (capture time included).
+    run_wall: Duration,
+    /// Portion of `run_wall` spent capturing snapshots.
+    capture_wall: Duration,
+    /// Wall time spent restoring the resume snapshot (zero from scratch).
+    restore_wall: Duration,
+    /// Live scheduler decisions (excludes decisions a resume skipped).
+    picks: u64,
+    /// PCT priority demotions (0 for frontier runs).
+    demotions: u64,
+    /// Register undo-log depths at the run's rollbacks (prefix samples
+    /// repeat across schedules sharing a resumed prefix).
+    undo_depth: Histogram,
 }
 
 /// How to execute one candidate schedule.
@@ -253,22 +361,30 @@ fn run_frontier<'p>(
     mask: PointMask,
 ) -> Executed {
     let mut machine = Machine::with_shared_dense(program, dense.clone(), *config);
-    let (mut sched, consult_base, base_preemptions) = match &plan.resume {
+    let (mut sched, consult_base, base_preemptions, restore_wall) = match &plan.resume {
         Some((snap, depth, pre)) => {
+            let restore_start = Instant::now();
             machine.restore_from(snap);
             (
                 FrontierScheduler::resume(plan.prefix.clone(), *depth, mask),
                 *depth,
                 *pre,
+                restore_start.elapsed(),
             )
         }
-        None => (FrontierScheduler::new(plan.prefix.clone(), mask), 0, 0),
+        None => (
+            FrontierScheduler::new(plan.prefix.clone(), mask),
+            0,
+            0,
+            Duration::ZERO,
+        ),
     };
     // Capture where this run's own children will branch: at and past the
     // forced frontier (the depth-0 root state saves nothing — skip it).
     let capture_from = plan.prefix.len().max(1);
     let (result, snaps) = machine.run_captured(&mut sched, capture_from, plan.capture);
     debug_assert!(!sched.infeasible(), "prefixes come from recorded runs");
+    let picks = sched.picks();
     Executed {
         outcome: result.outcome,
         trace: result
@@ -278,6 +394,12 @@ fn run_frontier<'p>(
         consult_base,
         base_preemptions,
         snaps,
+        run_wall: result.stats.wall,
+        capture_wall: result.stats.snapshot_wall,
+        restore_wall,
+        picks,
+        demotions: 0,
+        undo_depth: result.metrics.undo_depth,
     }
 }
 
@@ -301,6 +423,12 @@ fn run_pct<'p>(
         consult_base: 0,
         base_preemptions: 0,
         snaps: Vec::new(),
+        run_wall: result.stats.wall,
+        capture_wall: Duration::ZERO,
+        restore_wall: Duration::ZERO,
+        picks: sched.decisions(),
+        demotions: sched.demotions(),
+        undo_depth: result.metrics.undo_depth,
     }
 }
 
@@ -315,6 +443,8 @@ struct SnapshotTree {
     budget: usize,
     nodes: HashMap<Vec<u32>, TreeNode>,
     clock: u64,
+    /// LRU evictions performed so far (registry telemetry).
+    evictions: u64,
 }
 
 struct TreeNode {
@@ -331,7 +461,13 @@ impl SnapshotTree {
             budget,
             nodes: HashMap::new(),
             clock: 0,
+            evictions: 0,
         }
+    }
+
+    /// Live nodes (tree occupancy).
+    fn len(&self) -> usize {
+        self.nodes.len()
     }
 
     /// The deepest retained ancestor of `prefix` (depth `1..=len`),
@@ -369,6 +505,7 @@ impl SnapshotTree {
                 .map(|(k, _)| k.clone())
                 .expect("tree at capacity is non-empty");
             self.nodes.remove(&victim);
+            self.evictions += 1;
         }
         self.clock += 1;
         self.nodes.insert(
@@ -448,11 +585,188 @@ fn wave_width(ec: &ExploreConfig, wave: usize) -> usize {
         .max(1)
 }
 
+/// Observability hooks for [`explore_observed`]: a [`MetricsRegistry`] the
+/// explorer updates at wave boundaries, an optional [`TraceSink`]
+/// receiving [`TraceEvent::ExploreWave`] (every wave) and
+/// [`TraceEvent::ExploreProgress`] (rate-limited by the sampling
+/// interval), and the interval itself.
+///
+/// The observer is strictly read-only with respect to the search: every
+/// update reads wave-boundary state the explorer already computed, so an
+/// observed exploration's report is bit-identical to an unobserved one
+/// (normalized for wall time) — pinned by tests and a CI diff.
+pub struct ExploreObserver {
+    sink: Option<Box<dyn TraceSink>>,
+    registry: MetricsRegistry,
+    interval_ms: u64,
+    last_sample_ms: Option<u64>,
+    last_phases: ExplorePhases,
+}
+
+impl ExploreObserver {
+    /// An observer updating `registry`, with no sink and a 500 ms progress
+    /// sampling interval.
+    pub fn new(registry: MetricsRegistry) -> Self {
+        Self {
+            sink: None,
+            registry,
+            interval_ms: 500,
+            last_sample_ms: None,
+            last_phases: ExplorePhases::default(),
+        }
+    }
+
+    /// Attaches an event sink for the progress/wave stream.
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Sets the minimum milliseconds between `ExploreProgress` samples
+    /// (0 = sample every wave). Wave events are never rate-limited.
+    pub fn with_interval_ms(mut self, ms: u64) -> Self {
+        self.interval_ms = ms;
+        self
+    }
+
+    /// The registry this observer updates.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Folds one executed run's per-run telemetry into the registry.
+    fn observe_run(&mut self, strategy: ExploreStrategy, ex: &Executed) {
+        match strategy {
+            ExploreStrategy::Bounded { .. } => self.registry.decisions_bounded.add(ex.picks),
+            ExploreStrategy::Pct { .. } => {
+                self.registry.decisions_pct.add(ex.picks);
+                self.registry.pct_demotions.add(ex.demotions);
+            }
+        }
+        if !ex.undo_depth.is_empty() {
+            self.registry.undo_depth.merge(&ex.undo_depth);
+        }
+    }
+
+    /// Publishes a completed wave: registry stores/deltas, an
+    /// `ExploreWave` event, and — when the sampling interval has elapsed
+    /// or the exploration is done — an `ExploreProgress` sample.
+    fn observe_wave(&mut self, report: &ExploreReport, elapsed_ms: u64, w: &WaveObs) {
+        let phases = report.phases.delta_since(&self.last_phases);
+        self.last_phases = report.phases;
+        let reg = &self.registry;
+        reg.schedules.store(report.schedules as u64);
+        reg.failures.store(report.failures as u64);
+        reg.waves.add(1);
+        reg.wave_width.set(w.width);
+        reg.frontier_depth.set(w.frontier);
+        reg.snapshot_nodes.set(w.tree_nodes);
+        reg.snapshot_evictions.store(w.tree_evictions);
+        reg.snapshots_taken.store(report.snapshots_taken);
+        reg.snapshot_hits.store(report.snapshot_hits);
+        reg.steps_saved.store(report.steps_saved);
+        reg.dedup_skips.store(report.dedup_skips);
+        reg.independence_skips.store(report.independence_skips);
+        reg.phase_capture_us.add(phases.capture_us);
+        reg.phase_restore_us.add(phases.restore_us);
+        reg.phase_interpret_us.add(phases.interpret_us);
+        reg.phase_merge_us.add(phases.merge_us);
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        sink.record(TraceEvent::ExploreWave {
+            step: elapsed_ms,
+            wave: w.wave,
+            width: w.width,
+            executed: w.executed,
+            wall_us: w.wall_us,
+            capture_us: phases.capture_us,
+            restore_us: phases.restore_us,
+            interpret_us: phases.interpret_us,
+            merge_us: phases.merge_us,
+        });
+        let due = w.last
+            || match self.last_sample_ms {
+                None => true,
+                Some(t) => elapsed_ms.saturating_sub(t) >= self.interval_ms,
+            };
+        if due {
+            self.last_sample_ms = Some(elapsed_ms);
+            sink.record(TraceEvent::ExploreProgress {
+                step: elapsed_ms,
+                schedules: report.schedules as u64,
+                budget: report.budget as u64,
+                failures: report.failures as u64,
+                first_failure: report.first_failure.as_ref().map(|f| f.index as u64),
+                frontier: w.frontier,
+                snapshot_nodes: w.tree_nodes,
+                steps_saved: report.steps_saved,
+                wave: w.wave + 1,
+            });
+        }
+    }
+}
+
+/// Wave-boundary state handed to [`ExploreObserver::observe_wave`].
+struct WaveObs {
+    wave: u64,
+    width: u64,
+    executed: u64,
+    wall_us: u64,
+    frontier: u64,
+    tree_nodes: u64,
+    tree_evictions: u64,
+    last: bool,
+}
+
+/// Running phase-timer accumulators; converted to [`ExplorePhases`] (µs)
+/// at each wave boundary.
+#[derive(Default)]
+struct PhaseClock {
+    capture: Duration,
+    restore: Duration,
+    interpret: Duration,
+    merge: Duration,
+}
+
+impl PhaseClock {
+    /// Attributes one executed run's wall time: capture and restore as
+    /// measured, the rest of the run as interpretation.
+    fn note_run(&mut self, ex: &Executed) {
+        self.capture += ex.capture_wall;
+        self.restore += ex.restore_wall;
+        self.interpret += ex.run_wall.saturating_sub(ex.capture_wall);
+    }
+
+    fn to_phases(&self) -> ExplorePhases {
+        ExplorePhases {
+            capture_us: self.capture.as_micros() as u64,
+            restore_us: self.restore.as_micros() as u64,
+            interpret_us: self.interpret.as_micros() as u64,
+            merge_us: self.merge.as_micros() as u64,
+            minimize_us: 0,
+        }
+    }
+}
+
 /// Explores schedules of `program` under `config` per `ec`.
 ///
 /// No schedule script is involved: exploration exists to find
 /// failure-inducing interleavings *without* hand-written gates.
 pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) -> ExploreReport {
+    explore_observed(program, config, ec, None)
+}
+
+/// [`explore`] with observability attached: wave-boundary registry
+/// updates, progress/wave events, and the same report. `explore(p, c, e)`
+/// is exactly `explore_observed(p, c, e, None)` — the unobserved path
+/// allocates no registry and emits no events.
+pub fn explore_observed(
+    program: &Program,
+    config: &MachineConfig,
+    ec: &ExploreConfig,
+    mut observer: Option<&mut ExploreObserver>,
+) -> ExploreReport {
     let start = Instant::now();
     let mut cfg = *config;
     cfg.record_decisions = true;
@@ -474,7 +788,9 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
         dedup_skips: 0,
         independence_skips: 0,
         wall_ms: 0,
+        phases: ExplorePhases::default(),
     };
+    let mut clock = PhaseClock::default();
 
     // Snapshots only pay off for the bounded tree (PCT runs share no
     // forced prefixes).
@@ -494,6 +810,12 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
     };
     let mut probe = run_frontier(program, &cfg, &dense, &probe_plan, ec.mask);
     report.probe_decisions = probe.trace.len() as u64;
+    clock.note_run(&probe);
+    if let Some(obs) = observer.as_deref_mut() {
+        // The probe is a frontier (non-preemptive default) run under both
+        // strategies.
+        obs.observe_run(ExploreStrategy::Bounded { preemptions: 0 }, &probe);
+    }
     let record = |report: &mut ExploreReport, index: usize, ex: &Executed| {
         report.schedules += 1;
         if ex.outcome.is_failure() {
@@ -523,15 +845,39 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
             };
             let mut wave = 0usize;
             while !done(&report) {
+                let wave_start = Instant::now();
                 let base = report.schedules;
                 let count = wave_width(ec, wave).min(ec.budget - base);
-                wave += 1;
                 let results = pool.map(count, |j| {
                     run_pct(program, &cfg, &dense, ec.seed + (base + j) as u64, pct)
                 });
+                let merge_start = Instant::now();
                 for (j, ex) in results.iter().enumerate() {
                     record(&mut report, base + j, ex);
+                    clock.note_run(ex);
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs.observe_run(ec.strategy, ex);
+                    }
                 }
+                clock.merge += merge_start.elapsed();
+                report.phases = clock.to_phases();
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs.observe_wave(
+                        &report,
+                        start.elapsed().as_millis() as u64,
+                        &WaveObs {
+                            wave: wave as u64,
+                            width: count as u64,
+                            executed: count as u64,
+                            wall_us: wave_start.elapsed().as_micros() as u64,
+                            frontier: 0,
+                            tree_nodes: 0,
+                            tree_evictions: 0,
+                            last: done(&report),
+                        },
+                    );
+                }
+                wave += 1;
             }
         }
         ExploreStrategy::Bounded { preemptions } => {
@@ -551,9 +897,9 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
             push_children(&mut queue, &probe, 0, preemptions, prune, &mut report);
             let mut wave = 0usize;
             while !done(&report) {
+                let wave_start = Instant::now();
                 let base = report.schedules;
                 let room = wave_width(ec, wave).min(ec.budget - base);
-                wave += 1;
                 // Once the frontier outgrows the tree budget, FIFO pops
                 // lag inserts by more than the LRU can span: every capture
                 // would be evicted unused. Stop capturing; while the queue
@@ -569,6 +915,7 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
                 // Assemble the wave on this thread: dedup, then ancestor
                 // lookup — both in candidate order, so the cache behaves
                 // identically whatever executes the batch.
+                let assemble_start = Instant::now();
                 let mut batch: Vec<RunPlan> = Vec::with_capacity(room);
                 while batch.len() < room {
                     let Some(prefix) = queue.pop_front() else {
@@ -589,12 +936,15 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
                         capture: wave_capture,
                     });
                 }
+                clock.merge += assemble_start.elapsed();
                 if batch.is_empty() {
                     break;
                 }
                 let results = pool.map(batch.len(), |j| {
                     run_frontier(program, &cfg, &dense, &batch[j], ec.mask)
                 });
+                let merge_start = Instant::now();
+                let executed = results.len();
                 for (j, mut ex) in results.into_iter().enumerate() {
                     record(&mut report, base + j, &ex);
                     note_executed(&mut seen, batch[j].prefix.len(), &ex.trace.decisions);
@@ -607,12 +957,36 @@ pub fn explore(program: &Program, config: &MachineConfig, ec: &ExploreConfig) ->
                         prune,
                         &mut report,
                     );
+                    clock.note_run(&ex);
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs.observe_run(ec.strategy, &ex);
+                    }
                 }
+                clock.merge += merge_start.elapsed();
+                report.phases = clock.to_phases();
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs.observe_wave(
+                        &report,
+                        start.elapsed().as_millis() as u64,
+                        &WaveObs {
+                            wave: wave as u64,
+                            width: room as u64,
+                            executed: executed as u64,
+                            wall_us: wave_start.elapsed().as_micros() as u64,
+                            frontier: queue.len() as u64,
+                            tree_nodes: tree.len() as u64,
+                            tree_evictions: tree.evictions,
+                            last: done(&report) || queue.is_empty(),
+                        },
+                    );
+                }
+                wave += 1;
             }
             report.frontier = queue.len();
         }
     }
 
+    report.phases = clock.to_phases();
     report.wall_ms = start.elapsed().as_millis() as u64;
     report
 }
@@ -854,6 +1228,13 @@ mod tests {
             dedup_skips: 3,
             independence_skips: 2,
             wall_ms: 123,
+            phases: ExplorePhases {
+                capture_us: 10,
+                restore_us: 20,
+                interpret_us: 30,
+                merge_us: 40,
+                minimize_us: 50,
+            },
         };
         assert!((report.failures_per_1k() - 40.0).abs() < 1e-9);
         assert_eq!(report.first_failure_depth(), None);
@@ -864,7 +1245,150 @@ mod tests {
         assert_eq!(norm.steps_saved, 0);
         assert_eq!(norm.dedup_skips, 3, "search-shape counters survive");
         assert_eq!(norm.independence_skips, 2);
+        assert_eq!(
+            norm.phases,
+            ExplorePhases::default(),
+            "phases are wall time"
+        );
+        assert_eq!(report.phases.total_us(), 150);
         report.schedules = 0;
         assert_eq!(report.failures_per_1k(), 0.0);
+    }
+
+    #[test]
+    fn unobserved_explore_allocates_no_registry() {
+        let _guard = crate::metrics::registry_test_guard();
+        let program = order_violation();
+        let mut ec = ExploreConfig::new(ExploreStrategy::Bounded { preemptions: 2 });
+        ec.mask = PointMask::SYNC_SHARED;
+        ec.budget = 48;
+        ec.stop_at_first = false;
+        // A registry allocated before the run must see no counter traffic
+        // from it…
+        let bystander = MetricsRegistry::new();
+        let quiet = bystander.render_prometheus();
+        let before = MetricsRegistry::instances();
+        let report = explore(&program, &MachineConfig::default(), &ec);
+        // …and the run itself must not have allocated any registry.
+        assert_eq!(
+            MetricsRegistry::instances(),
+            before,
+            "unobserved explore constructed a registry"
+        );
+        assert_eq!(
+            bystander.render_prometheus(),
+            quiet,
+            "unobserved explore touched a registry"
+        );
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn observed_explore_reports_identically_and_populates_registry() {
+        use crate::trace::EventBuffer;
+        let _guard = crate::metrics::registry_test_guard();
+        let program = order_violation();
+        for strategy in [
+            ExploreStrategy::Bounded { preemptions: 2 },
+            ExploreStrategy::Pct { depth: 3 },
+        ] {
+            let mut ec = ExploreConfig::new(strategy);
+            ec.mask = PointMask::SYNC_SHARED;
+            ec.budget = 48;
+            ec.stop_at_first = false;
+            let plain = explore(&program, &MachineConfig::default(), &ec);
+            let registry = MetricsRegistry::new();
+            let buffer = EventBuffer::new();
+            let mut obs = ExploreObserver::new(registry.clone())
+                .with_sink(Box::new(buffer.clone()))
+                .with_interval_ms(0);
+            let observed =
+                explore_observed(&program, &MachineConfig::default(), &ec, Some(&mut obs));
+            assert_eq!(
+                plain.normalized(),
+                observed.normalized(),
+                "{strategy:?}: observability changed the report"
+            );
+            assert_eq!(registry.schedules.get(), observed.schedules as u64);
+            assert_eq!(registry.failures.get(), observed.failures as u64);
+            assert!(registry.waves.get() > 0);
+            let events = buffer.take();
+            let waves = events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::ExploreWave { .. }))
+                .count();
+            assert_eq!(waves as u64, registry.waves.get());
+            let last_progress = events
+                .iter()
+                .rev()
+                .find_map(|e| match e {
+                    TraceEvent::ExploreProgress { schedules, .. } => Some(*schedules),
+                    _ => None,
+                })
+                .expect("interval 0 samples every wave");
+            assert_eq!(last_progress, observed.schedules as u64);
+            match strategy {
+                ExploreStrategy::Bounded { .. } => {
+                    assert!(registry.decisions_bounded.get() > 0);
+                    assert_eq!(registry.snapshots_taken.get(), observed.snapshots_taken);
+                }
+                ExploreStrategy::Pct { .. } => assert!(registry.decisions_pct.get() > 0),
+            }
+            assert!(
+                observed.phases.interpret_us > 0 || observed.wall_ms == 0,
+                "interpretation dominates a real exploration"
+            );
+        }
+    }
+
+    #[test]
+    fn report_deserialize_tolerates_pre_phases_schema() {
+        // A PR 5-era report: no `phases`. Core fields required, newer
+        // counters default.
+        let old = r#"{
+            "strategy": "bounded(k=2)", "mask": 3, "budget": 64,
+            "schedules": 10, "failures": 1, "first_failure": null,
+            "frontier": 0, "probe_decisions": 7, "snapshots_taken": 4,
+            "snapshot_hits": 2, "steps_saved": 100, "dedup_skips": 0,
+            "independence_skips": 5, "wall_ms": 12
+        }"#;
+        let report: ExploreReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.schedules, 10);
+        assert_eq!(report.snapshot_hits, 2);
+        assert_eq!(report.phases, ExplorePhases::default());
+        // Pre-snapshot-tree (PR 4) reports load too.
+        let older = r#"{
+            "strategy": "pct(d=3)", "mask": 3, "budget": 64,
+            "schedules": 10, "failures": 0, "first_failure": null,
+            "frontier": 0, "probe_decisions": 7, "wall_ms": 12
+        }"#;
+        let report: ExploreReport = serde_json::from_str(older).unwrap();
+        assert_eq!(report.steps_saved, 0);
+        // Non-report JSON (e.g. a decision trace) still fails: core fields
+        // stay required, so format sniffing cannot mis-accept it.
+        let trace = r#"{"scheduler": "pct", "seed": 3, "mask": 3, "decisions": []}"#;
+        assert!(serde_json::from_str::<ExploreReport>(trace).is_err());
+        // And the current schema round-trips.
+        let mut current = ExploreReport {
+            strategy: "bounded(k=1)".into(),
+            mask: 1,
+            budget: 8,
+            schedules: 8,
+            failures: 0,
+            first_failure: None,
+            frontier: 2,
+            probe_decisions: 3,
+            snapshots_taken: 1,
+            snapshot_hits: 1,
+            steps_saved: 9,
+            dedup_skips: 0,
+            independence_skips: 0,
+            wall_ms: 1,
+            phases: ExplorePhases::default(),
+        };
+        current.phases.capture_us = 77;
+        let back: ExploreReport =
+            serde_json::from_str(&serde_json::to_string(&current).unwrap()).unwrap();
+        assert_eq!(back, current);
     }
 }

@@ -42,7 +42,10 @@ mod script;
 pub use basic::{RoundRobin, SeededRandom};
 pub use bounded::{Consult, FrontierScheduler};
 pub use decision::DecisionTrace;
-pub use explore::{explore, ExploreConfig, ExploreReport, ExploreStrategy, FoundSchedule};
+pub use explore::{
+    explore, explore_observed, ExploreConfig, ExploreObserver, ExplorePhases, ExploreReport,
+    ExploreStrategy, FoundSchedule,
+};
 pub use minimize::{minimize, MinimizeReport};
 pub use pct::{PctConfig, PctScheduler};
 pub use point::{Footprint, PointKind, PointMask};

@@ -54,6 +54,7 @@ pub struct PctScheduler {
     change_points: Vec<u64>,
     next_change: usize,
     decisions: u64,
+    demotions: u64,
 }
 
 impl PctScheduler {
@@ -67,12 +68,19 @@ impl PctScheduler {
             change_points: Vec::new(),
             next_change: 0,
             decisions: 0,
+            demotions: 0,
         }
     }
 
     /// Decisions made so far.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Priority demotions applied so far (change points crossed) — at most
+    /// `depth − 1` per run, surfaced by the exploration metrics registry.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
     }
 
     fn init(&mut self, threads: usize) {
@@ -112,6 +120,7 @@ impl Scheduler for PctScheduler {
             let d = self.cfg.depth.max(1) as u64;
             self.priorities[chosen.index()] = d - 1 - self.next_change as u64;
             self.next_change += 1;
+            self.demotions += 1;
         }
         chosen
     }
@@ -196,5 +205,22 @@ mod tests {
         ctx.threads = 3;
         let next = s.pick(&ctx);
         assert_ne!(next, top);
+    }
+
+    #[test]
+    fn counts_decisions_and_demotions() {
+        // k = 1: every change point fires on the first decision.
+        let cfg = PctConfig {
+            depth: 3,
+            k: 1,
+            mask: PointMask::SYNC,
+        };
+        let mut s = PctScheduler::new(7, cfg);
+        let all = [ThreadId(0), ThreadId(1)];
+        for step in 0..4 {
+            s.pick(&SchedContext::simple(&all, step));
+        }
+        assert_eq!(s.decisions(), 4);
+        assert_eq!(s.demotions(), 2, "depth 3 ⇒ two change points");
     }
 }

@@ -223,6 +223,56 @@ pub enum TraceEvent {
         /// Outcome label: `completed`, `failed`, `hang` or `step-limit`.
         outcome: String,
     },
+    /// A periodic sampled view of an exploration in flight, emitted by
+    /// [`crate::explore_observed`] at wave boundaries no more often than
+    /// the observer's sampling interval. Unlike machine events, `step` is
+    /// wall-clock milliseconds since exploration start — the stream's
+    /// clock. Rates (schedules/sec) are left to renderers so the event
+    /// stays integer-only.
+    ExploreProgress {
+        /// Milliseconds since exploration start.
+        step: u64,
+        /// Schedules executed so far.
+        schedules: u64,
+        /// Schedule budget.
+        budget: u64,
+        /// Failing schedules found so far.
+        failures: u64,
+        /// Schedule index of the first failure, when one has been found.
+        first_failure: Option<u64>,
+        /// Frontier queue depth (0 for PCT).
+        frontier: u64,
+        /// Live snapshot-tree nodes.
+        snapshot_nodes: u64,
+        /// Interpreter steps saved by prefix-sharing snapshot resume.
+        steps_saved: u64,
+        /// Waves completed.
+        wave: u64,
+    },
+    /// One completed exploration wave with its self-profiling phase
+    /// breakdown. `step` is wall-clock milliseconds since exploration
+    /// start at the moment the wave finished; durations are microseconds.
+    ExploreWave {
+        /// Milliseconds since exploration start at wave end.
+        step: u64,
+        /// Wave index (0-based).
+        wave: u64,
+        /// Planned wave width (the 16→256 ramp).
+        width: u64,
+        /// Schedules actually executed this wave (dedup/pruning can shrink
+        /// it below `width`).
+        executed: u64,
+        /// Wave wall time, µs.
+        wall_us: u64,
+        /// µs spent capturing machine snapshots.
+        capture_us: u64,
+        /// µs spent restoring machine snapshots.
+        restore_us: u64,
+        /// µs spent interpreting schedules.
+        interpret_us: u64,
+        /// µs spent assembling and merging the wave.
+        merge_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -246,7 +296,9 @@ impl TraceEvent {
             | BackoffSleep { step, .. }
             | RecoveryCompleted { step, .. }
             | ScheduleInfo { step, .. }
-            | RunEnded { step, .. } => *step,
+            | RunEnded { step, .. }
+            | ExploreProgress { step, .. }
+            | ExploreWave { step, .. } => *step,
         }
     }
 
@@ -269,7 +321,9 @@ impl TraceEvent {
             | RecoveryExhausted { thread, .. }
             | BackoffSleep { thread, .. }
             | RecoveryCompleted { thread, .. } => Some(*thread),
-            ScheduleInfo { .. } | RunEnded { .. } => None,
+            ScheduleInfo { .. } | RunEnded { .. } | ExploreProgress { .. } | ExploreWave { .. } => {
+                None
+            }
         }
     }
 
@@ -294,6 +348,8 @@ impl TraceEvent {
             RecoveryCompleted { .. } => "recovery-completed",
             ScheduleInfo { .. } => "schedule-info",
             RunEnded { .. } => "run-ended",
+            ExploreProgress { .. } => "explore-progress",
+            ExploreWave { .. } => "explore-wave",
         }
     }
 }
@@ -371,6 +427,13 @@ pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
 /// Perfetto). Steps map to microseconds; lock waits become complete (`X`)
 /// events spanning the wait, everything else becomes an instant (`i`)
 /// event on its thread's track.
+///
+/// Exploration events ([`TraceEvent::ExploreWave`],
+/// [`TraceEvent::ExploreProgress`]) live on their own track (pid 2): each
+/// wave is a complete event spanning its wall time on tid 0, its
+/// capture/restore/interpret/merge phases are laid back-to-back as spans on
+/// tid 1, and progress samples are instants on tid 0. Their `step` clock is
+/// milliseconds, so they are scaled to the µs timeline.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> serde::Value {
     use serde::Value;
     let mut entries: Vec<Value> = Vec::with_capacity(events.len());
@@ -388,6 +451,15 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> serde::Value {
                 ("tid", Value::UInt(tid)),
             ]
         };
+        let explore = |name: String, ph: &str, ts: u64, tid: u64| {
+            vec![
+                ("name", Value::Str(name)),
+                ("ph", Value::Str(ph.to_string())),
+                ("ts", Value::UInt(ts)),
+                ("pid", Value::UInt(2)),
+                ("tid", Value::UInt(tid)),
+            ]
+        };
         match e {
             TraceEvent::LockAcquired {
                 step, lock, waited, ..
@@ -401,6 +473,52 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> serde::Value {
             } => {
                 let mut pairs = common(&format!("wait-timeout {lock}"), "X", step - waited);
                 pairs.push(("dur", Value::UInt(*waited)));
+                entries.push(obj(pairs));
+            }
+            TraceEvent::ExploreWave {
+                step,
+                wave,
+                width,
+                executed,
+                wall_us,
+                capture_us,
+                restore_us,
+                interpret_us,
+                merge_us,
+            } => {
+                let start = (step * 1000).saturating_sub(*wall_us);
+                let mut pairs = explore(format!("wave {wave} ({executed}/{width})"), "X", start, 0);
+                pairs.push(("dur", Value::UInt(*wall_us)));
+                entries.push(obj(pairs));
+                let mut at = start;
+                for (phase, dur) in [
+                    ("capture", *capture_us),
+                    ("restore", *restore_us),
+                    ("interpret", *interpret_us),
+                    ("merge", *merge_us),
+                ] {
+                    if dur == 0 {
+                        continue;
+                    }
+                    let mut pairs = explore(format!("{phase} (wave {wave})"), "X", at, 1);
+                    pairs.push(("dur", Value::UInt(dur)));
+                    entries.push(obj(pairs));
+                    at += dur;
+                }
+            }
+            TraceEvent::ExploreProgress {
+                step,
+                schedules,
+                budget,
+                ..
+            } => {
+                let mut pairs = explore(
+                    format!("progress {schedules}/{budget}"),
+                    "i",
+                    step * 1000,
+                    0,
+                );
+                pairs.push(("s", Value::Str("p".to_string())));
                 entries.push(obj(pairs));
             }
             other => {
@@ -583,5 +701,66 @@ mod tests {
             let _ = e.step();
             let _ = e.thread();
         }
+    }
+
+    fn explore_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::ExploreWave {
+                step: 10,
+                wave: 0,
+                width: 16,
+                executed: 14,
+                wall_us: 9_000,
+                capture_us: 1_000,
+                restore_us: 500,
+                interpret_us: 6_000,
+                merge_us: 1_500,
+            },
+            TraceEvent::ExploreProgress {
+                step: 10,
+                schedules: 14,
+                budget: 256,
+                failures: 1,
+                first_failure: Some(3),
+                frontier: 7,
+                snapshot_nodes: 12,
+                steps_saved: 400,
+                wave: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn explore_events_roundtrip_jsonl() {
+        let events = explore_events();
+        let back = from_jsonl(&to_jsonl(&events)).unwrap();
+        assert_eq!(back, events);
+        assert_eq!(events[0].kind_name(), "explore-wave");
+        assert_eq!(events[1].kind_name(), "explore-progress");
+        assert_eq!(events[0].step(), 10);
+        assert_eq!(events[1].thread(), None);
+    }
+
+    #[test]
+    fn chrome_trace_gives_explore_events_their_own_track() {
+        let v = to_chrome_trace(&explore_events());
+        let entries = v["traceEvents"].as_array().unwrap();
+        // Wave span + 4 phase spans + 1 progress instant.
+        assert_eq!(entries.len(), 6);
+        for e in entries {
+            assert_eq!(e["pid"], 2u64, "explore events live on pid 2");
+        }
+        let wave = &entries[0];
+        assert_eq!(wave["ph"], "X");
+        assert_eq!(wave["ts"], 1_000u64); // 10ms*1000 - 9000µs
+        assert_eq!(wave["dur"], 9_000u64);
+        assert_eq!(wave["tid"], 0u64);
+        // Phases are back-to-back on tid 1, starting at the wave start.
+        assert_eq!(entries[1]["tid"], 1u64);
+        assert_eq!(entries[1]["ts"], 1_000u64);
+        assert_eq!(entries[2]["ts"], 2_000u64);
+        let progress = &entries[5];
+        assert_eq!(progress["ph"], "i");
+        assert_eq!(progress["ts"], 10_000u64);
     }
 }

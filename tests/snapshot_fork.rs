@@ -22,15 +22,17 @@ fn machine() -> MachineConfig {
     }
 }
 
-/// Asserts two runs are byte-identical up to the two legitimately
-/// differing fields: wall clock (nondeterministic) and
-/// `metrics.snapshots_taken` (a resumed run inherits the donor's capture
-/// count; the reference run captured nothing).
+/// Asserts two runs are byte-identical up to the legitimately differing
+/// fields: the wall clocks (nondeterministic, including the snapshot
+/// capture timer) and `metrics.snapshots_taken` (a resumed run inherits
+/// the donor's capture count; the reference run captured nothing).
 fn assert_identical(reference: &RunResult, forked: &RunResult, what: &str) {
     let mut a = reference.clone();
     let mut b = forked.clone();
     a.stats.wall = std::time::Duration::ZERO;
     b.stats.wall = std::time::Duration::ZERO;
+    a.stats.snapshot_wall = std::time::Duration::ZERO;
+    b.stats.snapshot_wall = std::time::Duration::ZERO;
     a.metrics.snapshots_taken = 0;
     b.metrics.snapshots_taken = 0;
     assert_eq!(a.outcome, b.outcome, "{what}: outcome");
