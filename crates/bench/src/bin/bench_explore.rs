@@ -6,7 +6,12 @@
 //! ```text
 //! bench_explore [--out BENCH_explore.json] [--label NAME] [--app NAME]
 //!               [--jobs N] [--budget N] [--reps N] [--snapshot-budget N]
+//!               [--dense-oracle]
 //! ```
+//!
+//! `--dense-oracle` (requires the `dense-oracle` feature) routes every
+//! schedule through the legacy per-step `&Inst` interpreter walk for
+//! same-host decoded-vs-oracle comparison.
 //!
 //! Every figure runs the *full* budget (`stop_at_first` off) so each rep
 //! explores exactly `--budget` schedules regardless of when the first
@@ -32,6 +37,7 @@ fn main() {
     let mut budget = 256usize;
     let mut reps = 3usize;
     let mut snapshot_budget = 256usize;
+    let mut dense_oracle = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -65,6 +71,12 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--snapshot-budget needs a number (0 disables)")
             }
+            "--dense-oracle" => {
+                if !cfg!(feature = "dense-oracle") {
+                    panic!("--dense-oracle requires building with `--features dense-oracle`");
+                }
+                dense_oracle = true;
+            }
             other => panic!("unknown flag `{other}`"),
         }
     }
@@ -75,6 +87,7 @@ fn main() {
     let machine = MachineConfig {
         lock_timeout: 200,
         step_limit: 2_000_000,
+        dense_oracle,
         ..MachineConfig::default()
     };
 
@@ -106,13 +119,15 @@ fn main() {
 
     let pct = ExploreStrategy::Pct { depth: 3 };
     let bounded = ExploreStrategy::Bounded { preemptions: 2 };
-    let (pct_seq, _) = measure(pct, PointMask::SYNC_SHARED, 1);
+    let (pct_seq, pct_report) = measure(pct, PointMask::SYNC_SHARED, 1);
     let (pct_par, _) = measure(pct, PointMask::SYNC_SHARED, jobs);
     let (bounded_seq, bounded_report) = measure(bounded, PointMask::SYNC, 1);
     let (bounded_par, _) = measure(bounded, PointMask::SYNC, jobs);
 
     use serde_json::Value;
     let pair = |k: &str, v: Value| (k.to_string(), v);
+    let widths =
+        |r: &ExploreReport| Value::Array(r.wave_widths.iter().map(|&w| Value::UInt(w)).collect());
     let entry = Value::Object(vec![
         pair("label", Value::Str(label.clone())),
         pair("app", Value::Str(app.clone())),
@@ -121,6 +136,10 @@ fn main() {
         pair("snapshot_budget", Value::UInt(snapshot_budget as u64)),
         pair("pct_schedules_per_sec", Value::Float(pct_seq)),
         pair("pct_schedules_per_sec_parallel", Value::Float(pct_par)),
+        // Per-wave widths of each scheduler's (sequential) search: PCT
+        // shows the single full-budget wave, bounded the 16 → 256 ramp.
+        pair("pct_wave_widths", widths(&pct_report)),
+        pair("bounded_wave_widths", widths(&bounded_report)),
         pair("bounded_schedules_per_sec", Value::Float(bounded_seq)),
         pair(
             "bounded_schedules_per_sec_parallel",

@@ -10,7 +10,15 @@
 //!              [--checkpoint-out BENCH_checkpoint.json] [--checkpoint-only]
 //!              [--skip-checkpoint] [--checkpoint-regs N]
 //!              [--checkpoint-iters N] [--rollback-iters N]
+//!              [--dense-oracle] [--dispatch-mix]
 //! ```
+//!
+//! `--dense-oracle` (requires the `dense-oracle` feature) routes every run
+//! through the legacy per-step `&Inst` interpreter walk, so the decoded
+//! interpreter can be compared against it on the same host with the same
+//! build. `--dispatch-mix` appends a per-opcode execution-count histogram
+//! (FFT benign run + the checkpoint-density stress loop) to the JSON entry
+//! — the data behind the superinstruction catalog.
 //!
 //! Each throughput figure is the best of `--reps` repetitions (default 3):
 //! on a shared or virtualized box, transient interference only ever makes a
@@ -56,6 +64,8 @@ fn main() {
     let mut rollback_iters = 300_000u64;
     let mut run_throughput = true;
     let mut run_checkpoint = true;
+    let mut dense_oracle = false;
+    let mut dispatch_mix = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -100,6 +110,13 @@ fn main() {
             }
             "--checkpoint-only" => run_throughput = false,
             "--skip-checkpoint" => run_checkpoint = false,
+            "--dense-oracle" => {
+                if !cfg!(feature = "dense-oracle") {
+                    panic!("--dense-oracle requires building with `--features dense-oracle`");
+                }
+                dense_oracle = true;
+            }
+            "--dispatch-mix" => dispatch_mix = true,
             other => panic!("unknown flag `{other}`"),
         }
     }
@@ -113,6 +130,7 @@ fn main() {
             checkpoint_regs,
             checkpoint_iters,
             rollback_iters,
+            dense_oracle,
         );
     }
     if !run_throughput {
@@ -120,7 +138,8 @@ fn main() {
     }
 
     let cfg = BenchConfig::from_env();
-    let machine = cfg.machine();
+    let mut machine = cfg.machine();
+    machine.dense_oracle = dense_oracle;
     let w = workload_by_name(APP).expect("registered workload");
     let hardened = Conair::survival().harden(&w.program);
 
@@ -175,7 +194,7 @@ fn main() {
 
     use serde_json::Value;
     let pair = |k: &str, v: Value| (k.to_string(), v);
-    let entry = Value::Object(vec![
+    let mut fields = vec![
         pair("label", Value::Str(label.clone())),
         pair("app", Value::Str(APP.to_string())),
         pair("benign_runs", Value::UInt(STEP_RUNS as u64)),
@@ -187,8 +206,56 @@ fn main() {
             Value::Float(trials_per_sec_seq),
         ),
         pair("trials_per_sec_parallel", Value::Float(trials_per_sec_par)),
-    ]);
-    append_entry(&out_path, &label, entry);
+    ];
+    if dispatch_mix {
+        let fft_mix = dispatch_mix_of(&hardened.program, &machine, &w.benign_script, cfg.seed0);
+        let stress = checkpoint_dense_program(checkpoint_regs, MIX_STRESS_ITERS);
+        let stress_mix = dispatch_mix_of(
+            &stress,
+            &machine,
+            &conair_runtime::ScheduleScript::none(),
+            cfg.seed0,
+        );
+        fields.push(pair(
+            "dispatch_mix",
+            Value::Object(vec![
+                pair("fft", fft_mix),
+                pair("checkpoint_stress", stress_mix),
+            ]),
+        ));
+    }
+    append_entry(&out_path, &label, Value::Object(fields));
+}
+
+/// Iterations for the `--dispatch-mix` checkpoint-stress run: the mix's
+/// *shape* converges long before the throughput loop's 2M iterations.
+const MIX_STRESS_ITERS: u64 = 50_000;
+
+/// Runs `program` once with a per-opcode dispatch counter attached and
+/// returns the nonzero counts as a mnemonic-keyed JSON object.
+fn dispatch_mix_of(
+    program: &conair_runtime::Program,
+    config: &conair_runtime::MachineConfig,
+    script: &conair_runtime::ScheduleScript,
+    seed: u64,
+) -> serde_json::Value {
+    use conair_runtime::{Machine, MetricsRegistry, SeededRandom};
+    let registry = MetricsRegistry::new();
+    let mut sched = SeededRandom::new(seed);
+    let r = Machine::new(program, *config)
+        .with_script(script)
+        .with_dispatch_mix(&registry)
+        .run(&mut sched);
+    assert!(r.outcome.is_completed(), "dispatch-mix run must complete");
+    let counts = conair_ir::MNEMONICS
+        .iter()
+        .enumerate()
+        .filter_map(|(op, mnemonic)| {
+            let n = registry.dispatch_mix[op].get();
+            (n > 0).then(|| (mnemonic.to_string(), serde_json::Value::UInt(n)))
+        })
+        .collect();
+    serde_json::Value::Object(counts)
 }
 
 /// Measures the checkpoint machinery on the stress workloads and appends
@@ -200,10 +267,14 @@ fn checkpoint_bench(
     regs: usize,
     checkpoint_iters: u64,
     rollback_iters: u64,
+    dense_oracle: bool,
 ) {
     use conair_runtime::{run_once, MachineConfig, RunResult};
     let lowest = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min);
-    let config = MachineConfig::default;
+    let config = move || MachineConfig {
+        dense_oracle,
+        ..MachineConfig::default()
+    };
     let timed = |p: &conair_runtime::Program| -> RunResult {
         let r = run_once(p, &config(), 0);
         assert!(r.outcome.is_completed(), "stress run must complete");

@@ -130,6 +130,10 @@ pub struct RunOptions {
     pub replay: Option<String>,
     /// Record the run's decision trace to this path.
     pub record: Option<String>,
+    /// Route execution through the legacy per-step `&Inst` interpreter
+    /// walk (requires the `dense-oracle` feature) — CI diffs its output
+    /// against the decoded interpreter's.
+    pub dense_oracle: bool,
 }
 
 impl Default for RunOptions {
@@ -147,6 +151,7 @@ impl Default for RunOptions {
             scheduler: "random".into(),
             replay: None,
             record: None,
+            dense_oracle: false,
         }
     }
 }
@@ -196,6 +201,9 @@ pub struct ExploreOptions {
     pub progress_out: Option<String>,
     /// Write the final metrics registry in Prometheus text format here.
     pub metrics_out: Option<String>,
+    /// Route every schedule through the legacy per-step `&Inst`
+    /// interpreter walk (requires the `dense-oracle` feature).
+    pub dense_oracle: bool,
 }
 
 impl Default for ExploreOptions {
@@ -221,6 +229,7 @@ impl Default for ExploreOptions {
             progress: None,
             progress_out: None,
             metrics_out: None,
+            dense_oracle: false,
         }
     }
 }
@@ -323,6 +332,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut progress: Option<u64> = None;
     let mut progress_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut dense_oracle = false;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -450,6 +460,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--minimize" => minimize = true,
             "--keep-going" => keep_going = true,
+            "--dense-oracle" => {
+                if !cfg!(feature = "dense-oracle") {
+                    return Err(CliError::new(
+                        "--dense-oracle requires building with `--features dense-oracle`",
+                    ));
+                }
+                dense_oracle = true;
+            }
             "--snapshot-budget" => {
                 snapshot_budget = it
                     .next()
@@ -532,6 +550,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 scheduler: scheduler.unwrap_or_else(|| "random".into()),
                 replay,
                 record,
+                dense_oracle,
             },
         },
         "explore" => Command::Explore {
@@ -557,6 +576,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 progress,
                 progress_out,
                 metrics_out,
+                dense_oracle,
             },
         },
         "report" => Command::Report {
@@ -578,7 +598,7 @@ pub const USAGE: &str =
   run     <file.cir> [--harden [--fix M]...] [--threads f1,f2] [--seed N]
           [--steps N] [--trace out.jsonl] [--trace-depth N]
           [--trials N [--jobs N]] [--scheduler random|round-robin|pct]
-          [--replay trace.json] [--record trace.json]
+          [--replay trace.json] [--record trace.json] [--dense-oracle]
           --threads defaults to every zero-parameter function;
           --trace-depth defaults to 16 (0 disables failure location traces);
           --trials N > 1 runs seeds seed..seed+N and prints an aggregate
@@ -592,6 +612,7 @@ pub const USAGE: &str =
           [--minimize] [--keep-going] [-o trace.json]
           [--report-out report.json] [--snapshot-budget N] [--wave N]
           [--progress[=MS]] [--progress-out p.jsonl] [--metrics-out m.prom]
+          [--dense-oracle]
           searches schedules for a failing interleaving; the first failing
           trace is written to -o (delta-debugged first with --minimize);
           --keep-going exhausts the budget and counts every failure;
@@ -603,7 +624,11 @@ pub const USAGE: &str =
           default 500, 0 = every wave); --progress-out records the
           progress/wave event stream as JSONL for `stats` or `report`;
           --metrics-out writes the final metrics registry in Prometheus
-          text format; none of the three changes the search or the report
+          text format; none of the three changes the search or the report;
+          --dense-oracle (run and explore; needs the dense-oracle build
+          feature) executes on the legacy per-step instruction walk — the
+          output is bit-identical to the decoded interpreter's (CI diffs
+          the two)
   report  <trace.jsonl|report.json|trace.json> [--limit N]
           [--chrome out.json]
   stats   <progress.jsonl>               summarize a recorded progress
@@ -806,6 +831,7 @@ pub fn cmd_run(
         step_limit: opts.steps,
         trace_depth: opts.trace_depth,
         record_decisions: opts.record.is_some(),
+        dense_oracle: opts.dense_oracle,
         ..MachineConfig::default()
     };
 
@@ -1110,6 +1136,7 @@ pub fn cmd_explore(
     })?;
     let config = MachineConfig {
         step_limit: opts.steps,
+        dense_oracle: opts.dense_oracle,
         ..MachineConfig::default()
     };
     let mut ec = ExploreConfig::new(strategy);

@@ -11,7 +11,9 @@
 
 use crate::block::Function;
 use crate::cfg::InstPos;
+use crate::inst::{GuardKind, Inst};
 use crate::types::BlockId;
+use crate::value::{BinOpKind, CmpKind, Operand};
 
 /// The flat numbering of one function's instruction positions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +194,595 @@ impl FromIterator<u32> for InstSet {
     }
 }
 
+/// A decoded operand: a register index or an immediate, with the
+/// [`Operand`]'s enum-of-newtypes flattened to raw scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DOp {
+    /// Read the register with this index.
+    R(u32),
+    /// An immediate constant.
+    C(i64),
+}
+
+impl DOp {
+    fn of(op: Operand) -> DOp {
+        match op {
+            Operand::Reg(r) => DOp::R(r.0),
+            Operand::Const(c) => DOp::C(c),
+        }
+    }
+}
+
+/// One pre-decoded instruction: a fixed-size (≤ 32-byte), `Copy`
+/// enum-of-structs mirror of [`Inst`] with every operand resolved at
+/// decode time — register numbers and ids flattened to raw indices,
+/// strings interned into a side table, block targets resolved to flat
+/// pcs, and the register/immediate shape of hot instructions split into
+/// distinct variants so the interpreter's dispatch never re-inspects an
+/// [`Operand`].
+///
+/// The last four variants are *superinstructions* produced by the fusion
+/// pass ([`DecodedFunc::decode`]): the catalog's hottest adjacent pairs
+/// collapsed into one dispatch. A fused variant only ever replaces the
+/// *head* slot of its pair — the tail slot keeps its plain decoding, so
+/// jumps that land mid-pair still execute correctly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // field-by-field docs would just restate `Inst`'s
+pub enum DecodedInst {
+    /// `dst = imm` — the copy-of-constant superinstruction (no operand
+    /// inspection, no register read).
+    CopyC {
+        dst: u32,
+        imm: i64,
+    },
+    /// `dst = regs[src]`.
+    CopyR {
+        dst: u32,
+        src: u32,
+    },
+    /// `dst = op(regs[lhs], regs[rhs])` — the eval-free two-register
+    /// binop.
+    BinRR {
+        dst: u32,
+        op: BinOpKind,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinRC {
+        dst: u32,
+        op: BinOpKind,
+        lhs: u32,
+        imm: i64,
+    },
+    BinCR {
+        dst: u32,
+        op: BinOpKind,
+        imm: i64,
+        rhs: u32,
+    },
+    CmpRR {
+        dst: u32,
+        op: CmpKind,
+        lhs: u32,
+        rhs: u32,
+    },
+    CmpRC {
+        dst: u32,
+        op: CmpKind,
+        lhs: u32,
+        imm: i64,
+    },
+    CmpCR {
+        dst: u32,
+        op: CmpKind,
+        imm: i64,
+        rhs: u32,
+    },
+    LoadGlobal {
+        dst: u32,
+        global: u32,
+    },
+    StoreGlobal {
+        global: u32,
+        src: DOp,
+    },
+    AddrOfGlobal {
+        dst: u32,
+        global: u32,
+    },
+    LoadPtr {
+        dst: u32,
+        ptr: DOp,
+    },
+    StorePtrRR {
+        ptr: u32,
+        src: u32,
+    },
+    StorePtrRC {
+        ptr: u32,
+        imm: i64,
+    },
+    StorePtrCR {
+        addr: i64,
+        src: u32,
+    },
+    StorePtrCC {
+        addr: i64,
+        imm: i64,
+    },
+    LoadLocal {
+        dst: u32,
+        local: u32,
+    },
+    StoreLocal {
+        local: u32,
+        src: DOp,
+    },
+    Alloc {
+        dst: u32,
+        words: DOp,
+    },
+    Free {
+        ptr: DOp,
+    },
+    Lock {
+        lock: u32,
+    },
+    TimedLock {
+        lock: u32,
+        site: u32,
+    },
+    Unlock {
+        lock: u32,
+    },
+    /// `str_idx` indexes the [`DecodedFunc`]'s string side table.
+    Output {
+        str_idx: u32,
+        value: DOp,
+    },
+    Assert {
+        cond: DOp,
+        str_idx: u32,
+    },
+    OutputAssert {
+        cond: DOp,
+        str_idx: u32,
+    },
+    /// Unconditional jump to a *flat pc* (block target resolved at
+    /// decode time). Also produced by folding a constant-condition
+    /// `Branch`.
+    Jump {
+        pc: u32,
+    },
+    Branch {
+        cond: u32,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    RetN,
+    RetR {
+        src: u32,
+    },
+    RetC {
+        imm: i64,
+    },
+    /// `dst == u32::MAX` encodes "no destination"; `args_start/args_len`
+    /// index the flattened call-argument side table.
+    Call {
+        dst: u32,
+        callee: u32,
+        args_start: u32,
+        args_len: u32,
+    },
+    /// `id` is the runtime's interned marker id, patched in by the
+    /// lowering layer (decode leaves the [`MARKER_UNPATCHED`] sentinel).
+    Marker {
+        id: u32,
+    },
+    Nop,
+    Checkpoint,
+    FailGuard {
+        kind: GuardKind,
+        cond: DOp,
+        site: u32,
+        str_idx: u32,
+    },
+    PtrGuard {
+        ptr: DOp,
+        site: u32,
+    },
+
+    // ---- superinstructions (fusion pass) --------------------------------
+    /// `Cmp` + `Branch` on the freshly computed flag. The comparison
+    /// result is still written to `dst` through the interpreter's logged
+    /// register-write path before the branch resolves — fusion collapses
+    /// dispatch, never checkpoint-visible state.
+    CmpBranchRR {
+        op: CmpKind,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    CmpBranchRC {
+        op: CmpKind,
+        dst: u32,
+        lhs: u32,
+        imm: i64,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    /// `LoadGlobal` + `BinOp` whose left operand is the loaded register.
+    /// The loaded value is likewise written to `gdst` before the binop
+    /// executes.
+    LoadGlobalBinRR {
+        global: u32,
+        gdst: u32,
+        op: BinOpKind,
+        dst: u32,
+        rhs: u32,
+    },
+    LoadGlobalBinRC {
+        global: u32,
+        gdst: u32,
+        op: BinOpKind,
+        dst: u32,
+        imm: i64,
+    },
+}
+
+/// Sentinel in [`DecodedInst::Marker`] until the runtime patches in its
+/// module-wide interned marker id.
+pub const MARKER_UNPATCHED: u32 = u32::MAX;
+
+/// One function's pre-decoded instruction streams plus their side tables.
+///
+/// `code` holds the plain decoding, one fixed-size entry per flat pc.
+/// `fused` is the same stream with each fusable pair's head slot replaced
+/// by its superinstruction; interpreters that cannot legally execute two
+/// logical steps in one dispatch (e.g. consult-every-step scheduling)
+/// fetch from `code` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFunc<'p> {
+    code: Vec<DecodedInst>,
+    fused: Vec<DecodedInst>,
+    /// Flattened `Call` argument lists, indexed by `args_start..+args_len`.
+    call_args: Vec<DOp>,
+    /// Interned output labels and assertion/guard messages.
+    strs: Vec<&'p str>,
+    fused_pairs: usize,
+}
+
+impl<'p> DecodedFunc<'p> {
+    /// Decodes `func` against its flat numbering, then runs the fusion
+    /// pass over adjacent same-block pairs.
+    pub fn decode(func: &'p Function, layout: &FlatLayout) -> Self {
+        let mut strs: Vec<&'p str> = Vec::new();
+        let mut call_args: Vec<DOp> = Vec::new();
+        let intern = |s: &'p str, strs: &mut Vec<&'p str>| -> u32 {
+            if let Some(i) = strs.iter().position(|x| *x == s) {
+                return i as u32;
+            }
+            strs.push(s);
+            (strs.len() - 1) as u32
+        };
+        let mut code: Vec<DecodedInst> = Vec::with_capacity(layout.num_insts());
+        for block in &func.blocks {
+            for inst in &block.insts {
+                use DecodedInst as D;
+                let d = match inst {
+                    Inst::Copy { dst, src } => match DOp::of(*src) {
+                        DOp::C(imm) => D::CopyC { dst: dst.0, imm },
+                        DOp::R(src) => D::CopyR { dst: dst.0, src },
+                    },
+                    Inst::BinOp { dst, op, lhs, rhs } => {
+                        match (DOp::of(*lhs), DOp::of(*rhs)) {
+                            (DOp::R(lhs), DOp::R(rhs)) => D::BinRR {
+                                dst: dst.0,
+                                op: *op,
+                                lhs,
+                                rhs,
+                            },
+                            (DOp::R(lhs), DOp::C(imm)) => D::BinRC {
+                                dst: dst.0,
+                                op: *op,
+                                lhs,
+                                imm,
+                            },
+                            (DOp::C(imm), DOp::R(rhs)) => D::BinCR {
+                                dst: dst.0,
+                                op: *op,
+                                imm,
+                                rhs,
+                            },
+                            // Constant-fold: both operands immediate.
+                            (DOp::C(a), DOp::C(b)) => D::CopyC {
+                                dst: dst.0,
+                                imm: op.apply(a, b),
+                            },
+                        }
+                    }
+                    Inst::Cmp { dst, op, lhs, rhs } => match (DOp::of(*lhs), DOp::of(*rhs)) {
+                        (DOp::R(lhs), DOp::R(rhs)) => D::CmpRR {
+                            dst: dst.0,
+                            op: *op,
+                            lhs,
+                            rhs,
+                        },
+                        (DOp::R(lhs), DOp::C(imm)) => D::CmpRC {
+                            dst: dst.0,
+                            op: *op,
+                            lhs,
+                            imm,
+                        },
+                        (DOp::C(imm), DOp::R(rhs)) => D::CmpCR {
+                            dst: dst.0,
+                            op: *op,
+                            imm,
+                            rhs,
+                        },
+                        (DOp::C(a), DOp::C(b)) => D::CopyC {
+                            dst: dst.0,
+                            imm: op.apply(a, b),
+                        },
+                    },
+                    Inst::LoadGlobal { dst, global } => D::LoadGlobal {
+                        dst: dst.0,
+                        global: global.0,
+                    },
+                    Inst::StoreGlobal { global, src } => D::StoreGlobal {
+                        global: global.0,
+                        src: DOp::of(*src),
+                    },
+                    Inst::AddrOfGlobal { dst, global } => D::AddrOfGlobal {
+                        dst: dst.0,
+                        global: global.0,
+                    },
+                    Inst::LoadPtr { dst, ptr } => D::LoadPtr {
+                        dst: dst.0,
+                        ptr: DOp::of(*ptr),
+                    },
+                    Inst::StorePtr { ptr, src } => match (DOp::of(*ptr), DOp::of(*src)) {
+                        (DOp::R(ptr), DOp::R(src)) => D::StorePtrRR { ptr, src },
+                        (DOp::R(ptr), DOp::C(imm)) => D::StorePtrRC { ptr, imm },
+                        (DOp::C(addr), DOp::R(src)) => D::StorePtrCR { addr, src },
+                        (DOp::C(addr), DOp::C(imm)) => D::StorePtrCC { addr, imm },
+                    },
+                    Inst::LoadLocal { dst, local } => D::LoadLocal {
+                        dst: dst.0,
+                        local: local.0,
+                    },
+                    Inst::StoreLocal { local, src } => D::StoreLocal {
+                        local: local.0,
+                        src: DOp::of(*src),
+                    },
+                    Inst::Alloc { dst, words } => D::Alloc {
+                        dst: dst.0,
+                        words: DOp::of(*words),
+                    },
+                    Inst::Free { ptr } => D::Free { ptr: DOp::of(*ptr) },
+                    Inst::Lock { lock } => D::Lock { lock: lock.0 },
+                    Inst::TimedLock { lock, site } => D::TimedLock {
+                        lock: lock.0,
+                        site: site.0,
+                    },
+                    Inst::Unlock { lock } => D::Unlock { lock: lock.0 },
+                    Inst::Output { label, value } => D::Output {
+                        str_idx: intern(label.as_str(), &mut strs),
+                        value: DOp::of(*value),
+                    },
+                    Inst::Assert { cond, msg } => D::Assert {
+                        cond: DOp::of(*cond),
+                        str_idx: intern(msg.as_str(), &mut strs),
+                    },
+                    Inst::OutputAssert { cond, msg } => D::OutputAssert {
+                        cond: DOp::of(*cond),
+                        str_idx: intern(msg.as_str(), &mut strs),
+                    },
+                    Inst::Jump { target } => D::Jump {
+                        pc: layout.block_start(*target),
+                    },
+                    Inst::Branch {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let (then_pc, else_pc) =
+                            (layout.block_start(*then_bb), layout.block_start(*else_bb));
+                        match DOp::of(*cond) {
+                            DOp::R(cond) => D::Branch {
+                                cond,
+                                then_pc,
+                                else_pc,
+                            },
+                            // Constant-fold a decided branch to a jump.
+                            DOp::C(c) => D::Jump {
+                                pc: if c != 0 { then_pc } else { else_pc },
+                            },
+                        }
+                    }
+                    Inst::Return { value } => match value.map(DOp::of) {
+                        None => D::RetN,
+                        Some(DOp::R(src)) => D::RetR { src },
+                        Some(DOp::C(imm)) => D::RetC { imm },
+                    },
+                    Inst::Call { dst, callee, args } => {
+                        let args_start = call_args.len() as u32;
+                        call_args.extend(args.iter().map(|a| DOp::of(*a)));
+                        D::Call {
+                            dst: dst.map_or(u32::MAX, |r| r.0),
+                            callee: callee.0,
+                            args_start,
+                            args_len: args.len() as u32,
+                        }
+                    }
+                    Inst::Marker { .. } => D::Marker {
+                        id: MARKER_UNPATCHED,
+                    },
+                    Inst::Nop => D::Nop,
+                    Inst::Checkpoint { .. } => D::Checkpoint,
+                    Inst::FailGuard {
+                        kind,
+                        cond,
+                        site,
+                        msg,
+                    } => D::FailGuard {
+                        kind: *kind,
+                        cond: DOp::of(*cond),
+                        site: site.0,
+                        str_idx: intern(msg.as_str(), &mut strs),
+                    },
+                    Inst::PtrGuard { ptr, site } => D::PtrGuard {
+                        ptr: DOp::of(*ptr),
+                        site: site.0,
+                    },
+                };
+                code.push(d);
+            }
+        }
+        debug_assert_eq!(code.len(), layout.num_insts());
+        let (fused, fused_pairs) = Self::fuse(&code, layout);
+        Self {
+            code,
+            fused,
+            call_args,
+            strs,
+            fused_pairs,
+        }
+    }
+
+    /// The fusion pass: replaces each fusable pair's head slot with a
+    /// superinstruction. A pair fuses only when both halves sit in the
+    /// same basic block (flat fallthrough across a block boundary is not
+    /// adjacency — the second slot is a jump target) and the tail consumes
+    /// exactly the head's destination.
+    fn fuse(code: &[DecodedInst], layout: &FlatLayout) -> (Vec<DecodedInst>, usize) {
+        use DecodedInst as D;
+        let mut fused = code.to_vec();
+        let mut pairs = 0usize;
+        for pc in 0..code.len().saturating_sub(1) {
+            let (head, tail) = (code[pc], code[pc + 1]);
+            if layout.pos(pc as u32).block != layout.pos(pc as u32 + 1).block {
+                continue;
+            }
+            let sup = match (head, tail) {
+                (
+                    D::CmpRR { dst, op, lhs, rhs },
+                    D::Branch {
+                        cond,
+                        then_pc,
+                        else_pc,
+                    },
+                ) if cond == dst => Some(D::CmpBranchRR {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    then_pc,
+                    else_pc,
+                }),
+                (
+                    D::CmpRC { dst, op, lhs, imm },
+                    D::Branch {
+                        cond,
+                        then_pc,
+                        else_pc,
+                    },
+                ) if cond == dst => Some(D::CmpBranchRC {
+                    op,
+                    dst,
+                    lhs,
+                    imm,
+                    then_pc,
+                    else_pc,
+                }),
+                (D::LoadGlobal { dst: gdst, global }, D::BinRR { dst, op, lhs, rhs })
+                    if lhs == gdst =>
+                {
+                    Some(D::LoadGlobalBinRR {
+                        global,
+                        gdst,
+                        op,
+                        dst,
+                        rhs,
+                    })
+                }
+                (D::LoadGlobal { dst: gdst, global }, D::BinRC { dst, op, lhs, imm })
+                    if lhs == gdst =>
+                {
+                    Some(D::LoadGlobalBinRC {
+                        global,
+                        gdst,
+                        op,
+                        dst,
+                        imm,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(sup) = sup {
+                fused[pc] = sup;
+                pairs += 1;
+            }
+        }
+        (fused, pairs)
+    }
+
+    /// The plain decoded instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn code(&self, pc: u32) -> DecodedInst {
+        self.code[pc as usize]
+    }
+
+    /// The fused-stream instruction at `pc` (a superinstruction on pair
+    /// heads, the plain decoding everywhere else).
+    #[inline]
+    pub fn fused(&self, pc: u32) -> DecodedInst {
+        self.fused[pc as usize]
+    }
+
+    /// One flattened call argument.
+    #[inline]
+    pub fn call_arg(&self, i: u32) -> DOp {
+        self.call_args[i as usize]
+    }
+
+    /// An interned string (output label / assertion message). The
+    /// reference borrows the *function* (`'p`), not this table.
+    #[inline]
+    pub fn str_at(&self, i: u32) -> &'p str {
+        self.strs[i as usize]
+    }
+
+    /// How many pairs the fusion pass collapsed.
+    pub fn fused_pairs(&self) -> usize {
+        self.fused_pairs
+    }
+
+    /// Patches the interned marker id into the `Marker` slot at `pc`
+    /// (both streams). The runtime owns marker interning — decode leaves
+    /// [`MARKER_UNPATCHED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot at `pc` is not a `Marker`.
+    pub fn patch_marker_id(&mut self, pc: u32, id: u32) {
+        match &mut self.code[pc as usize] {
+            DecodedInst::Marker { id: slot } => *slot = id,
+            other => panic!("patch_marker_id at pc {pc}: not a marker ({other:?})"),
+        }
+        match &mut self.fused[pc as usize] {
+            DecodedInst::Marker { id: slot } => *slot = id,
+            other => panic!("patch_marker_id at pc {pc}: not a marker ({other:?})"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +862,248 @@ mod tests {
         );
         let locks2: InstSet = [3u32, 64].into_iter().collect();
         assert!(region.intersects_excluding(&locks2, 3));
+    }
+
+    // ---- decoded-stream tests ------------------------------------------
+
+    use crate::types::{GlobalId, Reg};
+    use crate::value::{BinOpKind, CmpKind};
+
+    #[test]
+    fn decoded_inst_stays_compact() {
+        // The whole point of the pre-decoded table is a fixed-size,
+        // cache-friendly entry: one 32-byte slot per instruction.
+        assert!(std::mem::size_of::<DecodedInst>() <= 32);
+    }
+
+    #[test]
+    fn decode_resolves_operands_and_targets() {
+        let mut f = Function::new("t", 0);
+        let b0 = BlockId(0);
+        f.block_mut(b0).insts.push(Inst::Copy {
+            dst: Reg(0),
+            src: Operand::Const(7),
+        });
+        f.block_mut(b0).insts.push(Inst::BinOp {
+            dst: Reg(1),
+            op: BinOpKind::Add,
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::Const(1),
+        });
+        // Constant-foldable binop and cmp.
+        f.block_mut(b0).insts.push(Inst::BinOp {
+            dst: Reg(2),
+            op: BinOpKind::Mul,
+            lhs: Operand::Const(6),
+            rhs: Operand::Const(7),
+        });
+        f.block_mut(b0).insts.push(Inst::Cmp {
+            dst: Reg(3),
+            op: CmpKind::Lt,
+            lhs: Operand::Const(1),
+            rhs: Operand::Const(2),
+        });
+        // Constant-condition branch folds to a jump.
+        let b1 = f.add_block();
+        f.block_mut(b0).insts.push(Inst::Branch {
+            cond: Operand::Const(1),
+            then_bb: b1,
+            else_bb: b0,
+        });
+        f.block_mut(b1).insts.push(Inst::Return { value: None });
+        let layout = FlatLayout::new(&f);
+        let d = DecodedFunc::decode(&f, &layout);
+        assert_eq!(d.code(0), DecodedInst::CopyC { dst: 0, imm: 7 });
+        assert_eq!(
+            d.code(1),
+            DecodedInst::BinRC {
+                dst: 1,
+                op: BinOpKind::Add,
+                lhs: 0,
+                imm: 1
+            }
+        );
+        assert_eq!(d.code(2), DecodedInst::CopyC { dst: 2, imm: 42 });
+        assert_eq!(d.code(3), DecodedInst::CopyC { dst: 3, imm: 1 });
+        assert_eq!(
+            d.code(4),
+            DecodedInst::Jump {
+                pc: layout.block_start(b1)
+            }
+        );
+        assert_eq!(d.code(5), DecodedInst::RetN);
+    }
+
+    #[test]
+    fn decode_interns_strings_and_call_args() {
+        use crate::types::{FuncId, SiteId};
+        let mut f = Function::new("t", 0);
+        let b0 = BlockId(0);
+        f.block_mut(b0).insts.push(Inst::Output {
+            label: "x".into(),
+            value: Operand::Const(1),
+        });
+        f.block_mut(b0).insts.push(Inst::Output {
+            label: "x".into(),
+            value: Operand::Reg(Reg(0)),
+        });
+        f.block_mut(b0).insts.push(Inst::Call {
+            dst: Some(Reg(1)),
+            callee: FuncId(3),
+            args: vec![Operand::Const(9), Operand::Reg(Reg(0))],
+        });
+        f.block_mut(b0).insts.push(Inst::PtrGuard {
+            ptr: Operand::Reg(Reg(1)),
+            site: SiteId(5),
+        });
+        f.block_mut(b0).insts.push(Inst::Return { value: None });
+        let layout = FlatLayout::new(&f);
+        let d = DecodedFunc::decode(&f, &layout);
+        // Duplicate labels share one string slot.
+        let (i0, i1) = match (d.code(0), d.code(1)) {
+            (
+                DecodedInst::Output {
+                    str_idx: a,
+                    value: DOp::C(1),
+                },
+                DecodedInst::Output {
+                    str_idx: b,
+                    value: DOp::R(0),
+                },
+            ) => (a, b),
+            other => panic!("unexpected decode: {other:?}"),
+        };
+        assert_eq!(i0, i1);
+        assert_eq!(d.str_at(i0), "x");
+        match d.code(2) {
+            DecodedInst::Call {
+                dst: 1,
+                callee: 3,
+                args_start,
+                args_len: 2,
+            } => {
+                assert_eq!(d.call_arg(args_start), DOp::C(9));
+                assert_eq!(d.call_arg(args_start + 1), DOp::R(0));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        assert_eq!(
+            d.code(3),
+            DecodedInst::PtrGuard {
+                ptr: DOp::R(1),
+                site: 5
+            }
+        );
+    }
+
+    #[test]
+    fn fusion_forms_pairs_within_blocks_only() {
+        let mut f = Function::new("t", 0);
+        let b0 = BlockId(0);
+        let g = GlobalId(2);
+        // ldg r0 ; add r1 = r0, 1  -> LoadGlobalBinRC
+        f.block_mut(b0).insts.push(Inst::LoadGlobal {
+            dst: Reg(0),
+            global: g,
+        });
+        f.block_mut(b0).insts.push(Inst::BinOp {
+            dst: Reg(1),
+            op: BinOpKind::Add,
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::Const(1),
+        });
+        // cmp r2 = r1 < r0 ; br r2 -> CmpBranchRR
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.block_mut(b0).insts.push(Inst::Cmp {
+            dst: Reg(2),
+            op: CmpKind::Lt,
+            lhs: Operand::Reg(Reg(1)),
+            rhs: Operand::Reg(Reg(0)),
+        });
+        f.block_mut(b0).insts.push(Inst::Branch {
+            cond: Operand::Reg(Reg(2)),
+            then_bb: b1,
+            else_bb: b2,
+        });
+        // b1 ends with a Cmp whose Branch lives in b2: must NOT fuse
+        // across the block boundary even though the pcs are adjacent.
+        f.block_mut(b1).insts.push(Inst::Cmp {
+            dst: Reg(3),
+            op: CmpKind::Eq,
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::Const(0),
+        });
+        f.block_mut(b2).insts.push(Inst::Branch {
+            cond: Operand::Reg(Reg(3)),
+            then_bb: b1,
+            else_bb: b2,
+        });
+        let layout = FlatLayout::new(&f);
+        let d = DecodedFunc::decode(&f, &layout);
+        assert_eq!(d.fused_pairs(), 2);
+        assert_eq!(
+            d.fused(0),
+            DecodedInst::LoadGlobalBinRC {
+                global: 2,
+                gdst: 0,
+                op: BinOpKind::Add,
+                dst: 1,
+                imm: 1
+            }
+        );
+        // Tail slots keep their plain decoding so mid-pair jump targets work.
+        assert_eq!(d.fused(1), d.code(1));
+        assert!(matches!(d.fused(2), DecodedInst::CmpBranchRR { .. }));
+        assert_eq!(d.fused(3), d.code(3));
+        // The cross-block pair stayed plain.
+        assert_eq!(d.fused(4), d.code(4));
+        assert!(matches!(d.fused(4), DecodedInst::CmpRC { .. }));
+    }
+
+    #[test]
+    fn fusion_requires_tail_to_consume_head_dst() {
+        let mut f = Function::new("t", 0);
+        let b0 = BlockId(0);
+        let b1 = f.add_block();
+        // cmp r0 ; br r5 — branch reads a different register: no fusion.
+        f.block_mut(b0).insts.push(Inst::Cmp {
+            dst: Reg(0),
+            op: CmpKind::Eq,
+            lhs: Operand::Reg(Reg(1)),
+            rhs: Operand::Const(0),
+        });
+        f.block_mut(b0).insts.push(Inst::Branch {
+            cond: Operand::Reg(Reg(5)),
+            then_bb: b0,
+            else_bb: b1,
+        });
+        f.block_mut(b1).insts.push(Inst::Return { value: None });
+        let layout = FlatLayout::new(&f);
+        let d = DecodedFunc::decode(&f, &layout);
+        assert_eq!(d.fused_pairs(), 0);
+        assert_eq!(d.fused(0), d.code(0));
+    }
+
+    #[test]
+    fn marker_patching_updates_both_streams() {
+        let mut f = Function::new("t", 0);
+        f.block_mut(BlockId(0))
+            .insts
+            .push(Inst::Marker { name: "m".into() });
+        f.block_mut(BlockId(0))
+            .insts
+            .push(Inst::Return { value: None });
+        let layout = FlatLayout::new(&f);
+        let mut d = DecodedFunc::decode(&f, &layout);
+        assert_eq!(
+            d.code(0),
+            DecodedInst::Marker {
+                id: MARKER_UNPATCHED
+            }
+        );
+        d.patch_marker_id(0, 4);
+        assert_eq!(d.code(0), DecodedInst::Marker { id: 4 });
+        assert_eq!(d.fused(0), DecodedInst::Marker { id: 4 });
     }
 }

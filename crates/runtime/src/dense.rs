@@ -13,7 +13,9 @@
 //! [`PointKind`](crate::PointKind), so per-step gate checks and decision
 //! masking never inspect instruction payloads.
 
-use conair_ir::{BlockId, FlatLayout, FuncId, Inst, InstPos, Loc, Module};
+use conair_ir::{
+    BlockId, DOp, DecodedFunc, DecodedInst, FlatLayout, FuncId, Inst, InstPos, Loc, Module,
+};
 
 use crate::sched::PointKind;
 
@@ -30,6 +32,9 @@ pub struct FuncLayout<'p> {
     /// [`PointKind::ThreadExit`]; the machine downgrades it to `Local`
     /// when the thread has caller frames below.
     kinds: Vec<PointKind>,
+    /// Pre-decoded fixed-size instruction streams (plain + fused), with
+    /// marker ids already patched to this module's interning.
+    decoded: DecodedFunc<'p>,
     num_regs: usize,
     num_locals: usize,
 }
@@ -38,7 +43,7 @@ impl<'p> FuncLayout<'p> {
     fn new(func: &'p conair_ir::Function, interner: &mut MarkerInterner<'p>) -> Self {
         let layout = FlatLayout::new(func);
         let insts: Vec<&'p Inst> = func.blocks.iter().flat_map(|b| b.insts.iter()).collect();
-        let marker_ids = insts
+        let marker_ids: Vec<u32> = insts
             .iter()
             .map(|i| match i {
                 Inst::Marker { name } => interner.intern(name.as_str()),
@@ -46,11 +51,18 @@ impl<'p> FuncLayout<'p> {
             })
             .collect();
         let kinds = insts.iter().map(|i| PointKind::of_inst(i)).collect();
+        let mut decoded = DecodedFunc::decode(func, &layout);
+        for (pc, &id) in marker_ids.iter().enumerate() {
+            if id != NOT_A_MARKER {
+                decoded.patch_marker_id(pc as u32, id);
+            }
+        }
         Self {
             insts,
             layout,
             marker_ids,
             kinds,
+            decoded,
             num_regs: func.num_regs,
             num_locals: func.num_locals,
         }
@@ -91,6 +103,46 @@ impl<'p> FuncLayout<'p> {
             .get(pc as usize)
             .copied()
             .unwrap_or(PointKind::Local)
+    }
+
+    /// The pre-decoded instruction at `pc` (plain stream — one logical
+    /// step per entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn decoded(&self, pc: u32) -> DecodedInst {
+        self.decoded.code(pc)
+    }
+
+    /// The pre-decoded instruction at `pc` from the *fused* stream
+    /// (superinstructions on pair heads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn decoded_fused(&self, pc: u32) -> DecodedInst {
+        self.decoded.fused(pc)
+    }
+
+    /// One flattened `Call` argument from the decoded side table.
+    #[inline]
+    pub fn call_arg(&self, i: u32) -> DOp {
+        self.decoded.call_arg(i)
+    }
+
+    /// An interned string (label/message) from the decoded side table.
+    /// Borrows the program (`'p`), not this table.
+    #[inline]
+    pub fn str_at(&self, i: u32) -> &'p str {
+        self.decoded.str_at(i)
+    }
+
+    /// How many instruction pairs the fusion pass collapsed.
+    pub fn fused_pairs(&self) -> usize {
+        self.decoded.fused_pairs()
     }
 
     /// Flat pc of a block's first instruction.
@@ -273,6 +325,36 @@ mod tests {
         // Non-marker pcs and out-of-range pcs report no marker.
         assert_eq!(dense.func(FuncId(0)).marker_id(2), None);
         assert_eq!(dense.func(FuncId(0)).marker_id(999), None);
+    }
+
+    #[test]
+    fn decoded_markers_carry_module_interned_ids() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FuncBuilder::new("a", 0);
+        fb.marker("shared");
+        fb.ret();
+        mb.function(fb.finish());
+        let mut fb = FuncBuilder::new("b", 0);
+        fb.marker("other");
+        fb.marker("shared");
+        fb.ret();
+        mb.function(fb.finish());
+        let module = mb.finish();
+        let dense = DenseProgram::new(&module);
+        let shared = dense.marker_id("shared").unwrap();
+        let other = dense.marker_id("other").unwrap();
+        assert_eq!(
+            dense.func(FuncId(0)).decoded(0),
+            DecodedInst::Marker { id: shared }
+        );
+        assert_eq!(
+            dense.func(FuncId(1)).decoded(0),
+            DecodedInst::Marker { id: other }
+        );
+        assert_eq!(
+            dense.func(FuncId(1)).decoded_fused(1),
+            DecodedInst::Marker { id: shared }
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use conair_ir::{FailureKind, FuncId, Inst, LockId, Operand, Reg, SiteId};
+use conair_ir::{
+    DOp, DecodedInst, FailureKind, FuncId, GlobalId, Inst, LockId, Operand, Reg, SiteId,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -30,7 +32,7 @@ use crate::deadlock::WaitEdge;
 use crate::dense::DenseProgram;
 use crate::locks::{AcquireResult, LockTable, ThreadId};
 use crate::memory::{Memory, DEFAULT_LOWER_BOUND};
-use crate::metrics::RunMetrics;
+use crate::metrics::{MetricsRegistry, RunMetrics};
 use crate::outcome::{FailureRecord, OutputRecord, RunOutcome, RunResult, RunStats, SiteRecovery};
 use crate::program::Program;
 use crate::sched::{
@@ -67,6 +69,12 @@ pub struct MachineConfig {
     /// Record every scheduler pick into a [`DecisionTrace`] attached to
     /// the [`RunResult`] (replay/minimization input; off by default).
     pub record_decisions: bool,
+    /// Interpret through the legacy per-step `&Inst` walk instead of the
+    /// pre-decoded stream — the differential oracle the decoded
+    /// interpreter is tested against (mirrors the clone-oracle pattern).
+    /// Only honored under `cfg(test)` or the `dense-oracle` feature;
+    /// setting it otherwise panics at run start.
+    pub dense_oracle: bool,
 }
 
 impl Default for MachineConfig {
@@ -81,6 +89,7 @@ impl Default for MachineConfig {
             buffered_writes: false,
             trace_depth: 0,
             record_decisions: false,
+            dense_oracle: false,
         }
     }
 }
@@ -95,6 +104,9 @@ enum StepEffect {
     AttemptRecovery(SiteId, FailureKind, String),
     /// An unrecoverable failure (original semantics).
     Fail(FailureKind, Option<SiteId>, String),
+    /// The step limit was reached at a superinstruction's internal step
+    /// boundary (the fused head executed; the tail did not).
+    Limit,
 }
 
 /// A deep copy of one machine mid-run, taken at a scheduler decision
@@ -168,6 +180,11 @@ pub struct Machine<'p> {
     /// ids: the per-step hold check is integer compares over the thread's
     /// own gates, not string compares over every gate.
     compiled_script: CompiledScript,
+    /// Whether any compiled gate could still hold a thread. Marker counts
+    /// only grow, so this goes `false` at most once per run (re-evaluated
+    /// only when a marker executes) — after which the per-step eligibility
+    /// path treats the script as empty and the eligibility cache engages.
+    gates_active: bool,
     outputs: Vec<OutputRecord>,
     /// Marker hit counts, indexed by the dense lowering's interned marker
     /// id — a `Vec` index on the hot path, no hashing.
@@ -190,6 +207,16 @@ pub struct Machine<'p> {
     /// Reused eligibility buffer — refilled every scheduler step instead of
     /// allocating a fresh `Vec` (the step loop's only per-step allocation).
     eligible: Vec<ThreadId>,
+    /// Whether `eligible` may be out of date. Set by every thread status
+    /// transition; while clear (and the last fill found the set cacheable)
+    /// the per-step refill is skipped entirely.
+    eligible_stale: bool,
+    /// Whether the last fill produced a set that stays valid until a
+    /// status transition: no schedule gates (a gate hold moves with each
+    /// thread's pc) and every thread `Runnable`/`Done` (blocked and
+    /// sleeping threads' eligibility shifts with locks and the step
+    /// counter).
+    eligible_cacheable: bool,
     /// Whether any thread may be blocked on a *timed* lock — lets the
     /// per-step timeout scan bail without touching the thread list. Set on
     /// every timed-lock block; cleared by a scan that finds no waiter.
@@ -207,6 +234,10 @@ pub struct Machine<'p> {
     /// plan — the explorer's self-profiling "capture" phase.
     capture_wall: Duration,
     sink: Option<Box<dyn TraceSink>>,
+    /// When set, every executed instruction bumps the registry's
+    /// per-opcode `dispatch_mix` counter (`bench_interp --dispatch-mix`).
+    /// Forces single-step dispatch so fused pairs count as two.
+    mix: Option<MetricsRegistry>,
 }
 
 impl<'p> Machine<'p> {
@@ -251,6 +282,7 @@ impl<'p> Machine<'p> {
             locks,
             threads,
             compiled_script: CompiledScript::default(),
+            gates_active: false,
             outputs: Vec::new(),
             marker_counts,
             site_recovery: HashMap::new(),
@@ -264,12 +296,15 @@ impl<'p> Machine<'p> {
             rolled_back: vec![false; thread_count],
             pending_wait: None,
             eligible: Vec::with_capacity(thread_count),
+            eligible_stale: true,
+            eligible_cacheable: false,
             maybe_timed_waiter: false,
             decision_log: Vec::new(),
             footprints: Vec::with_capacity(thread_count),
             capture: None,
             capture_wall: Duration::ZERO,
             sink: None,
+            mix: None,
         }
     }
 
@@ -321,6 +356,9 @@ impl<'p> Machine<'p> {
         self.maybe_timed_waiter = snap.maybe_timed_waiter;
         self.decision_log = snap.decision_log.clone();
         self.eligible.clear();
+        self.eligible_stale = true;
+        self.eligible_cacheable = false;
+        self.gates_active = self.compiled_script.any_unreleased(&self.marker_counts);
         self.footprints.clear();
     }
 
@@ -337,6 +375,7 @@ impl<'p> Machine<'p> {
     /// per-construction resolve instead of per-step string compares.
     pub fn with_script(mut self, script: &'p ScheduleScript) -> Self {
         self.compiled_script = script.compile(self.threads.len(), &self.dense);
+        self.gates_active = self.compiled_script.any_unreleased(&self.marker_counts);
         self
     }
 
@@ -350,6 +389,15 @@ impl<'p> Machine<'p> {
         self
     }
 
+    /// Streams a per-opcode execution-count histogram into `registry`'s
+    /// `dispatch_mix` counters (`bench_interp --dispatch-mix`). Forces
+    /// one-instruction-per-dispatch so every logical instruction is
+    /// counted exactly once, fused pairs included.
+    pub fn with_dispatch_mix(mut self, registry: &MetricsRegistry) -> Self {
+        self.mix = Some(registry.clone());
+        self
+    }
+
     /// Emits a trace event, constructing it only when a sink is installed.
     #[inline]
     fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
@@ -359,7 +407,11 @@ impl<'p> Machine<'p> {
     }
 
     /// Runs the program to completion under `scheduler`.
-    pub fn run(self, scheduler: &mut dyn Scheduler) -> RunResult {
+    ///
+    /// Generic over the scheduler type so concrete callers monomorphize
+    /// (the pick call inlines into the step loop); `&mut dyn Scheduler`
+    /// callers still work through the `?Sized` bound.
+    pub fn run<S: Scheduler + ?Sized>(self, scheduler: &mut S) -> RunResult {
         self.run_inner(scheduler).0
     }
 
@@ -369,9 +421,9 @@ impl<'p> Machine<'p> {
     /// are `(decision index, image)` in ascending order. Capture keys on
     /// the decision log, so [`MachineConfig::record_decisions`] must be
     /// set.
-    pub fn run_captured(
+    pub fn run_captured<S: Scheduler + ?Sized>(
         mut self,
-        scheduler: &mut dyn Scheduler,
+        scheduler: &mut S,
         capture_from: usize,
         capture_limit: usize,
     ) -> (RunResult, Vec<(usize, MachineSnapshot)>) {
@@ -389,10 +441,15 @@ impl<'p> Machine<'p> {
         self.run_inner(scheduler)
     }
 
-    fn run_inner(
+    fn run_inner<S: Scheduler + ?Sized>(
         mut self,
-        scheduler: &mut dyn Scheduler,
+        scheduler: &mut S,
     ) -> (RunResult, Vec<(usize, MachineSnapshot)>) {
+        #[cfg(not(any(test, feature = "dense-oracle")))]
+        assert!(
+            !self.config.dense_oracle,
+            "MachineConfig::dense_oracle requires the `dense-oracle` feature"
+        );
         let start = Instant::now();
         if self.sink.is_some() {
             for i in 0..self.threads.len() {
@@ -465,7 +522,11 @@ impl<'p> Machine<'p> {
         (result, captured)
     }
 
-    fn run_loop(&mut self, scheduler: &mut dyn Scheduler, mask: PointMask) -> RunOutcome {
+    fn run_loop<S: Scheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+        mask: PointMask,
+    ) -> RunOutcome {
         let consult_every_step = mask.is_all();
         loop {
             if self.step >= self.config.step_limit {
@@ -580,22 +641,54 @@ impl<'p> Machine<'p> {
                 });
                 self.last_picked = Some(tid);
             }
-            if let Some(outcome) = self.step_thread(tid) {
+            if let Some(outcome) = self.dispatch_step(tid, consult_every_step) {
                 return outcome;
             }
         }
     }
 
+    /// One scheduler-visible dispatch: routes to the oracle interpreter
+    /// when configured, otherwise to the decoded interpreter — *tight*
+    /// (fused stream, span execution up to the next maskable scheduling
+    /// point) whenever nothing needs a per-step boundary: a narrow
+    /// decision mask, no trace ring, no dispatch-mix counting, and no
+    /// thread possibly waiting on a timed lock.
+    #[inline]
+    fn dispatch_step(&mut self, tid: ThreadId, consult_every_step: bool) -> Option<RunOutcome> {
+        #[cfg(any(test, feature = "dense-oracle"))]
+        if self.config.dense_oracle {
+            return self.step_thread_oracle(tid);
+        }
+        let tight = !consult_every_step
+            && self.config.trace_depth == 0
+            && !self.maybe_timed_waiter
+            && self.mix.is_none();
+        self.step_thread(tid, tight)
+    }
+
     /// Refills the eligibility buffer with the threads that can execute an
-    /// instruction this step.
+    /// instruction this step. Skipped when the previous fill is provably
+    /// still valid: no schedule gates, every thread `Runnable` or `Done`,
+    /// and no status transition since (`eligible_stale`).
     fn fill_eligible(&mut self) {
+        if self.eligible_cacheable && !self.eligible_stale {
+            return;
+        }
+        let gates = self.gates_active;
+        let mut all_settled = true;
         let mut out = std::mem::take(&mut self.eligible);
         out.clear();
         for t in &self.threads {
             let ok = match t.status {
-                ThreadStatus::Runnable => !self.is_gate_held(t),
-                ThreadStatus::BlockedOnLock { lock, .. } => self.locks.is_free(lock),
-                ThreadStatus::SleepingUntil(until) => self.step >= until,
+                ThreadStatus::Runnable => !gates || !self.is_gate_held(t),
+                ThreadStatus::BlockedOnLock { lock, .. } => {
+                    all_settled = false;
+                    self.locks.is_free(lock)
+                }
+                ThreadStatus::SleepingUntil(until) => {
+                    all_settled = false;
+                    self.step >= until
+                }
                 ThreadStatus::Done => false,
             };
             if ok {
@@ -603,6 +696,9 @@ impl<'p> Machine<'p> {
             }
         }
         self.eligible = out;
+        // An empty set feeds the completion/hang detection — never cache it.
+        self.eligible_cacheable = !gates && all_settled && !self.eligible.is_empty();
+        self.eligible_stale = false;
     }
 
     /// Refills the footprint buffer for the current eligible set (decision
@@ -660,6 +756,16 @@ impl<'p> Machine<'p> {
             .push((depth, snap));
     }
 
+    /// Re-evaluates `gates_active` after a marker count increment: a hit on
+    /// some gate's `until` marker may release it for good (counts never
+    /// decrease during a run), letting the eligibility cache engage.
+    #[inline]
+    fn note_marker_hit(&mut self) {
+        if self.gates_active {
+            self.gates_active = self.compiled_script.any_unreleased(&self.marker_counts);
+        }
+    }
+
     fn is_gate_held(&self, t: &ThreadState) -> bool {
         if !self.compiled_script.any() || t.frames.is_empty() {
             return false;
@@ -712,6 +818,7 @@ impl<'p> Machine<'p> {
             // Timeout fired: `pthread_mutex_timedlock` returned ETIMEDOUT —
             // a deadlock failure site (Figure 5d).
             self.threads[i].status = ThreadStatus::Runnable;
+            self.eligible_stale = true;
             let tid = ThreadId(i);
             self.metrics.lock_waits.record(waited);
             let step = self.step;
@@ -729,6 +836,7 @@ impl<'p> Machine<'p> {
                     if pause > 0 {
                         let until = self.step + pause;
                         self.threads[i].status = ThreadStatus::SleepingUntil(until);
+                        self.eligible_stale = true;
                         self.emit(|| TraceEvent::BackoffSleep {
                             step,
                             thread: tid,
@@ -768,24 +876,177 @@ impl<'p> Machine<'p> {
         None
     }
 
-    /// Executes one instruction of `tid`; returns a terminal outcome if the
-    /// run ends.
-    fn step_thread(&mut self, tid: ThreadId) -> Option<RunOutcome> {
+    /// Executes decoded instructions of `tid`; returns a terminal outcome
+    /// if the run ends.
+    ///
+    /// With `tight` set, this is the threaded-dispatch span loop: it keeps
+    /// executing from the *fused* stream — superinstructions included —
+    /// until the thread reaches a non-`Local` scheduling point, blocks,
+    /// finishes, or hits the step limit. Mid-span, the outer loop's
+    /// per-step work (timeout scan, eligibility refill, consult check) is
+    /// provably a no-op for a narrow decision mask, so skipping it is
+    /// bit-identical to the oracle; the span replicates the only state
+    /// transitions that remain (step counter, `pending_wait` reset).
+    fn step_thread(&mut self, tid: ThreadId, tight: bool) -> Option<RunOutcome> {
         // Remember an in-progress lock wait before the status reset erases
         // it (wait-time accounting for the acquisition about to retry), and
         // wake sleepers / unblock on entry.
         let t = &mut self.threads[tid.index()];
+        let mut woke = false;
         self.pending_wait = match t.status {
             ThreadStatus::BlockedOnLock { lock, since, .. } => {
                 t.status = ThreadStatus::Runnable;
+                woke = true;
                 Some((lock, since))
             }
             ThreadStatus::SleepingUntil(_) => {
                 t.status = ThreadStatus::Runnable;
+                woke = true;
                 None
             }
             _ => None,
         };
+        if woke {
+            self.eligible_stale = true;
+        }
+
+        loop {
+            // One borrow for the whole fetch/bump sequence.
+            let (func_id, pc) = {
+                let t = &mut self.threads[tid.index()];
+                t.stats.insts += 1;
+                let top = t.top_mut();
+                let fetched = (top.func, top.pc);
+                // Advance pc optimistically; control flow overwrites it.
+                top.pc += 1;
+                fetched
+            };
+            if self.config.trace_depth > 0 {
+                let (step, depth) = (self.step, self.config.trace_depth);
+                let loc = self.dense.func(func_id).loc(func_id, pc);
+                self.threads[tid.index()].record_trace(step, loc, depth);
+            }
+            if let Some(mix) = &self.mix {
+                mix.dispatch_mix[self.dense.func(func_id).inst(pc).opcode()].add(1);
+            }
+
+            // A 32-byte `Copy` fetch — nothing borrowed across dispatch.
+            let di = if tight {
+                self.dense.func(func_id).decoded_fused(pc)
+            } else {
+                self.dense.func(func_id).decoded(pc)
+            };
+            match self.exec_decoded(tid, di, func_id) {
+                StepEffect::Continue => {}
+                StepEffect::Limit => return Some(RunOutcome::StepLimit),
+                StepEffect::Blocked(lock, site) => {
+                    self.block_on_lock(tid, lock, site);
+                    return None;
+                }
+                StepEffect::AttemptRecovery(site, kind, msg) => {
+                    match self.attempt_recovery(tid, site, kind) {
+                        // The thread resumes at its checkpoint (a `Local`
+                        // point): the span may continue through the same
+                        // boundary checks below.
+                        RecoveryOutcome::RolledBack => {}
+                        RecoveryOutcome::Exhausted => {
+                            return Some(RunOutcome::Failed(FailureRecord {
+                                kind,
+                                site: Some(site),
+                                thread: tid,
+                                step: self.step,
+                                msg,
+                                trace: self.thread_trace(tid),
+                            }))
+                        }
+                    }
+                }
+                StepEffect::Fail(kind, site, msg) => {
+                    return Some(RunOutcome::Failed(FailureRecord {
+                        kind,
+                        site,
+                        thread: tid,
+                        step: self.step,
+                        msg,
+                        trace: self.thread_trace(tid),
+                    }))
+                }
+            }
+            if !tight {
+                return None;
+            }
+            // Span continuation: stop at anything the outer loop could
+            // observe — a finished thread, or a next instruction that is a
+            // maskable scheduling point (markers included, so schedule
+            // gates are re-checked exactly where the oracle would).
+            if !matches!(self.threads[tid.index()].status, ThreadStatus::Runnable) {
+                return None;
+            }
+            if self.point_kind(tid) != PointKind::Local {
+                return None;
+            }
+            // The outer loop's step boundary, replicated.
+            if self.step >= self.config.step_limit {
+                return Some(RunOutcome::StepLimit);
+            }
+            self.step += 1;
+            self.pending_wait = None;
+        }
+    }
+
+    /// Parks `tid` on `lock`, preserving the original wait start across
+    /// retries of the same blocked acquisition.
+    fn block_on_lock(&mut self, tid: ThreadId, lock: LockId, site: Option<SiteId>) {
+        let since = match self.pending_wait {
+            Some((l, since)) if l == lock => since,
+            _ => self.step,
+        };
+        if since == self.step {
+            // A fresh wait begins: record the wait edge.
+            let owner = self.locks.owner(lock);
+            let step = self.step;
+            self.emit(|| TraceEvent::LockWait {
+                step,
+                thread: tid,
+                lock,
+                site,
+                owner,
+            });
+        }
+        let t = &mut self.threads[tid.index()];
+        // Stay at the lock instruction.
+        t.top_mut().pc -= 1;
+        t.status = ThreadStatus::BlockedOnLock { lock, since, site };
+        self.eligible_stale = true;
+        self.maybe_timed_waiter |= site.is_some();
+    }
+
+    /// Executes one instruction of `tid` through the legacy `&Inst` walk —
+    /// the differential oracle for the decoded interpreter; returns a
+    /// terminal outcome if the run ends.
+    #[cfg(any(test, feature = "dense-oracle"))]
+    fn step_thread_oracle(&mut self, tid: ThreadId) -> Option<RunOutcome> {
+        // Remember an in-progress lock wait before the status reset erases
+        // it (wait-time accounting for the acquisition about to retry), and
+        // wake sleepers / unblock on entry.
+        let t = &mut self.threads[tid.index()];
+        let mut woke = false;
+        self.pending_wait = match t.status {
+            ThreadStatus::BlockedOnLock { lock, since, .. } => {
+                t.status = ThreadStatus::Runnable;
+                woke = true;
+                Some((lock, since))
+            }
+            ThreadStatus::SleepingUntil(_) => {
+                t.status = ThreadStatus::Runnable;
+                woke = true;
+                None
+            }
+            _ => None,
+        };
+        if woke {
+            self.eligible_stale = true;
+        }
 
         let top = self.threads[tid.index()].top();
         let (func_id, pc) = (top.func, top.pc);
@@ -799,6 +1060,9 @@ impl<'p> Machine<'p> {
             let loc = self.dense.func(func_id).loc(func_id, pc);
             self.threads[tid.index()].record_trace(step, loc, depth);
         }
+        if let Some(mix) = &self.mix {
+            mix.dispatch_mix[inst.opcode()].add(1);
+        }
         self.threads[tid.index()].stats.insts += 1;
         // Advance pc optimistically; control flow overwrites it.
         self.threads[tid.index()].top_mut().pc += 1;
@@ -806,30 +1070,9 @@ impl<'p> Machine<'p> {
         let effect = self.exec(tid, inst, func_id, pc);
         match effect {
             StepEffect::Continue => None,
+            StepEffect::Limit => unreachable!("the oracle walk never fuses steps"),
             StepEffect::Blocked(lock, site) => {
-                // Preserve the original wait start across retries of the
-                // same blocked acquisition.
-                let since = match self.pending_wait {
-                    Some((l, since)) if l == lock => since,
-                    _ => self.step,
-                };
-                if since == self.step {
-                    // A fresh wait begins: record the wait edge.
-                    let owner = self.locks.owner(lock);
-                    let step = self.step;
-                    self.emit(|| TraceEvent::LockWait {
-                        step,
-                        thread: tid,
-                        lock,
-                        site,
-                        owner,
-                    });
-                }
-                let t = &mut self.threads[tid.index()];
-                // Stay at the lock instruction.
-                t.top_mut().pc -= 1;
-                t.status = ThreadStatus::BlockedOnLock { lock, since, site };
-                self.maybe_timed_waiter |= site.is_some();
+                self.block_on_lock(tid, lock, site);
                 None
             }
             StepEffect::AttemptRecovery(site, kind, msg) => {
@@ -867,11 +1110,35 @@ impl<'p> Machine<'p> {
         }
     }
 
+    #[cfg(any(test, feature = "dense-oracle"))]
     #[inline]
     fn set_reg(&mut self, tid: ThreadId, r: Reg, v: i64) {
         // The single register-write path: maintains the checkpoint
         // undo-log (one integer compare when recovery is disabled).
         self.threads[tid.index()].write_reg(r, v);
+    }
+
+    /// Register read by pre-decoded index.
+    #[inline(always)]
+    fn reg_idx(&self, tid: ThreadId, r: u32) -> i64 {
+        self.threads[tid.index()].top().regs[r as usize]
+    }
+
+    /// Register write by pre-decoded index — still the single logged
+    /// write path ([`ThreadState::write_reg`]), so checkpoint undo sees
+    /// every write the decoded interpreter makes.
+    #[inline(always)]
+    fn write_reg_idx(&mut self, tid: ThreadId, r: u32, v: i64) {
+        self.threads[tid.index()].write_reg(Reg(r), v);
+    }
+
+    /// Evaluates a decoded operand.
+    #[inline(always)]
+    fn eval_dop(&self, tid: ThreadId, op: DOp) -> i64 {
+        match op {
+            DOp::R(r) => self.reg_idx(tid, r),
+            DOp::C(c) => c,
+        }
     }
 
     fn ptr_is_valid(&self, addr: i64) -> bool {
@@ -900,12 +1167,473 @@ impl<'p> Machine<'p> {
     }
 
     /// Jumps the thread's top frame to the start of `target`.
+    #[cfg(any(test, feature = "dense-oracle"))]
     fn jump_to(&mut self, tid: ThreadId, target: conair_ir::BlockId) {
         let func = self.threads[tid.index()].top().func;
         let pc = self.dense.func(func).block_start(target);
         self.threads[tid.index()].top_mut().pc = pc;
     }
 
+    /// Executes one pre-decoded instruction (or a fused pair). `func` is
+    /// the executing frame's function, used only to reach the decoded
+    /// side tables (strings, call arguments) on cold paths.
+    #[inline(always)]
+    fn exec_decoded(&mut self, tid: ThreadId, di: DecodedInst, func: FuncId) -> StepEffect {
+        use DecodedInst as D;
+        match di {
+            D::CopyC { dst, imm } => {
+                self.write_reg_idx(tid, dst, imm);
+                StepEffect::Continue
+            }
+            D::CopyR { dst, src } => {
+                let v = self.reg_idx(tid, src);
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::BinRR { dst, op, lhs, rhs } => {
+                let v = op.apply(self.reg_idx(tid, lhs), self.reg_idx(tid, rhs));
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::BinRC { dst, op, lhs, imm } => {
+                let v = op.apply(self.reg_idx(tid, lhs), imm);
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::BinCR { dst, op, imm, rhs } => {
+                let v = op.apply(imm, self.reg_idx(tid, rhs));
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::CmpRR { dst, op, lhs, rhs } => {
+                let v = op.apply(self.reg_idx(tid, lhs), self.reg_idx(tid, rhs));
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::CmpRC { dst, op, lhs, imm } => {
+                let v = op.apply(self.reg_idx(tid, lhs), imm);
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::CmpCR { dst, op, imm, rhs } => {
+                let v = op.apply(imm, self.reg_idx(tid, rhs));
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::LoadGlobal { dst, global } => {
+                let v = self.memory.read_global(GlobalId(global));
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::StoreGlobal { global, src } => {
+                let v = self.eval_dop(tid, src);
+                let g = GlobalId(global);
+                let old = self.memory.read_global(g);
+                let addr = self.memory.global_addr(g);
+                self.log_mem_undo(tid, addr, old);
+                self.memory.write_global(g, v);
+                StepEffect::Continue
+            }
+            D::AddrOfGlobal { dst, global } => {
+                let a = self.memory.global_addr(GlobalId(global));
+                self.write_reg_idx(tid, dst, a);
+                StepEffect::Continue
+            }
+            D::LoadPtr { dst, ptr } => {
+                let addr = self.eval_dop(tid, ptr);
+                match self.memory.read(addr) {
+                    Ok(v) => {
+                        self.write_reg_idx(tid, dst, v);
+                        StepEffect::Continue
+                    }
+                    Err(f) => StepEffect::Fail(FailureKind::SegFault, None, f.to_string()),
+                }
+            }
+            D::StorePtrRR { ptr, src } => {
+                let (addr, v) = (self.reg_idx(tid, ptr), self.reg_idx(tid, src));
+                self.store_ptr(tid, addr, v)
+            }
+            D::StorePtrRC { ptr, imm } => {
+                let addr = self.reg_idx(tid, ptr);
+                self.store_ptr(tid, addr, imm)
+            }
+            D::StorePtrCR { addr, src } => {
+                let v = self.reg_idx(tid, src);
+                self.store_ptr(tid, addr, v)
+            }
+            D::StorePtrCC { addr, imm } => self.store_ptr(tid, addr, imm),
+            D::LoadLocal { dst, local } => {
+                let v = self.threads[tid.index()].top().locals[local as usize];
+                self.write_reg_idx(tid, dst, v);
+                StepEffect::Continue
+            }
+            D::StoreLocal { local, src } => {
+                let v = self.eval_dop(tid, src);
+                let t = &mut self.threads[tid.index()];
+                // Like `log_mem_undo`: whole-program buffering stays on
+                // after the first reexecution point, live checkpoint or not.
+                if self.config.buffered_writes && t.epoch > 0 {
+                    let epoch = t.epoch;
+                    let old = t.top().locals[local as usize];
+                    if t.undo.last().is_some_and(|u| u.epoch() != epoch) {
+                        t.undo.clear();
+                    }
+                    t.undo.push(UndoRecord::Local {
+                        slot: local as usize,
+                        old,
+                        epoch,
+                    });
+                    self.aux_work += 1;
+                }
+                t.top_mut().locals[local as usize] = v;
+                StepEffect::Continue
+            }
+            D::Alloc { dst, words } => {
+                let n = self.eval_dop(tid, words).max(0) as usize;
+                let base = self.memory.alloc(n);
+                self.write_reg_idx(tid, dst, base);
+                let t = &mut self.threads[tid.index()];
+                if t.checkpoint.is_some() {
+                    let epoch = t.epoch;
+                    t.record_compensation(CompensationRecord::Allocation { base, epoch });
+                    self.aux_work += 1;
+                }
+                StepEffect::Continue
+            }
+            D::Free { ptr } => {
+                let addr = self.eval_dop(tid, ptr);
+                match self.memory.free(addr) {
+                    Ok(()) => StepEffect::Continue,
+                    Err(f) => {
+                        StepEffect::Fail(FailureKind::SegFault, None, format!("invalid free: {f}"))
+                    }
+                }
+            }
+            D::Lock { lock } => {
+                let lock = LockId(lock);
+                match self.locks.try_acquire(lock, tid) {
+                    AcquireResult::Acquired => {
+                        let t = &mut self.threads[tid.index()];
+                        if t.checkpoint.is_some() {
+                            let epoch = t.epoch;
+                            t.record_compensation(CompensationRecord::Lock { lock, epoch });
+                            self.aux_work += 1;
+                        }
+                        self.note_lock_acquired(tid, lock, false);
+                        StepEffect::Continue
+                    }
+                    AcquireResult::WouldBlock => StepEffect::Blocked(lock, None),
+                }
+            }
+            D::TimedLock { lock, site } => {
+                let (lock, site) = (LockId(lock), SiteId(site));
+                *self.site_checks.entry(site).or_insert(0) += 1;
+                match self.locks.try_acquire(lock, tid) {
+                    AcquireResult::Acquired => {
+                        self.note_site_success(tid, site);
+                        let t = &mut self.threads[tid.index()];
+                        if t.checkpoint.is_some() {
+                            let epoch = t.epoch;
+                            t.record_compensation(CompensationRecord::Lock { lock, epoch });
+                            self.aux_work += 1;
+                        }
+                        self.note_lock_acquired(tid, lock, true);
+                        StepEffect::Continue
+                    }
+                    AcquireResult::WouldBlock => StepEffect::Blocked(lock, Some(site)),
+                }
+            }
+            D::Unlock { lock } => {
+                let lock = LockId(lock);
+                match self.locks.release(lock, tid) {
+                    Ok(()) => {
+                        let step = self.step;
+                        self.emit(|| TraceEvent::LockReleased {
+                            step,
+                            thread: tid,
+                            lock,
+                        });
+                        StepEffect::Continue
+                    }
+                    Err(e) => StepEffect::Fail(
+                        FailureKind::AssertionViolation,
+                        None,
+                        format!(
+                            "unlock of {} not held by {tid} (owner {:?})",
+                            e.lock, e.owner
+                        ),
+                    ),
+                }
+            }
+            D::Output { str_idx, value } => {
+                let v = self.eval_dop(tid, value);
+                let label = self.dense.func(func).str_at(str_idx);
+                self.outputs.push(OutputRecord {
+                    thread: tid,
+                    label: label.to_string(),
+                    value: v,
+                });
+                StepEffect::Continue
+            }
+            D::Assert { cond, str_idx } => {
+                if self.eval_dop(tid, cond) != 0 {
+                    StepEffect::Continue
+                } else {
+                    let msg = self.dense.func(func).str_at(str_idx);
+                    StepEffect::Fail(
+                        FailureKind::AssertionViolation,
+                        None,
+                        format!("assertion failed: {msg}"),
+                    )
+                }
+            }
+            D::OutputAssert { cond, str_idx } => {
+                if self.eval_dop(tid, cond) != 0 {
+                    StepEffect::Continue
+                } else {
+                    let msg = self.dense.func(func).str_at(str_idx);
+                    StepEffect::Fail(
+                        FailureKind::WrongOutput,
+                        None,
+                        format!("output oracle violated: {msg}"),
+                    )
+                }
+            }
+            D::Jump { pc } => {
+                self.threads[tid.index()].top_mut().pc = pc;
+                StepEffect::Continue
+            }
+            D::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                let pc = if self.reg_idx(tid, cond) != 0 {
+                    then_pc
+                } else {
+                    else_pc
+                };
+                self.threads[tid.index()].top_mut().pc = pc;
+                StepEffect::Continue
+            }
+            D::RetN => self.ret(tid, None),
+            D::RetR { src } => {
+                let v = self.reg_idx(tid, src);
+                self.ret(tid, Some(v))
+            }
+            D::RetC { imm } => self.ret(tid, Some(imm)),
+            D::Call {
+                dst,
+                callee,
+                args_start,
+                args_len,
+            } => {
+                let mut vals = Vec::with_capacity(args_len as usize);
+                for k in 0..args_len {
+                    let a = self.dense.func(func).call_arg(args_start + k);
+                    vals.push(self.eval_dop(tid, a));
+                }
+                let callee = FuncId(callee);
+                // Frame sizes come from the pre-lowered layout — no module
+                // lookup on the call path.
+                let layout = self.dense.func(callee);
+                let (nregs, nlocals) = (layout.num_regs(), layout.num_locals());
+                let ret_dst = (dst != u32::MAX).then_some(Reg(dst));
+                let frame = Frame::with_sizes(callee, nregs, nlocals, &vals, ret_dst);
+                self.threads[tid.index()].frames.push(frame);
+                StepEffect::Continue
+            }
+            D::Marker { id } => {
+                self.marker_counts[id as usize] += 1;
+                self.note_marker_hit();
+                StepEffect::Continue
+            }
+            D::Nop => StepEffect::Continue,
+            D::Checkpoint => {
+                // A checkpoint re-executes (like a re-entered `setjmp`) when
+                // the thread rolled back since its last checkpoint.
+                let reexecution = std::mem::replace(&mut self.rolled_back[tid.index()], false);
+                self.metrics.checkpoint_executions += 1;
+                if reexecution {
+                    self.metrics.checkpoint_reexecutions += 1;
+                }
+                self.threads[tid.index()].save_checkpoint();
+                let epoch = self.threads[tid.index()].epoch;
+                let step = self.step;
+                self.emit(|| TraceEvent::CheckpointSaved {
+                    step,
+                    thread: tid,
+                    epoch,
+                    reexecution,
+                });
+                StepEffect::Continue
+            }
+            D::FailGuard {
+                kind,
+                cond,
+                site,
+                str_idx,
+            } => {
+                let site = SiteId(site);
+                *self.site_checks.entry(site).or_insert(0) += 1;
+                if self.eval_dop(tid, cond) != 0 {
+                    self.note_site_success(tid, site);
+                    StepEffect::Continue
+                } else {
+                    let fk = match kind {
+                        conair_ir::GuardKind::Assert => FailureKind::AssertionViolation,
+                        conair_ir::GuardKind::WrongOutput => FailureKind::WrongOutput,
+                    };
+                    let msg = self.dense.func(func).str_at(str_idx);
+                    StepEffect::AttemptRecovery(site, fk, format!("guard failed: {msg}"))
+                }
+            }
+            D::PtrGuard { ptr, site } => {
+                let site = SiteId(site);
+                *self.site_checks.entry(site).or_insert(0) += 1;
+                let addr = self.eval_dop(tid, ptr);
+                if self.ptr_is_valid(addr) {
+                    self.note_site_success(tid, site);
+                    StepEffect::Continue
+                } else {
+                    StepEffect::AttemptRecovery(
+                        site,
+                        FailureKind::SegFault,
+                        format!("pointer sanity check failed for {addr:#x}"),
+                    )
+                }
+            }
+
+            // ---- superinstructions ----------------------------------
+            // Each fused handler executes TWO logical steps. The head's
+            // register write still goes through the logged path before
+            // the tail runs — a rollback between the halves (impossible
+            // here, but a checkpoint restore later) must see it. Between
+            // the halves the outer loop's step boundary is replicated
+            // verbatim: limit check, step bump, pending-wait reset,
+            // per-thread instruction count.
+            D::CmpBranchRR {
+                op,
+                dst,
+                lhs,
+                rhs,
+                then_pc,
+                else_pc,
+            } => {
+                let v = op.apply(self.reg_idx(tid, lhs), self.reg_idx(tid, rhs));
+                self.write_reg_idx(tid, dst, v);
+                if self.step >= self.config.step_limit {
+                    return StepEffect::Limit;
+                }
+                self.step += 1;
+                self.pending_wait = None;
+                let t = &mut self.threads[tid.index()];
+                t.stats.insts += 1;
+                t.top_mut().pc = if v != 0 { then_pc } else { else_pc };
+                StepEffect::Continue
+            }
+            D::CmpBranchRC {
+                op,
+                dst,
+                lhs,
+                imm,
+                then_pc,
+                else_pc,
+            } => {
+                let v = op.apply(self.reg_idx(tid, lhs), imm);
+                self.write_reg_idx(tid, dst, v);
+                if self.step >= self.config.step_limit {
+                    return StepEffect::Limit;
+                }
+                self.step += 1;
+                self.pending_wait = None;
+                let t = &mut self.threads[tid.index()];
+                t.stats.insts += 1;
+                t.top_mut().pc = if v != 0 { then_pc } else { else_pc };
+                StepEffect::Continue
+            }
+            D::LoadGlobalBinRR {
+                global,
+                gdst,
+                op,
+                dst,
+                rhs,
+            } => {
+                let v = self.memory.read_global(GlobalId(global));
+                self.write_reg_idx(tid, gdst, v);
+                if self.step >= self.config.step_limit {
+                    return StepEffect::Limit;
+                }
+                self.step += 1;
+                self.pending_wait = None;
+                self.threads[tid.index()].stats.insts += 1;
+                self.threads[tid.index()].top_mut().pc += 1;
+                // `rhs` is re-read after the head's write, so `rhs ==
+                // gdst` sees the loaded value — oracle order.
+                let r = op.apply(v, self.reg_idx(tid, rhs));
+                self.write_reg_idx(tid, dst, r);
+                StepEffect::Continue
+            }
+            D::LoadGlobalBinRC {
+                global,
+                gdst,
+                op,
+                dst,
+                imm,
+            } => {
+                let v = self.memory.read_global(GlobalId(global));
+                self.write_reg_idx(tid, gdst, v);
+                if self.step >= self.config.step_limit {
+                    return StepEffect::Limit;
+                }
+                self.step += 1;
+                self.pending_wait = None;
+                self.threads[tid.index()].stats.insts += 1;
+                self.threads[tid.index()].top_mut().pc += 1;
+                let r = op.apply(v, imm);
+                self.write_reg_idx(tid, dst, r);
+                StepEffect::Continue
+            }
+        }
+    }
+
+    /// Shared store-through-pointer tail of the four `StorePtr` shapes.
+    #[inline(always)]
+    fn store_ptr(&mut self, tid: ThreadId, addr: i64, v: i64) -> StepEffect {
+        match self.memory.read(addr) {
+            Ok(old) => {
+                self.log_mem_undo(tid, addr, old);
+                self.memory.write(addr, v).expect("validated by read");
+                StepEffect::Continue
+            }
+            Err(f) => StepEffect::Fail(FailureKind::SegFault, None, f.to_string()),
+        }
+    }
+
+    /// Shared `Return` tail: pops the frame, writes the return value
+    /// through the logged path, marks the thread done on bottom-frame
+    /// return.
+    #[inline]
+    fn ret(&mut self, tid: ThreadId, v: Option<i64>) -> StepEffect {
+        let t = &mut self.threads[tid.index()];
+        // pop_frame retires the checkpoint if this was its frame.
+        let finished = t.pop_frame();
+        if !t.frames.is_empty() {
+            if let (Some(dst), Some(v)) = (finished.ret_dst, v) {
+                // The pop may have re-exposed the checkpoint frame, so the
+                // return-value write must go through the logged path.
+                t.write_reg(dst, v);
+            }
+        } else {
+            t.status = ThreadStatus::Done;
+            let step = self.step;
+            self.eligible_stale = true;
+            self.emit(|| TraceEvent::ThreadFinished { step, thread: tid });
+        }
+        StepEffect::Continue
+    }
+
+    #[cfg(any(test, feature = "dense-oracle"))]
     fn exec(&mut self, tid: ThreadId, inst: &'p Inst, func: FuncId, pc: u32) -> StepEffect {
         match inst {
             Inst::Copy { dst, src } => {
@@ -1110,22 +1838,7 @@ impl<'p> Machine<'p> {
             }
             Inst::Return { value } => {
                 let v = value.map(|op| self.eval(tid, op));
-                let t = &mut self.threads[tid.index()];
-                // pop_frame retires the checkpoint if this was its frame.
-                let finished = t.pop_frame();
-                if !t.frames.is_empty() {
-                    if let (Some(dst), Some(v)) = (finished.ret_dst, v) {
-                        // The pop may have re-exposed the checkpoint frame,
-                        // so the return-value write must go through the
-                        // logged path.
-                        t.write_reg(dst, v);
-                    }
-                } else {
-                    t.status = ThreadStatus::Done;
-                    let step = self.step;
-                    self.emit(|| TraceEvent::ThreadFinished { step, thread: tid });
-                }
-                StepEffect::Continue
+                self.ret(tid, v)
             }
             Inst::Call { dst, callee, args } => {
                 let vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
@@ -1144,6 +1857,7 @@ impl<'p> Machine<'p> {
                     .marker_id(pc)
                     .expect("every marker is interned at lowering");
                 self.marker_counts[id as usize] += 1;
+                self.note_marker_hit();
                 StepEffect::Continue
             }
             Inst::Nop => StepEffect::Continue,

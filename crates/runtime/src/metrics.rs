@@ -416,6 +416,10 @@ pub struct RegistryInner {
     /// Wall-time spent minimizing the first failure, µs (filled by the
     /// CLI, which owns minimization).
     pub phase_minimize_us: Counter,
+    /// Per-opcode execution counts, indexed by [`conair_ir::Inst::opcode`]
+    /// (filled by [`crate::Machine::with_dispatch_mix`] runs — the data
+    /// behind the superinstruction catalog).
+    pub dispatch_mix: [Counter; conair_ir::NUM_OPCODES],
 }
 
 /// Shared handle to a [`RegistryInner`]; clone to hand the same registry to

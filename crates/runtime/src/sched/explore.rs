@@ -232,6 +232,11 @@ pub struct ExploreReport {
     /// Branch alternatives never enqueued because their footprint provably
     /// commuted with the chosen thread's (cache-independent).
     pub independence_skips: u64,
+    /// Schedules executed by each fan-out wave, in wave order (the probe
+    /// is schedule 0, outside any wave). Deterministic — widths are a
+    /// function of the wave index, budget, and stop mode only, never of
+    /// `jobs` — so [`ExploreReport::normalized`] keeps them.
+    pub wave_widths: Vec<u64>,
     /// Wall-clock milliseconds (nondeterministic, like `phases`).
     pub wall_ms: u64,
     /// Self-profiling wall-time breakdown (nondeterministic; zeroed by
@@ -276,6 +281,10 @@ impl serde::Deserialize for ExploreReport {
             steps_saved: opt_u64("steps_saved")?,
             dedup_skips: opt_u64("dedup_skips")?,
             independence_skips: opt_u64("independence_skips")?,
+            wave_widths: match pairs.iter().find(|(k, _)| k == "wave_widths") {
+                Some((_, v)) => Vec::<u64>::from_value(v)?,
+                None => Vec::new(),
+            },
             wall_ms: u64::from_value(serde::field(pairs, "wall_ms")?)?,
             phases,
         })
@@ -787,6 +796,7 @@ pub fn explore_observed(
         steps_saved: 0,
         dedup_skips: 0,
         independence_skips: 0,
+        wave_widths: Vec::new(),
         wall_ms: 0,
         phases: ExplorePhases::default(),
     };
@@ -847,7 +857,21 @@ pub fn explore_observed(
             while !done(&report) {
                 let wave_start = Instant::now();
                 let base = report.schedules;
-                let count = wave_width(ec, wave).min(ec.budget - base);
+                // PCT runs are mutually independent — nothing flows between
+                // waves except the stop-at-first check. Without it, the
+                // 16 → 256 ramp only inserts fan-out barriers (a fresh
+                // thread scope + channel drain per wave) between runs that
+                // never needed to synchronize: on a full-budget search that
+                // overhead ate the whole parallel speedup. One wave takes
+                // the entire remaining budget instead; the ramp stays for
+                // stop-at-first searches, where small early waves keep the
+                // search from overshooting the first failure.
+                let count = if ec.stop_at_first {
+                    wave_width(ec, wave).min(ec.budget - base)
+                } else {
+                    ec.budget - base
+                };
+                report.wave_widths.push(count as u64);
                 let results = pool.map(count, |j| {
                     run_pct(program, &cfg, &dense, ec.seed + (base + j) as u64, pct)
                 });
@@ -945,6 +969,7 @@ pub fn explore_observed(
                 });
                 let merge_start = Instant::now();
                 let executed = results.len();
+                report.wave_widths.push(executed as u64);
                 for (j, mut ex) in results.into_iter().enumerate() {
                     record(&mut report, base + j, &ex);
                     note_executed(&mut seen, batch[j].prefix.len(), &ex.trace.decisions);
@@ -1227,6 +1252,7 @@ mod tests {
             steps_saved: 900,
             dedup_skips: 3,
             independence_skips: 2,
+            wave_widths: vec![16, 34],
             wall_ms: 123,
             phases: ExplorePhases {
                 capture_us: 10,
@@ -1245,6 +1271,7 @@ mod tests {
         assert_eq!(norm.steps_saved, 0);
         assert_eq!(norm.dedup_skips, 3, "search-shape counters survive");
         assert_eq!(norm.independence_skips, 2);
+        assert_eq!(norm.wave_widths, vec![16, 34], "widths are search shape");
         assert_eq!(
             norm.phases,
             ExplorePhases::default(),
@@ -1383,6 +1410,7 @@ mod tests {
             steps_saved: 9,
             dedup_skips: 0,
             independence_skips: 0,
+            wave_widths: vec![4, 4],
             wall_ms: 1,
             phases: ExplorePhases::default(),
         };

@@ -139,6 +139,18 @@ impl CompiledScript {
         self.any
     }
 
+    /// Whether any gate could still hold a thread given `counts` (indexed
+    /// by marker id). Marker counts only grow during a run, so once this
+    /// returns `false` every gate has released for good — the machine
+    /// re-evaluates it only when a marker executes, and treats a fully
+    /// released script like an empty one on the per-step path.
+    pub(crate) fn any_unreleased(&self, counts: &[u64]) -> bool {
+        self.by_thread.iter().flatten().any(|g| match g.until {
+            Some(u) => counts[u as usize] < g.count,
+            None => true,
+        })
+    }
+
     /// Whether `thread`, whose next instruction is the marker with interned
     /// id `marker`, is held given `counts` (indexed by marker id).
     #[inline]

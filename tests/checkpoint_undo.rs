@@ -217,6 +217,35 @@ proptest! {
     }
 
     #[test]
+    fn rollback_dense_decoded_matches_dense_oracle(seed in 0u64..32) {
+        // Machine-level rollback differential: the rollback-dense stress
+        // program (guard failures forcing a checkpoint restore and
+        // re-execution every few steps) must produce a byte-identical
+        // RunResult on the pre-decoded interpreter and on the legacy
+        // per-step `&Inst` walk (`MachineConfig::dense_oracle`) — the
+        // undo-log exercised end-to-end through both dispatch paths.
+        use conair_runtime::{run_once, MachineConfig};
+        use conair_workloads::rollback_dense_program;
+        let program = rollback_dense_program(80, 200, 4);
+        let decoded = run_once(&program, &MachineConfig::default(), seed);
+        let oracle = run_once(
+            &program,
+            &MachineConfig { dense_oracle: true, ..MachineConfig::default() },
+            seed,
+        );
+        prop_assert_eq!(decoded.stats.rollbacks, 200 * 3, "rollbacks happened");
+        let (mut a, mut b) = (decoded, oracle);
+        a.stats.wall = std::time::Duration::ZERO;
+        b.stats.wall = std::time::Duration::ZERO;
+        a.stats.snapshot_wall = std::time::Duration::ZERO;
+        b.stats.snapshot_wall = std::time::Duration::ZERO;
+        prop_assert_eq!(&a.outcome, &b.outcome);
+        prop_assert_eq!(&a.outputs, &b.outputs);
+        prop_assert_eq!(&a.stats, &b.stats);
+        prop_assert_eq!(&a.metrics, &b.metrics);
+    }
+
+    #[test]
     fn undo_depth_is_bounded_by_registers_written(
         writes in proptest::collection::vec(((0usize..ROOT_REGS), -50i64..50), 1..200)
     ) {
